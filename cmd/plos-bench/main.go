@@ -1,0 +1,136 @@
+// plos-bench regenerates the paper's evaluation figures (Figures 3–13) and
+// the repo's ablations, printing each panel as an aligned table.
+//
+// Default sizes are reduced so every figure completes in seconds-to-minutes
+// on a laptop; pass -full for the paper-scale cohorts (20 subjects × 70
+// segments, 30 HAR users × 561 dims, populations up to 100 users).
+//
+//	plos-bench -fig 3          # one figure
+//	plos-bench -fig all        # everything
+//	plos-bench -fig ablations  # DESIGN.md §5 ablations
+//	plos-bench -fig 8 -full -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plos/internal/eval"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 3..13, 'ablations', or 'all'")
+		full   = flag.Bool("full", false, "paper-scale cohorts (slow)")
+		trials = flag.Int("trials", 0, "trials per point (default 3, or 1 when reduced)")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+		lambda = flag.Float64("lambda", 100, "PLOS lambda")
+		format = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+	if err := run(*fig, *full, *trials, *seed, *lambda, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "plos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, full bool, trials int, seed int64, lambda float64, format string) error {
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	if trials <= 0 {
+		if full {
+			trials = 3
+		} else {
+			trials = 1
+		}
+	}
+	cohort := eval.CohortOptions{Trials: trials, Seed: seed, Lambda: lambda, Cl: 1, Cu: 0.2}
+
+	body := eval.BodyOptions{CohortOptions: cohort}
+	harOpt := eval.HAROptions{CohortOptions: cohort}
+	synth := eval.SynthOptions{CohortOptions: cohort}
+	scale := eval.ScaleOptions{CohortOptions: cohort}
+	if !full {
+		body.Subjects, body.Segments = 10, 20
+		body.ProviderCounts = []int{2, 4, 6, 8}
+		body.FixedProviders = 5
+		harOpt.Users, harOpt.PerClass, harOpt.Dim = 12, 25, 120
+		harOpt.ProviderCounts = []int{3, 6, 9, 12}
+		harOpt.FixedProviders = 6
+		harOpt.LogLambdas = []float64{0, 1, 2, 3, 4}
+		synth.UsersCount, synth.PerClass = 10, 60
+		scale.UserCounts = []int{5, 10, 20, 40}
+		scale.PerClass = 25
+	}
+
+	type panels func() ([]eval.Figure, error)
+	two := func(f func() (eval.Figure, eval.Figure, error)) panels {
+		return func() ([]eval.Figure, error) {
+			a, b, err := f()
+			return []eval.Figure{a, b}, err
+		}
+	}
+	one := func(f func() (eval.Figure, error)) panels {
+		return func() ([]eval.Figure, error) {
+			a, err := f()
+			return []eval.Figure{a}, err
+		}
+	}
+	figures := map[string]panels{
+		"3":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig3(body) }),
+		"4":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig4(body) }),
+		"5":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig5(harOpt) }),
+		"6":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig6(harOpt) }),
+		"7":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig7(harOpt) }),
+		"8":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig8(synth) }),
+		"9":      two(func() (eval.Figure, eval.Figure, error) { return eval.Fig9(synth) }),
+		"10":     two(func() (eval.Figure, eval.Figure, error) { return eval.Fig10(synth) }),
+		"11":     two(func() (eval.Figure, eval.Figure, error) { return eval.Fig11(scale) }),
+		"12":     one(func() (eval.Figure, error) { return eval.Fig12(scale) }),
+		"13":     one(func() (eval.Figure, error) { return eval.Fig13(scale) }),
+		"energy": one(func() (eval.Figure, error) { return eval.EnergyComparison(scale) }),
+		"ablations": func() ([]eval.Figure, error) {
+			var out []eval.Figure
+			for _, run := range []func(eval.SynthOptions) (eval.Figure, error){
+				eval.AblationCu,
+				eval.AblationWarmSets,
+				eval.AblationBalanceGuard,
+				eval.AblationAsync,
+			} {
+				f, err := run(synth)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, f)
+			}
+			return out, nil
+		},
+	}
+
+	order := []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "energy", "ablations"}
+	var selected []string
+	if fig == "all" {
+		selected = order
+	} else {
+		if _, ok := figures[fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 3..13, 'energy', 'ablations', or 'all')", fig)
+		}
+		selected = []string{fig}
+	}
+	for _, id := range selected {
+		out, err := figures[id]()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		for _, f := range out {
+			if format == "csv" {
+				fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+			} else {
+				fmt.Println(f.Format())
+			}
+		}
+	}
+	return nil
+}

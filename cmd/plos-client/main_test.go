@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSV(t *testing.T) {
+	path := writeTemp(t, "1,0.5,2.5\n-1,-0.5,-2.5\n1,1.0,2.0\n\n")
+	user, truth, err := loadCSV(path, 2)
+	if err != nil {
+		t.Fatalf("loadCSV: %v", err)
+	}
+	if len(user.Features) != 3 || len(truth) != 3 {
+		t.Fatalf("rows: %d features, %d truth", len(user.Features), len(truth))
+	}
+	if len(user.Labels) != 2 || user.Labels[0] != 1 || user.Labels[1] != -1 {
+		t.Fatalf("labels = %v", user.Labels)
+	}
+	if user.Features[1][1] != -2.5 {
+		t.Fatalf("features = %v", user.Features)
+	}
+	// Blank lines skipped, labels clamp to row count.
+	all, _, err := loadCSV(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Labels) != 3 {
+		t.Fatalf("clamped labels = %d", len(all.Labels))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, content string
+	}{
+		{"too few columns", "1\n"},
+		{"bad label", "abc,1,2\n"},
+		{"bad feature", "1,x,2\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, tc.content)
+			if _, _, err := loadCSV(path, 0); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+	if _, _, err := loadCSV("/nonexistent/file.csv", 0); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunRequiresCSV(t *testing.T) {
+	if err := run("localhost:1", "", 0, 1); err == nil {
+		t.Error("missing -csv should error")
+	}
+}

@@ -1,0 +1,124 @@
+// plos-datagen emits the simulated datasets this repository evaluates on —
+// the body sensor cohort (§VI-B substitute), the HAR-like cohort (§VI-C
+// substitute), and the rotated synthetic population (§VI-D) — as one CSV
+// per user, in the format plos-client consumes: the first column is the
+// label (+1/−1) and the remaining columns the features.
+//
+//	plos-datagen -kind body -out ./data/body
+//	plos-datagen -kind synth -users 10 -out ./data/synth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"plos/internal/dataset"
+	"plos/internal/har"
+	"plos/internal/mat"
+	"plos/internal/rng"
+	"plos/internal/sensors"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "synth", "dataset kind: body | har | synth")
+		out   = flag.String("out", "./data", "output directory (created if absent)")
+		users = flag.Int("users", 0, "user count (0 = paper default)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		angle = flag.Float64("angle", math.Pi/2, "synth: maximum rotation angle")
+	)
+	flag.Parse()
+	if err := run(*kind, *out, *users, *seed, *angle); err != nil {
+		fmt.Fprintln(os.Stderr, "plos-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out string, users int, seed int64, angle float64) error {
+	g := rng.New(seed)
+	var xs []*mat.Matrix
+	var truths [][]float64
+	switch kind {
+	case "body":
+		cfg := sensors.Config{}
+		if users > 0 {
+			cfg.Subjects = users
+		}
+		ds, err := sensors.Generate(cfg, g)
+		if err != nil {
+			return err
+		}
+		for _, s := range ds.Subjects {
+			xs = append(xs, s.X)
+			truths = append(truths, s.Truth)
+		}
+	case "har":
+		cfg := har.Config{}
+		if users > 0 {
+			cfg.Users = users
+		}
+		ds, err := har.Generate(cfg, g)
+		if err != nil {
+			return err
+		}
+		for _, u := range ds.Users {
+			xs = append(xs, u.X)
+			truths = append(truths, u.Truth)
+		}
+	case "synth":
+		if users <= 0 {
+			users = 10
+		}
+		pop, err := dataset.Population(users, angle, dataset.SynthConfig{}, g)
+		if err != nil {
+			return err
+		}
+		for _, u := range pop {
+			xs = append(xs, u.X)
+			truths = append(truths, u.Truth)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want body, har, or synth)", kind)
+	}
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for i := range xs {
+		path := filepath.Join(out, fmt.Sprintf("user%02d.csv", i))
+		if err := writeCSV(path, xs[i], truths[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d users (%d samples × %d features each) to %s\n",
+		len(xs), xs[0].Rows, xs[0].Cols, out)
+	return nil
+}
+
+func writeCSV(path string, x *mat.Matrix, truth []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var sb strings.Builder
+	for i := 0; i < x.Rows; i++ {
+		sb.Reset()
+		sb.WriteString(strconv.FormatFloat(truth[i], 'g', -1, 64))
+		row := x.Row(i)
+		for _, v := range row {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		sb.WriteByte('\n')
+		if _, err := f.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSynth(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("synth", dir, 3, 1, 1.0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("files = %d", len(entries))
+	}
+	// Validate the CSV shape of the first user: label + 2 features.
+	f, err := os.Open(filepath.Join(dir, "user00.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	rows := 0
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != 3 {
+			t.Fatalf("row %d has %d fields", rows, len(fields))
+		}
+		if fields[0] != "1" && fields[0] != "-1" {
+			t.Fatalf("row %d label = %q", rows, fields[0])
+		}
+		rows++
+	}
+	if rows != 400 {
+		t.Fatalf("rows = %d, want 400 (paper: 200 per class)", rows)
+	}
+}
+
+func TestRunBodyAndHAR(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("har", dir, 2, 1, 0); err != nil {
+		t.Fatalf("har: %v", err)
+	}
+	if err := run("body", filepath.Join(dir, "b"), 2, 1, 0); err != nil {
+		t.Fatalf("body: %v", err)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("nope", t.TempDir(), 1, 1, 0); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

@@ -1,0 +1,146 @@
+// plos-inspect evaluates a saved PLOS model (plos-server -save, or
+// Model.Save) against a local dataset CSV: per-user or global accuracy,
+// margin statistics, and the decision distribution. It answers the
+// operational question "is the model I just trained any good on this
+// device's data" without retraining anything.
+//
+//	plos-inspect -model model.json -csv data/synth/user03.csv -user 3
+//	plos-inspect -model model.json -csv newuser.csv            # global model
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"plos"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "saved model JSON (required)")
+		csvPath   = flag.String("csv", "", "dataset CSV: label,f1,f2,… (required)")
+		user      = flag.Int("user", -1, "personalized model index; -1 uses the global model")
+	)
+	flag.Parse()
+	if err := run(*modelPath, *csvPath, *user); err != nil {
+		fmt.Fprintln(os.Stderr, "plos-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, csvPath string, user int) error {
+	if modelPath == "" || csvPath == "" {
+		return fmt.Errorf("-model and -csv are required")
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	model, err := plos.LoadModel(f)
+	if err != nil {
+		return err
+	}
+	if user >= model.NumUsers() {
+		return fmt.Errorf("model has %d users; -user %d out of range", model.NumUsers(), user)
+	}
+	features, labels, err := readCSV(csvPath)
+	if err != nil {
+		return err
+	}
+
+	score := model.PredictGlobal
+	margin := func(x []float64) float64 {
+		// The global model has no Score accessor by design; approximate
+		// confidence by the personalized scorer when a user is selected.
+		return 0
+	}
+	which := "global"
+	if user >= 0 {
+		score = func(x []float64) float64 { return model.Predict(user, x) }
+		margin = func(x []float64) float64 { return model.Score(user, x) }
+		which = fmt.Sprintf("user %d", user)
+	}
+
+	correct, pos := 0, 0
+	var margins []float64
+	for i, x := range features {
+		pred := score(x)
+		if pred == labels[i] {
+			correct++
+		}
+		if pred > 0 {
+			pos++
+		}
+		if user >= 0 {
+			margins = append(margins, margin(x))
+		}
+	}
+	n := len(features)
+	fmt.Printf("model: %s (%s hyperplane, %d dims)\n", modelPath, which, len(model.Global()))
+	fmt.Printf("data:  %s (%d samples × %d features)\n", csvPath, n, len(features[0]))
+	fmt.Printf("accuracy: %.4f   predicted +1 fraction: %.3f\n",
+		float64(correct)/float64(n), float64(pos)/float64(n))
+	if len(margins) > 0 {
+		sort.Float64s(margins)
+		var absSum float64
+		for _, m := range margins {
+			absSum += math.Abs(m)
+		}
+		fmt.Printf("margins: median %.3f   mean|.| %.3f   p10 %.3f   p90 %.3f\n",
+			margins[len(margins)/2], absSum/float64(len(margins)),
+			margins[len(margins)/10], margins[len(margins)*9/10])
+	}
+	return nil
+}
+
+func readCSV(path string) ([][]float64, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var features [][]float64
+	var labels []float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("%s:%d: need label plus features", path, line)
+		}
+		y, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: bad label: %w", path, line, err)
+		}
+		row := make([]float64, len(fields)-1)
+		for i, fv := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fv), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: bad feature: %w", path, line, err)
+			}
+			row[i] = v
+		}
+		features = append(features, row)
+		labels = append(labels, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(features) == 0 {
+		return nil, nil, fmt.Errorf("%s: no samples", path)
+	}
+	return features, labels, nil
+}

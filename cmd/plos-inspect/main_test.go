@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"plos"
+)
+
+// buildArtifacts trains a tiny model and writes model.json + data.csv.
+func buildArtifacts(t *testing.T) (modelPath, csvPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(1))
+	u := plos.User{}
+	var csv strings.Builder
+	for i := 0; i < 60; i++ {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		x := []float64{cls*4 + r.NormFloat64(), cls*4 + r.NormFloat64()}
+		u.Features = append(u.Features, x)
+		if i < 10 {
+			u.Labels = append(u.Labels, cls)
+		}
+		csv.WriteString(strconv.FormatFloat(cls, 'g', -1, 64))
+		for _, v := range x {
+			csv.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		csv.WriteString("\n")
+	}
+	m, err := plos.Train([]plos.User{u}, plos.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	csvPath = filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return modelPath, csvPath
+}
+
+func TestInspectGlobalAndUser(t *testing.T) {
+	modelPath, csvPath := buildArtifacts(t)
+	if err := run(modelPath, csvPath, -1); err != nil {
+		t.Fatalf("global inspect: %v", err)
+	}
+	if err := run(modelPath, csvPath, 0); err != nil {
+		t.Fatalf("user inspect: %v", err)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	modelPath, csvPath := buildArtifacts(t)
+	if err := run("", csvPath, -1); err == nil {
+		t.Error("missing -model should error")
+	}
+	if err := run(modelPath, csvPath, 5); err == nil {
+		t.Error("out-of-range user should error")
+	}
+	if err := run(modelPath, "/nonexistent.csv", -1); err == nil {
+		t.Error("missing csv should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(modelPath, empty, -1); err == nil {
+		t.Error("empty csv should error")
+	}
+}

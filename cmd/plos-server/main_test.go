@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+
+	"plos"
+)
+
+func TestServerRunEndToEnd(t *testing.T) {
+	// Grab a free port so the server flag path is exercised verbatim.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+
+	const devices = 2
+	var wg sync.WaitGroup
+	clientErrs := make([]error, devices)
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(i)))
+			u := plos.User{}
+			for s := 0; s < 40; s++ {
+				cls := 1.0
+				if s%2 == 1 {
+					cls = -1
+				}
+				u.Features = append(u.Features, []float64{
+					cls*4 + r.NormFloat64(), cls*4 + r.NormFloat64(),
+				})
+				if s < 8 {
+					u.Labels = append(u.Labels, cls)
+				}
+			}
+			// Retry until the server is listening.
+			var lastErr error
+			for attempt := 0; attempt < 200; attempt++ {
+				if _, lastErr = plos.Join(addr, u, plos.WithSeed(int64(i))); lastErr == nil {
+					return
+				}
+			}
+			clientErrs[i] = lastErr
+		}(i)
+	}
+	savePath := t.TempDir() + "/model.json"
+	if err := run(addr, devices, 100, 1, 0.2, 1, 1e-3, 1, savePath); err != nil {
+		t.Fatalf("server run: %v", err)
+	}
+	wg.Wait()
+	for i, e := range clientErrs {
+		if e != nil {
+			t.Errorf("client %d: %v", i, e)
+		}
+	}
+	f, err := os.Open(savePath)
+	if err != nil {
+		t.Fatalf("saved model missing: %v", err)
+	}
+	defer f.Close()
+	if _, err := plos.LoadModel(f); err != nil {
+		t.Fatalf("saved model unreadable: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package plos_test
+
+import (
+	"fmt"
+
+	"plos"
+)
+
+// Two users: one labels four samples, one labels nothing. Both receive
+// personalized classifiers.
+func ExampleTrain() {
+	users := []plos.User{
+		{
+			Features: [][]float64{{4, 4}, {-4, -4}, {5, 3}, {-3, -5}, {4, 5}, {-5, -4}},
+			Labels:   []float64{1, -1, 1, -1},
+		},
+		{
+			// No labels at all — knowledge is borrowed from user 0.
+			Features: [][]float64{{3, 5}, {-5, -3}, {4, 4}, {-4, -4}},
+		},
+	}
+	model, err := plos.Train(users, plos.WithLambda(100), plos.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(model.Predict(0, []float64{4, 4}))
+	fmt.Println(model.Predict(1, []float64{-4, -4}))
+	// Output:
+	// 1
+	// -1
+}
+
+func ExampleModel_PredictGlobal() {
+	users := []plos.User{
+		{
+			Features: [][]float64{{4, 4}, {-4, -4}, {5, 3}, {-3, -5}},
+			Labels:   []float64{1, -1, 1, -1},
+		},
+		{
+			Features: [][]float64{{3, 5}, {-5, -3}, {4, 4}, {-4, -4}},
+			Labels:   []float64{1, -1},
+		},
+	}
+	model, err := plos.Train(users, plos.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// A user the model has never seen uses the shared hyperplane.
+	fmt.Println(model.PredictGlobal([]float64{5, 5}))
+	// Output:
+	// 1
+}

@@ -1,0 +1,110 @@
+// Cold start: onboarding a brand-new user into a deployed PLOS population.
+//
+// Scenario: 8 users have been training PLOS for a while. A ninth user —
+// whose activity pattern differs most from the population average —
+// installs the app. The example walks the three onboarding stages the PLOS
+// design enables:
+//
+//  1. Day one: classify the newcomer with the population's global model.
+//     No retraining, no data shared.
+//
+//  2. First sync: the newcomer's *unlabeled* data joins training. For a
+//     user this far from the population the gain can be small — the paper's
+//     Fig. 8b shows exactly this: zero-label users at large rotation can't
+//     borrow much.
+//
+//  3. A week later: the newcomer labels a handful of samples. The
+//     personalized classifier now locks onto their own pattern and clearly
+//     beats the global model.
+//
+//     go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"plos"
+	"plos/internal/dataset"
+	"plos/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coldstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 9 users whose activity patterns fan out over ~70°; the last user
+	// differs most from the population average.
+	const population = 9
+	all, err := dataset.Population(population, 1.2, dataset.SynthConfig{PerClass: 60}, rng.New(21))
+	if err != nil {
+		return err
+	}
+	newcomerIdx := population - 1
+	newcomer := all[newcomerIdx]
+
+	toUser := func(u dataset.User, labeled int) plos.User {
+		out := plos.User{}
+		for i := 0; i < u.X.Rows; i++ {
+			out.Features = append(out.Features, append([]float64(nil), u.X.Row(i)...))
+			if i < labeled {
+				out.Labels = append(out.Labels, u.Truth[i])
+			}
+		}
+		return out
+	}
+	accOn := func(predict func(x []float64) float64) float64 {
+		correct := 0
+		for i := 0; i < newcomer.X.Rows; i++ {
+			if predict(newcomer.X.Row(i)) == newcomer.Truth[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(newcomer.X.Rows)
+	}
+
+	// λ = 5: a heterogeneous population, so let personalization pull away
+	// from the average.
+	train := func(users []plos.User) (*plos.Model, error) {
+		return plos.Train(users, plos.WithLambda(5), plos.WithSeed(21))
+	}
+	var existing []plos.User
+	for _, u := range all[:newcomerIdx] {
+		existing = append(existing, toUser(u, 10))
+	}
+
+	// Stage 1 — day one.
+	base, err := train(existing)
+	if err != nil {
+		return err
+	}
+	dayOne := accOn(base.PredictGlobal)
+	fmt.Printf("stage 1  day one, global model, newcomer unseen:   %.3f\n", dayOne)
+
+	// Stage 2 — first sync, still zero labels.
+	withUnlabeled := append(append([]plos.User{}, existing...), toUser(newcomer, 0))
+	m2, err := train(withUnlabeled)
+	if err != nil {
+		return err
+	}
+	sync := accOn(func(x []float64) float64 { return m2.Predict(newcomerIdx, x) })
+	fmt.Printf("stage 2  unlabeled data joins training:            %.3f\n", sync)
+
+	// Stage 3 — the newcomer labels 8 samples (~7%% of their data).
+	withLabels := append(append([]plos.User{}, existing...), toUser(newcomer, 8))
+	m3, err := train(withLabels)
+	if err != nil {
+		return err
+	}
+	labeled := accOn(func(x []float64) float64 { return m3.Predict(newcomerIdx, x) })
+	fmt.Printf("stage 3  newcomer labels just 8 samples:           %.3f\n", labeled)
+
+	fmt.Printf("\npersonalization gain over the day-one global model: %+.3f\n", labeled-dayOne)
+	fmt.Println("(stage 2 can be flat for users this far from the population —")
+	fmt.Println(" the paper's Fig. 8b shows the same effect at large rotations)")
+	return nil
+}

@@ -1,0 +1,100 @@
+// Kernelized PLOS on a nonlinear sensing task. The paper sketches the
+// kernel extension (§IV, via the multi-task kernel of its reference [33])
+// but evaluates only the linear case; this example shows why the extension
+// matters.
+//
+// Scenario: gesture intensity detection. Each user's "active" windows live
+// in an annulus of motion-energy space around their personal resting point
+// — a radially separable problem no linear hyperplane can solve. Three
+// users share the annulus structure but differ in scale; one labels
+// nothing.
+//
+//	go run ./examples/kernel
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"plos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kernel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	users := make([]plos.User, 3)
+	for t := range users {
+		labeled := 12
+		if t == 2 {
+			labeled = 0 // the silent user
+		}
+		users[t] = gestureUser(int64(t), 1+0.25*float64(t), labeled)
+	}
+
+	linear, err := plos.Train(users, plos.WithLambda(50), plos.WithSeed(9))
+	if err != nil {
+		return err
+	}
+	rbf, err := plos.TrainKernel(users, plos.RBFKernel(1.0),
+		plos.WithLambda(50), plos.WithSeed(9))
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("user   labels   linear-PLOS   RBF-PLOS   support")
+	for t, u := range users {
+		linAcc := accuracy(func(x []float64) float64 { return linear.Predict(t, x) }, u)
+		rbfAcc := accuracy(func(x []float64) float64 { return rbf.Predict(t, x) }, u)
+		fmt.Printf("%4d %8d %13.3f %10.3f %9d\n",
+			t, len(u.Labels), linAcc, rbfAcc, rbf.SupportSize(t))
+	}
+	fmt.Println("\nThe rest-vs-gesture boundary is an annulus: linear PLOS is stuck")
+	fmt.Println("near chance while the kernelized model separates every user —")
+	fmt.Println("including the one who never labeled a window.")
+	return nil
+}
+
+// gestureUser puts resting windows in an inner disc and gesturing windows
+// in an outer ring, scaled by the user's personal intensity.
+func gestureUser(seed int64, scale float64, labeled int) plos.User {
+	r := rand.New(rand.NewSource(seed))
+	const perClass = 40
+	u := plos.User{}
+	for i := 0; i < 2*perClass; i++ {
+		cls := 1.0
+		radius := scale * (0.4 + 0.3*r.Float64())
+		if i%2 == 1 {
+			cls = -1
+			radius = scale * (2.0 + 0.5*r.Float64())
+		}
+		angle := 2 * math.Pi * r.Float64()
+		u.Features = append(u.Features, []float64{
+			radius * math.Cos(angle), radius * math.Sin(angle),
+		})
+		if i < labeled {
+			u.Labels = append(u.Labels, cls)
+		}
+	}
+	return u
+}
+
+func accuracy(predict func([]float64) float64, u plos.User) float64 {
+	correct := 0
+	for i, x := range u.Features {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		if predict(x) == cls {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(u.Features))
+}

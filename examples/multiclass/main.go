@@ -1,0 +1,92 @@
+// The full six-activity recognition task. The paper evaluates PLOS on one
+// binary pair (sitting vs standing, "the least separable pair"); this
+// example runs the complete task with the one-vs-rest extension
+// (plos.TrainMulticlass) on a simulated HAR cohort: 8 users, six
+// activities, some users labeling a little, some nothing.
+//
+//	go run ./examples/multiclass
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"plos"
+	"plos/internal/har"
+	"plos/internal/rng"
+)
+
+var activities = []string{
+	"walking", "upstairs", "downstairs", "sitting", "standing", "laying",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ds, err := har.GenerateMulti(har.Config{
+		Users:       8,
+		PerClass:    20,
+		Dim:         120,
+		Informative: 30,
+	}, len(activities), rng.New(31))
+	if err != nil {
+		return err
+	}
+
+	users := make([]plos.MulticlassUser, len(ds.Users))
+	for t, u := range ds.Users {
+		mu := plos.MulticlassUser{}
+		labeled := 0
+		if t%2 == 0 {
+			labeled = 18 // three labels per activity
+		}
+		for i := 0; i < u.X.Rows; i++ {
+			mu.Features = append(mu.Features, append([]float64(nil), u.X.Row(i)...))
+			if i < labeled {
+				mu.Labels = append(mu.Labels, u.Truth[i])
+			}
+		}
+		users[t] = mu
+	}
+
+	model, err := plos.TrainMulticlass(users, plos.WithLambda(100), plos.WithSeed(31))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d one-vs-rest PLOS models for %d activities\n\n",
+		len(model.Classes()), len(activities))
+
+	fmt.Println("user   labels   accuracy   hardest-confusion")
+	for t, u := range ds.Users {
+		correct := 0
+		confusion := map[[2]int]int{}
+		for i := 0; i < u.X.Rows; i++ {
+			got := model.Predict(t, users[t].Features[i])
+			if got == u.Truth[i] {
+				correct++
+			} else {
+				confusion[[2]int{u.Truth[i], got}]++
+			}
+		}
+		worst, worstN := [2]int{-1, -1}, 0
+		for pair, n := range confusion {
+			if n > worstN {
+				worst, worstN = pair, n
+			}
+		}
+		confStr := "—"
+		if worstN > 0 {
+			confStr = fmt.Sprintf("%s→%s (%d)", activities[worst[0]], activities[worst[1]], worstN)
+		}
+		fmt.Printf("%4d %8d %10.3f   %s\n",
+			t, len(users[t].Labels), float64(correct)/float64(u.X.Rows), confStr)
+	}
+	fmt.Println("\nThe dominant confusion should be the sitting↔standing pair —")
+	fmt.Println("exactly the pair the paper singles out as least separable.")
+	return nil
+}

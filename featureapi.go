@@ -1,0 +1,98 @@
+package plos
+
+import (
+	"fmt"
+
+	"plos/internal/features"
+)
+
+// SignalConfig describes a raw multichannel sensor recording for
+// ExtractWindows: the paper's §VI-B pipeline (downsample → normalize →
+// 3.2 s sliding windows at 50% overlap → per-window features) exposed for
+// library users with real signals. The zero value reproduces the paper:
+// 100 Hz input decimated to 20 Hz, 3.2 s windows.
+type SignalConfig struct {
+	// SampleHz is the input sampling rate (default 100).
+	SampleHz int
+	// TargetHz is the post-decimation rate (default 20; must divide
+	// SampleHz).
+	TargetHz int
+	// WindowSec is the sliding-window width in seconds (default 3.2),
+	// always with 50% overlap.
+	WindowSec float64
+	// Normalize z-scores each channel over the whole recording before
+	// windowing (default on; set SkipNormalize to disable).
+	SkipNormalize bool
+}
+
+func (c SignalConfig) withDefaults() SignalConfig {
+	if c.SampleHz <= 0 {
+		c.SampleHz = 100
+	}
+	if c.TargetHz <= 0 {
+		c.TargetHz = 20
+	}
+	if c.WindowSec <= 0 {
+		c.WindowSec = 3.2
+	}
+	return c
+}
+
+// FeaturesPerNode is the number of features one sensing node (5 channels:
+// accelerometer x/y/z + gyroscope u/v) contributes per window — 40, the
+// paper's set: 7 statistics per channel plus accelerometer magnitude,
+// axis angles, and signal magnitude area.
+const FeaturesPerNode = features.PerNodeCount
+
+// ExtractWindows converts one sensing node's raw recording into per-window
+// feature vectors. channels must hold exactly 5 equal-length signals in the
+// order accel-x, accel-y, accel-z, gyro-u, gyro-v. Concatenate the outputs
+// of multiple nodes (same windows, aligned recordings) to build the paper's
+// 120-dimensional body-network vectors.
+func ExtractWindows(channels [][]float64, cfg SignalConfig) ([][]float64, error) {
+	if len(channels) != features.SignalsPerNode {
+		return nil, fmt.Errorf("plos: ExtractWindows: got %d channels, want %d (accel xyz + gyro uv)",
+			len(channels), features.SignalsPerNode)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.SampleHz%cfg.TargetHz != 0 {
+		return nil, fmt.Errorf("plos: ExtractWindows: TargetHz %d must divide SampleHz %d",
+			cfg.TargetHz, cfg.SampleHz)
+	}
+	factor := cfg.SampleHz / cfg.TargetHz
+	n := len(channels[0])
+	processed := make([][]float64, len(channels))
+	for i, ch := range channels {
+		if len(ch) != n {
+			return nil, fmt.Errorf("plos: ExtractWindows: channel %d has %d samples, channel 0 has %d",
+				i, len(ch), n)
+		}
+		down, err := features.Downsample(ch, factor)
+		if err != nil {
+			return nil, fmt.Errorf("plos: ExtractWindows: %w", err)
+		}
+		if cfg.SkipNormalize {
+			processed[i] = down
+		} else {
+			processed[i] = features.ZNormalize(down)
+		}
+	}
+	width := int(cfg.WindowSec * float64(cfg.TargetHz))
+	windows, err := features.SlidingWindows(len(processed[0]), width, width/2)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ExtractWindows: %w", err)
+	}
+	out := make([][]float64, 0, len(windows))
+	for _, w := range windows {
+		sigs := make([][]float64, len(processed))
+		for i := range processed {
+			sigs[i] = processed[i][w.Start:w.End]
+		}
+		f, err := features.NodeFeatures(sigs)
+		if err != nil {
+			return nil, fmt.Errorf("plos: ExtractWindows: %w", err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package plos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func rawChannels(n int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, 5)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = math.Sin(float64(j)/10) + r.NormFloat64()*0.1
+		}
+	}
+	return out
+}
+
+func TestExtractWindows(t *testing.T) {
+	// 100 Hz for 2272/20 = 113.6 s → 70 windows at paper settings.
+	n := 2272 * 5
+	feats, err := ExtractWindows(rawChannels(n, 1), SignalConfig{})
+	if err != nil {
+		t.Fatalf("ExtractWindows: %v", err)
+	}
+	if len(feats) != 70 {
+		t.Errorf("windows = %d, want 70 (the paper's 5-minute recording shape)", len(feats))
+	}
+	for i, f := range feats {
+		if len(f) != FeaturesPerNode {
+			t.Fatalf("window %d has %d features, want %d", i, len(f), FeaturesPerNode)
+		}
+	}
+}
+
+func TestExtractWindowsValidation(t *testing.T) {
+	if _, err := ExtractWindows(rawChannels(100, 2)[:3], SignalConfig{}); err == nil {
+		t.Error("wrong channel count should error")
+	}
+	ragged := rawChannels(100, 3)
+	ragged[4] = ragged[4][:50]
+	if _, err := ExtractWindows(ragged, SignalConfig{}); err == nil {
+		t.Error("ragged channels should error")
+	}
+	if _, err := ExtractWindows(rawChannels(100, 4), SignalConfig{SampleHz: 100, TargetHz: 33}); err == nil {
+		t.Error("non-divisible rates should error")
+	}
+}
+
+func TestExtractWindowsSkipNormalize(t *testing.T) {
+	channels := rawChannels(1000, 5)
+	for i := range channels {
+		for j := range channels[i] {
+			channels[i][j] += 100 // large offset survives only without normalization
+		}
+	}
+	raw, err := ExtractWindows(channels, SignalConfig{SkipNormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := ExtractWindows(channels, SignalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 0 is the first channel's mean: ~100 raw, ~0 normalized.
+	if raw[0][0] < 50 {
+		t.Errorf("raw mean = %v, offset lost", raw[0][0])
+	}
+	if math.Abs(norm[0][0]) > 5 {
+		t.Errorf("normalized mean = %v, offset not removed", norm[0][0])
+	}
+}

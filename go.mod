@@ -1,0 +1,3 @@
+module plos
+
+go 1.22

@@ -1,0 +1,221 @@
+// Package admm implements the consensus form of the alternating direction
+// method of multipliers (Boyd et al. 2011, §7) that distributed PLOS is
+// built on (paper §V):
+//
+//	minimize  Σ_t f_t(x_t) + g(z)   subject to  x_t = z, t = 1..T
+//
+// Each round: every worker minimizes its augmented local objective at the
+// current (z, u_t) and reports x_t; the server applies the proximal update
+// of g to the average of (x_t + u_t); the scaled duals are updated as
+// u_t += x_t − z. The Consensus type holds exactly the server-side state so
+// that both the in-process driver (Run) and the wire-protocol server
+// (internal/transport + internal/core) share one implementation of the
+// update algebra and the residual-based stopping rule.
+package admm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"plos/internal/mat"
+)
+
+// ZProx computes the z-update: given sum = Σ_t (x_t + u_t) and the worker
+// count, return argmin_z g(z) + (Tρ/2)||z − sum/T||². For g = 0 this is
+// sum/T; distributed PLOS uses g(z) = ||z||², giving ρ·sum/(2 + Tρ).
+type ZProx func(sum mat.Vector, workers int, rho float64) mat.Vector
+
+// AverageZ is the ZProx for g(z) = 0: plain consensus averaging.
+func AverageZ(sum mat.Vector, workers int, _ float64) mat.Vector {
+	z := sum.Clone()
+	z.Scale(1 / float64(workers))
+	return z
+}
+
+// SquaredNormZ is the ZProx for g(z) = ||z||² (distributed PLOS, Eq. 23):
+// z = ρ·sum/(2 + Tρ).
+func SquaredNormZ(sum mat.Vector, workers int, rho float64) mat.Vector {
+	z := sum.Clone()
+	z.Scale(rho / (2 + float64(workers)*rho))
+	return z
+}
+
+// Consensus is the server-side ADMM state: the consensus variable z and the
+// scaled dual u_t per worker.
+type Consensus struct {
+	Z   mat.Vector
+	U   []mat.Vector
+	Rho float64
+
+	prox ZProx
+}
+
+// NewConsensus creates the server state for `workers` workers over
+// dim-dimensional variables. rho must be positive.
+func NewConsensus(dim, workers int, rho float64, prox ZProx) (*Consensus, error) {
+	if dim <= 0 || workers <= 0 {
+		return nil, fmt.Errorf("admm: NewConsensus: need positive dim (%d) and workers (%d)", dim, workers)
+	}
+	if rho <= 0 {
+		return nil, fmt.Errorf("admm: NewConsensus: rho must be positive, got %g", rho)
+	}
+	if prox == nil {
+		prox = AverageZ
+	}
+	u := make([]mat.Vector, workers)
+	for t := range u {
+		u[t] = mat.NewVector(dim)
+	}
+	return &Consensus{Z: mat.NewVector(dim), U: u, Rho: rho, prox: prox}, nil
+}
+
+// Residuals of one ADMM round, in the scaled form of paper Eq. (24).
+type Residuals struct {
+	// Dual: ρ·√(2T)·||z_{k+1} − z_k||.
+	Dual float64
+	// Primal: sqrt(Σ_t ||u_t^{k+1} − u_t^k||²).
+	Primal float64
+}
+
+// Converged applies the paper's stopping rule with absolute tolerance
+// epsAbs: dual ≤ √(2T)·εabs and primal ≤ √T·εabs.
+func (r Residuals) Converged(workers int, epsAbs float64) bool {
+	t := float64(workers)
+	return r.Dual <= math.Sqrt(2*t)*epsAbs && r.Primal <= math.Sqrt(t)*epsAbs
+}
+
+// DropWorker removes worker i's dual state, shrinking the consensus to the
+// remaining workers. The wire-protocol server uses it when a device dies
+// mid-training (dropout tolerance); subsequent Steps expect one fewer x.
+func (c *Consensus) DropWorker(i int) error {
+	if i < 0 || i >= len(c.U) {
+		return fmt.Errorf("admm: DropWorker: index %d out of range [0,%d)", i, len(c.U))
+	}
+	c.U = append(c.U[:i], c.U[i+1:]...)
+	return nil
+}
+
+// Workers returns the current worker count.
+func (c *Consensus) Workers() int { return len(c.U) }
+
+// Step consumes this round's worker variables x_t (len(xs) must equal the
+// worker count), performs the z- and u-updates, and returns the residuals.
+func (c *Consensus) Step(xs []mat.Vector) (Residuals, error) {
+	if len(xs) != len(c.U) {
+		return Residuals{}, fmt.Errorf("admm: Step: got %d worker updates, want %d", len(xs), len(c.U))
+	}
+	dim := len(c.Z)
+	sum := mat.NewVector(dim)
+	for t, x := range xs {
+		if len(x) != dim {
+			return Residuals{}, fmt.Errorf("admm: Step: worker %d sent %d dims, want %d", t, len(x), dim)
+		}
+		sum.Add(x)
+		sum.Add(c.U[t])
+	}
+	zNew := c.prox(sum, len(xs), c.Rho)
+
+	var res Residuals
+	res.Dual = c.Rho * math.Sqrt(2*float64(len(xs))) * mat.Dist2(zNew, c.Z)
+	var primalSq float64
+	for t, x := range xs {
+		// u_t += x_t − z_new; Δu_t = x_t − z_new.
+		du := mat.SubVec(x, zNew)
+		primalSq += du.SquaredNorm()
+		c.U[t].Add(du)
+	}
+	res.Primal = math.Sqrt(primalSq)
+	c.Z = zNew
+	return res, nil
+}
+
+// XUpdater is one worker's local solve: given the current consensus z and
+// its scaled dual u, return the new local variable x_t.
+type XUpdater func(t int, z, u mat.Vector) (mat.Vector, error)
+
+// Options for the in-process driver.
+type Options struct {
+	Rho     float64 // default 1 (paper §VI-E)
+	EpsAbs  float64 // default 1e-3 (paper §VI-E)
+	MaxIter int     // default 200
+	// Parallel runs the worker solves on separate goroutines, mirroring
+	// the phones computing concurrently in the real deployment.
+	Parallel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rho <= 0 {
+		o.Rho = 1
+	}
+	if o.EpsAbs <= 0 {
+		o.EpsAbs = 1e-3
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	return o
+}
+
+// RunInfo reports the outcome of Run.
+type RunInfo struct {
+	Iterations int
+	Converged  bool
+	Final      Residuals
+}
+
+// ErrMaxIterations is wrapped into Run's error when the residual rule is
+// not met within MaxIter rounds. The state reached is still returned.
+var ErrMaxIterations = errors.New("admm: maximum iterations reached")
+
+// Run drives consensus ADMM in-process until the paper's residual stopping
+// rule fires. It returns the final consensus state (z and the duals).
+func Run(dim, workers int, update XUpdater, prox ZProx, opts Options) (*Consensus, RunInfo, error) {
+	o := opts.withDefaults()
+	cons, err := NewConsensus(dim, workers, o.Rho, prox)
+	if err != nil {
+		return nil, RunInfo{}, err
+	}
+	info := RunInfo{}
+	xs := make([]mat.Vector, workers)
+	for iter := 0; iter < o.MaxIter; iter++ {
+		info.Iterations = iter + 1
+		if o.Parallel {
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			for t := 0; t < workers; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					xs[t], errs[t] = update(t, cons.Z, cons.U[t])
+				}(t)
+			}
+			wg.Wait()
+			for t, e := range errs {
+				if e != nil {
+					return cons, info, fmt.Errorf("admm: worker %d: %w", t, e)
+				}
+			}
+		} else {
+			for t := 0; t < workers; t++ {
+				x, e := update(t, cons.Z, cons.U[t])
+				if e != nil {
+					return cons, info, fmt.Errorf("admm: worker %d: %w", t, e)
+				}
+				xs[t] = x
+			}
+		}
+		res, err := cons.Step(xs)
+		if err != nil {
+			return cons, info, err
+		}
+		info.Final = res
+		if res.Converged(workers, o.EpsAbs) {
+			info.Converged = true
+			return cons, info, nil
+		}
+	}
+	return cons, info, fmt.Errorf("%w after %d rounds (dual %.3g, primal %.3g)",
+		ErrMaxIterations, info.Iterations, info.Final.Dual, info.Final.Primal)
+}

@@ -1,0 +1,299 @@
+// Package baselines implements the three comparison methods of the paper's
+// §VI-A, producing per-user per-sample predictions:
+//
+//   - All: every user uploads everything; one global SVM is trained on the
+//     pooled labeled samples and applied to everyone.
+//   - Single: fully local; a user with (two-class) labels trains a private
+//     SVM, a user without runs k-means on its own data (evaluated under the
+//     best cluster→label matching, as the paper does).
+//   - Group: users are hashed with random hyperplanes (n = 128 buckets),
+//     compared by the Jaccard similarity of their bucket histograms,
+//     spectrally clustered into 3 groups, and each group trains a pooled
+//     SVM shared by its members (falling back to per-group k-means when a
+//     group has no usable labels).
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"plos/internal/cluster"
+	"plos/internal/core"
+	"plos/internal/lsh"
+	"plos/internal/mat"
+	"plos/internal/rng"
+	"plos/internal/svm"
+)
+
+// Params configures the baselines. The zero value reproduces the paper:
+// C = 1, 128 LSH buckets, 3 groups.
+type Params struct {
+	// C is the SVM misclassification weight.
+	C float64
+	// Buckets is the LSH bucket count (must be a power of two).
+	Buckets int
+	// NumGroups is the spectral-clustering group count for Group.
+	NumGroups int
+	// Seed drives SVM epochs; clustering randomness comes from the RNG
+	// passed to each baseline.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.C <= 0 {
+		p.C = 1
+	}
+	if p.Buckets <= 0 {
+		p.Buckets = 128
+	}
+	if p.NumGroups <= 0 {
+		p.NumGroups = 3
+	}
+	return p
+}
+
+// Prediction is one user's predicted labels over their samples.
+type Prediction struct {
+	Labels []float64
+	// NeedsMatching marks unsupervised predictions (cluster indices mapped
+	// to ±1 arbitrarily); accuracy must be computed under the best
+	// cluster→label assignment.
+	NeedsMatching bool
+}
+
+// ErrBuckets reports a non-power-of-two bucket count.
+var ErrBuckets = errors.New("baselines: Buckets must be a power of two")
+
+// All trains one global SVM on the pooled labeled samples of every user and
+// applies it to all samples of all users. When no user has usable labels it
+// falls back to pooled k-means (NeedsMatching).
+func All(users []core.UserData, p Params, g *rng.RNG) ([]Prediction, error) {
+	if err := validate(users); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	dim := users[0].X.Cols
+	var rows int
+	for _, u := range users {
+		rows += u.NumLabeled()
+	}
+	pooledX := mat.NewMatrix(rows, dim)
+	pooledY := make([]float64, 0, rows)
+	at := 0
+	for _, u := range users {
+		for i := range u.Y {
+			copy(pooledX.Row(at), u.X.Row(i))
+			at++
+		}
+		pooledY = append(pooledY, u.Y...)
+	}
+	model, _, err := svm.Train(pooledX, pooledY, svm.Params{C: p.C, Seed: p.Seed})
+	if err != nil {
+		if errors.Is(err, svm.ErrNoData) || errors.Is(err, svm.ErrSingleClass) {
+			return pooledKMeans(users, g)
+		}
+		return nil, fmt.Errorf("baselines: All: %w", err)
+	}
+	out := make([]Prediction, len(users))
+	for t, u := range users {
+		out[t] = Prediction{Labels: model.PredictAll(u.X)}
+	}
+	return out, nil
+}
+
+// Single trains each user independently: a private SVM when the user's
+// labels cover both classes, otherwise local k-means.
+func Single(users []core.UserData, p Params, g *rng.RNG) ([]Prediction, error) {
+	if err := validate(users); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	out := make([]Prediction, len(users))
+	for t, u := range users {
+		lt := u.NumLabeled()
+		labeledX := mat.NewMatrix(lt, u.X.Cols)
+		copy(labeledX.Data, u.X.Data[:lt*u.X.Cols])
+		model, _, err := svm.Train(labeledX, u.Y, svm.Params{C: p.C, Seed: p.Seed})
+		switch {
+		case err == nil:
+			out[t] = Prediction{Labels: model.PredictAll(u.X)}
+		case errors.Is(err, svm.ErrNoData) || errors.Is(err, svm.ErrSingleClass):
+			pred, kerr := kmeansPredict(u.X, g.SplitN("single", t))
+			if kerr != nil {
+				return nil, fmt.Errorf("baselines: Single user %d: %w", t, kerr)
+			}
+			out[t] = pred
+		default:
+			return nil, fmt.Errorf("baselines: Single user %d: %w", t, err)
+		}
+	}
+	return out, nil
+}
+
+// Group clusters the users by LSH/Jaccard similarity and trains one pooled
+// model per group.
+func Group(users []core.UserData, p Params, g *rng.RNG) ([]Prediction, error) {
+	if err := validate(users); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	bits := 0
+	for b := p.Buckets; b > 1; b >>= 1 {
+		if b&1 != 0 {
+			return nil, fmt.Errorf("%w: got %d", ErrBuckets, p.Buckets)
+		}
+		bits++
+	}
+	dim := users[0].X.Cols
+	hasher, err := lsh.NewHasher(dim, bits, g.Split("group-hasher"))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Group: %w", err)
+	}
+	datasets := make([]*mat.Matrix, len(users))
+	for t, u := range users {
+		datasets[t] = u.X
+	}
+	sim, err := lsh.SimilarityMatrix(datasets, hasher)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Group: %w", err)
+	}
+	k := p.NumGroups
+	if k > len(users) {
+		k = len(users)
+	}
+	assign, err := cluster.Spectral(sim, k, g.Split("group-spectral"))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Group: %w", err)
+	}
+
+	out := make([]Prediction, len(users))
+	for grp := 0; grp < k; grp++ {
+		var members []int
+		for t, a := range assign {
+			if a == grp {
+				members = append(members, t)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		if err := trainGroup(users, members, p, g.SplitN("group-train", grp), out); err != nil {
+			return nil, fmt.Errorf("baselines: Group %d: %w", grp, err)
+		}
+	}
+	return out, nil
+}
+
+// trainGroup pools the members' labels and fills their predictions.
+func trainGroup(users []core.UserData, members []int, p Params, g *rng.RNG, out []Prediction) error {
+	dim := users[members[0]].X.Cols
+	var rows int
+	for _, t := range members {
+		rows += users[t].NumLabeled()
+	}
+	x := mat.NewMatrix(rows, dim)
+	y := make([]float64, 0, rows)
+	at := 0
+	for _, t := range members {
+		u := users[t]
+		for i := range u.Y {
+			copy(x.Row(at), u.X.Row(i))
+			at++
+		}
+		y = append(y, u.Y...)
+	}
+	model, _, err := svm.Train(x, y, svm.Params{C: p.C, Seed: p.Seed})
+	switch {
+	case err == nil:
+		for _, t := range members {
+			out[t] = Prediction{Labels: model.PredictAll(users[t].X)}
+		}
+		return nil
+	case errors.Is(err, svm.ErrNoData) || errors.Is(err, svm.ErrSingleClass):
+		// Label-free group: pooled k-means over the members' samples.
+		var total int
+		for _, t := range members {
+			total += users[t].X.Rows
+		}
+		pooled := mat.NewMatrix(total, dim)
+		at := 0
+		for _, t := range members {
+			copy(pooled.Data[at*dim:], users[t].X.Data)
+			at += users[t].X.Rows
+		}
+		pred, kerr := kmeansPredict(pooled, g)
+		if kerr != nil {
+			return kerr
+		}
+		at = 0
+		for _, t := range members {
+			n := users[t].X.Rows
+			out[t] = Prediction{Labels: pred.Labels[at : at+n], NeedsMatching: true}
+			at += n
+		}
+		return nil
+	default:
+		return err
+	}
+}
+
+// kmeansPredict clusters rows into two groups mapped to ±1 (arbitrary
+// polarity — hence NeedsMatching).
+func kmeansPredict(x *mat.Matrix, g *rng.RNG) (Prediction, error) {
+	if x.Rows < 2 {
+		labels := make([]float64, x.Rows)
+		for i := range labels {
+			labels[i] = 1
+		}
+		return Prediction{Labels: labels, NeedsMatching: true}, nil
+	}
+	res, err := cluster.KMeans(x, 2, g, cluster.KMeansParams{})
+	if err != nil {
+		return Prediction{}, err
+	}
+	labels := make([]float64, x.Rows)
+	for i, a := range res.Assignment {
+		labels[i] = float64(a)*2 - 1
+	}
+	return Prediction{Labels: labels, NeedsMatching: true}, nil
+}
+
+func pooledKMeans(users []core.UserData, g *rng.RNG) ([]Prediction, error) {
+	dim := users[0].X.Cols
+	var total int
+	for _, u := range users {
+		total += u.X.Rows
+	}
+	pooled := mat.NewMatrix(total, dim)
+	at := 0
+	for _, u := range users {
+		copy(pooled.Data[at*dim:], u.X.Data)
+		at += u.X.Rows
+	}
+	pred, err := kmeansPredict(pooled, g.Split("all-kmeans"))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: All fallback: %w", err)
+	}
+	out := make([]Prediction, len(users))
+	at = 0
+	for t, u := range users {
+		out[t] = Prediction{Labels: pred.Labels[at : at+u.X.Rows], NeedsMatching: true}
+		at += u.X.Rows
+	}
+	return out, nil
+}
+
+func validate(users []core.UserData) error {
+	if len(users) == 0 {
+		return core.ErrNoUsers
+	}
+	for t, u := range users {
+		if u.X == nil || u.X.Rows == 0 {
+			return fmt.Errorf("%w (user %d)", core.ErrEmptyUser, t)
+		}
+		if u.X.Cols != users[0].X.Cols {
+			return fmt.Errorf("%w: user %d", core.ErrDimMismatch, t)
+		}
+	}
+	return nil
+}

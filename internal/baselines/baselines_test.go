@@ -1,0 +1,256 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+// rotatedUser builds a 2-d two-Gaussian user rotated by theta, labels on
+// the first `labeled` samples.
+func rotatedUser(g *rng.RNG, perClass, labeled int, theta float64) (core.UserData, []float64) {
+	rot := rng.Rotation2D(theta)
+	n := 2 * perClass
+	x := mat.NewMatrix(n, 2)
+	truth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		p := rot.MulVec(mat.Vector{cls*5 + g.Norm(), cls*5 + g.Norm()})
+		copy(x.Row(i), p)
+		truth[i] = cls
+	}
+	return core.UserData{X: x, Y: truth[:labeled]}, truth
+}
+
+func matchedAccuracy(p Prediction, truth []float64) float64 {
+	correct := 0
+	for i := range truth {
+		if p.Labels[i] == truth[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(truth))
+	if p.NeedsMatching && 1-acc > acc {
+		return 1 - acc
+	}
+	return acc
+}
+
+func TestAllHomogeneousUsers(t *testing.T) {
+	g := rng.New(1)
+	var users []core.UserData
+	var truths [][]float64
+	for i := 0; i < 4; i++ {
+		labeled := 10
+		if i >= 2 {
+			labeled = 0
+		}
+		u, truth := rotatedUser(g.SplitN("u", i), 20, labeled, 0)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	preds, err := All(users, Params{}, g)
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	for i := range users {
+		if preds[i].NeedsMatching {
+			t.Errorf("user %d should have supervised predictions", i)
+		}
+		if acc := matchedAccuracy(preds[i], truths[i]); acc < 0.95 {
+			t.Errorf("user %d accuracy = %v", i, acc)
+		}
+	}
+}
+
+func TestAllDegradesOnRotatedUsers(t *testing.T) {
+	// The defining weakness of All (paper Fig. 8): with users rotated
+	// up to π/2, one global hyperplane cannot fit everyone.
+	g := rng.New(2)
+	var users []core.UserData
+	var truths [][]float64
+	angles := []float64{0, math.Pi / 3, 2 * math.Pi / 3, math.Pi}
+	for i, a := range angles {
+		u, truth := rotatedUser(g.SplitN("u", i), 20, 12, a)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	preds, err := All(users, Params{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc float64
+	for i := range users {
+		acc += matchedAccuracy(preds[i], truths[i])
+	}
+	acc /= float64(len(users))
+	if acc > 0.85 {
+		t.Errorf("All should degrade on strongly rotated users, got %v", acc)
+	}
+}
+
+func TestAllFallsBackToClusteringWithoutLabels(t *testing.T) {
+	g := rng.New(3)
+	u1, t1 := rotatedUser(g.Split("a"), 20, 0, 0)
+	u2, _ := rotatedUser(g.Split("b"), 20, 0, 0)
+	preds, err := All([]core.UserData{u1, u2}, Params{}, g)
+	if err != nil {
+		t.Fatalf("All fallback: %v", err)
+	}
+	if !preds[0].NeedsMatching {
+		t.Error("label-free All should flag NeedsMatching")
+	}
+	if acc := matchedAccuracy(preds[0], t1); acc < 0.9 {
+		t.Errorf("pooled clustering accuracy = %v", acc)
+	}
+}
+
+func TestSingleMixedUsers(t *testing.T) {
+	g := rng.New(4)
+	uLabeled, tLabeled := rotatedUser(g.Split("a"), 25, 20, 0)
+	uUnlabeled, tUnlabeled := rotatedUser(g.Split("b"), 25, 0, math.Pi/2)
+	preds, err := Single([]core.UserData{uLabeled, uUnlabeled}, Params{}, g)
+	if err != nil {
+		t.Fatalf("Single: %v", err)
+	}
+	if preds[0].NeedsMatching {
+		t.Error("labeled user should be supervised")
+	}
+	if !preds[1].NeedsMatching {
+		t.Error("unlabeled user should need matching")
+	}
+	if acc := matchedAccuracy(preds[0], tLabeled); acc < 0.9 {
+		t.Errorf("labeled user accuracy = %v", acc)
+	}
+	if acc := matchedAccuracy(preds[1], tUnlabeled); acc < 0.9 {
+		t.Errorf("unlabeled user matched accuracy = %v", acc)
+	}
+}
+
+func TestSingleSingleClassLabelsFallBack(t *testing.T) {
+	g := rng.New(5)
+	u, truth := rotatedUser(g, 20, 0, 0)
+	u.Y = []float64{1} // one label, single class
+	preds, err := Single([]core.UserData{u}, Params{}, g)
+	if err != nil {
+		t.Fatalf("Single: %v", err)
+	}
+	if !preds[0].NeedsMatching {
+		t.Error("single-class labels should fall back to clustering")
+	}
+	if acc := matchedAccuracy(preds[0], truth); acc < 0.9 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestGroupSeparatesRotatedPopulations(t *testing.T) {
+	// Two sub-populations at strongly different rotations; Group should
+	// recover them and fit each well, beating All.
+	g := rng.New(6)
+	var users []core.UserData
+	var truths [][]float64
+	for i := 0; i < 6; i++ {
+		angle := 0.0
+		if i >= 3 {
+			angle = math.Pi / 2
+		}
+		u, truth := rotatedUser(g.SplitN("u", i), 20, 10, angle)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	gp := rng.New(7)
+	groupPreds, err := Group(users, Params{NumGroups: 2}, gp)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	allPreds, err := All(users, Params{}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accGroup, accAll float64
+	for i := range users {
+		accGroup += matchedAccuracy(groupPreds[i], truths[i])
+		accAll += matchedAccuracy(allPreds[i], truths[i])
+	}
+	accGroup /= float64(len(users))
+	accAll /= float64(len(users))
+	if accGroup < accAll {
+		t.Errorf("Group (%v) should beat All (%v) on clustered populations", accGroup, accAll)
+	}
+	if accGroup < 0.9 {
+		t.Errorf("Group accuracy = %v", accGroup)
+	}
+}
+
+func TestGroupBucketValidation(t *testing.T) {
+	g := rng.New(9)
+	u, _ := rotatedUser(g, 5, 4, 0)
+	if _, err := Group([]core.UserData{u}, Params{Buckets: 100}, g); !errors.Is(err, ErrBuckets) {
+		t.Errorf("err = %v, want ErrBuckets", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := rng.New(10)
+	if _, err := All(nil, Params{}, g); !errors.Is(err, core.ErrNoUsers) {
+		t.Errorf("All(nil) = %v", err)
+	}
+	bad := []core.UserData{{X: mat.NewMatrix(0, 2)}}
+	if _, err := Single(bad, Params{}, g); !errors.Is(err, core.ErrEmptyUser) {
+		t.Errorf("Single(empty) = %v", err)
+	}
+	mismatch := []core.UserData{
+		{X: mat.FromRows([][]float64{{1, 2}})},
+		{X: mat.FromRows([][]float64{{1}})},
+	}
+	if _, err := Group(mismatch, Params{}, g); !errors.Is(err, core.ErrDimMismatch) {
+		t.Errorf("Group(mismatch) = %v", err)
+	}
+}
+
+func TestGroupFewerUsersThanGroups(t *testing.T) {
+	g := rng.New(11)
+	u1, t1 := rotatedUser(g.Split("a"), 10, 8, 0)
+	u2, _ := rotatedUser(g.Split("b"), 10, 8, 0)
+	preds, err := Group([]core.UserData{u1, u2}, Params{NumGroups: 3}, g)
+	if err != nil {
+		t.Fatalf("Group with k>T: %v", err)
+	}
+	if acc := matchedAccuracy(preds[0], t1); acc < 0.85 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestGroupLabelFreeGroupClusters(t *testing.T) {
+	// One labeled cluster at angle 0, one unlabeled cluster at π/2: the
+	// unlabeled group must fall back to pooled k-means with matching.
+	g := rng.New(12)
+	var users []core.UserData
+	var truths [][]float64
+	for i := 0; i < 6; i++ {
+		angle, labeled := 0.0, 10
+		if i >= 3 {
+			angle, labeled = math.Pi/2, 0
+		}
+		u, truth := rotatedUser(g.SplitN("u", i), 15, labeled, angle)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	preds, err := Group(users, Params{NumGroups: 2}, rng.New(13))
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	for i := 3; i < 6; i++ {
+		if acc := matchedAccuracy(preds[i], truths[i]); acc < 0.85 {
+			t.Errorf("unlabeled-group user %d accuracy = %v (matching=%v)",
+				i, acc, preds[i].NeedsMatching)
+		}
+	}
+}

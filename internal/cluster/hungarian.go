@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the square assignment problem: given an n x n cost
+// matrix, it returns the column assigned to each row minimizing total cost,
+// along with that cost. It implements the O(n³) Jonker-style shortest
+// augmenting path variant of the Kuhn–Munkres algorithm.
+//
+// The clustering evaluators use it to find the best cluster→label mapping
+// before computing accuracy (paper §VI-A, "label matching").
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("cluster: Hungarian: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+
+	const inf = math.MaxFloat64
+	// Potentials and matching, 1-indexed internally per the classic
+	// formulation (index 0 is a sentinel).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], inf, 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	var total float64
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return assign, total, nil
+}
+
+// BestLabelMatching maps cluster indices to class labels so that accuracy is
+// maximized. clusters[i] in [0,k), labels[i] are arbitrary class values; the
+// returned map sends each cluster index to a class value, and acc is the
+// resulting accuracy. All k clusters are matched to the (up to k) distinct
+// label values via Hungarian assignment on the negated co-occurrence counts.
+func BestLabelMatching(clusters []int, labels []float64, k int) (map[int]float64, float64, error) {
+	if len(clusters) != len(labels) {
+		return nil, 0, fmt.Errorf("cluster: BestLabelMatching: %d clusters vs %d labels", len(clusters), len(labels))
+	}
+	// Enumerate distinct label values deterministically by first occurrence.
+	var values []float64
+	index := map[float64]int{}
+	for _, l := range labels {
+		if _, ok := index[l]; !ok {
+			index[l] = len(values)
+			values = append(values, l)
+		}
+	}
+	size := k
+	if len(values) > size {
+		size = len(values)
+	}
+	counts := make([][]float64, size)
+	for i := range counts {
+		counts[i] = make([]float64, size)
+	}
+	for i, c := range clusters {
+		if c < 0 || c >= k {
+			return nil, 0, fmt.Errorf("cluster: BestLabelMatching: cluster %d out of range [0,%d)", c, k)
+		}
+		counts[c][index[labels[i]]]++
+	}
+	// Maximize matches = minimize negated counts.
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			cost[i][j] = -counts[i][j]
+		}
+	}
+	assign, negTotal, err := Hungarian(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	mapping := make(map[int]float64, k)
+	for c := 0; c < k; c++ {
+		j := assign[c]
+		if j < len(values) {
+			mapping[c] = values[j]
+		} else if len(values) > 0 {
+			mapping[c] = values[0] // padded column: arbitrary but defined
+		}
+	}
+	acc := 0.0
+	if len(clusters) > 0 {
+		acc = -negTotal / float64(len(clusters))
+	}
+	return mapping, acc, nil
+}

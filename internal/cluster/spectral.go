@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+// Spectral performs normalized spectral clustering (Ng–Jordan–Weiss) on a
+// symmetric nonnegative similarity matrix: it forms the symmetric normalized
+// Laplacian L = I − D^{-1/2} S D^{-1/2}, takes the eigenvectors of the k
+// smallest eigenvalues, row-normalizes them, and runs k-means on the rows.
+//
+// The Group baseline (paper §VI-A) clusters users into 3 groups with this
+// routine over Jaccard similarities of LSH bucket histograms.
+func Spectral(sim *mat.Matrix, k int, g *rng.RNG) ([]int, error) {
+	n := sim.Rows
+	if sim.Cols != n {
+		return nil, fmt.Errorf("cluster: Spectral: similarity matrix is %dx%d, want square", n, sim.Cols)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("%w: %d points, k=%d", ErrTooFewPoints, n, k)
+	}
+	if !sim.IsSymmetric(1e-9 * (1 + sim.FrobeniusNorm())) {
+		return nil, fmt.Errorf("cluster: Spectral: similarity matrix not symmetric")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sim.At(i, j) < -1e-12 {
+				return nil, fmt.Errorf("cluster: Spectral: negative similarity at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Degree and normalized Laplacian. Isolated nodes (zero degree) get
+	// d^{-1/2} = 0 so they decouple cleanly.
+	dInvSqrt := make(mat.Vector, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		for j := 0; j < n; j++ {
+			d += sim.At(i, j)
+		}
+		if d > 1e-300 {
+			dInvSqrt[i] = 1 / math.Sqrt(d)
+		}
+	}
+	lap := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -dInvSqrt[i] * sim.At(i, j) * dInvSqrt[j]
+			if i == j {
+				v += 1
+			}
+			lap.Set(i, j, v)
+		}
+	}
+	// Numerical symmetry guard before Jacobi.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			avg := (lap.At(i, j) + lap.At(j, i)) / 2
+			lap.Set(i, j, avg)
+			lap.Set(j, i, avg)
+		}
+	}
+
+	_, vecs, err := mat.EigenSym(lap)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: Spectral: eigendecomposition: %w", err)
+	}
+	// Embedding: rows are points, columns the k smallest eigenvectors
+	// (EigenSym returns ascending eigenvalues).
+	embed := mat.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			embed.Set(i, j, vecs.At(i, j))
+		}
+	}
+	// Row-normalize (NJW step); zero rows are left as-is.
+	for i := 0; i < n; i++ {
+		row := embed.Row(i)
+		if norm := row.Norm2(); norm > 1e-300 {
+			row.Scale(1 / norm)
+		}
+	}
+	res, err := KMeans(embed, k, g.Split("spectral-kmeans"), KMeansParams{Restarts: 8})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: Spectral: embedding k-means: %w", err)
+	}
+	return res.Assignment, nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"plos/internal/admm"
+	"plos/internal/mat"
+	"plos/internal/optimize"
+)
+
+// AsyncConfig tunes the asynchronous distributed trainer — the paper's
+// §VII future-work scenario where "some users may delay their responses
+// for arbitrarily long". Instead of the synchronous ADMM barrier (every
+// round waits for all T devices), the server refreshes the consensus as
+// soon as a partial barrier of updates has arrived, using each device's
+// most recent solution.
+type AsyncConfig struct {
+	// Barrier is the number of *distinct* devices with fresh solutions
+	// that triggers a consensus refresh (default max(1, T/4)); between
+	// barriers a fast device's re-solves replace, not stack, its pending
+	// contribution. Barrier = T reproduces the synchronous schedule.
+	Barrier int
+	// MaxUpdatesPerRound bounds the total device solves per CCCP round
+	// (default 40·T), the async analogue of MaxADMMIter.
+	MaxUpdatesPerRound int
+	// Rho is the ADMM penalty (default 1).
+	Rho float64
+	// EpsAbs is the absolute residual tolerance, applied like the
+	// synchronous stopping rule of Eq. (24): a CCCP round ends when the
+	// primal residual sqrt(Σ_t ||x_t − z||²) falls below √T·ε_abs and the
+	// consensus movement ρ·||Δz|| below ε_abs (default 1e-3).
+	EpsAbs float64
+	// Delay optionally injects per-device latency before each local
+	// solve — the test hook for straggler scenarios. Called with the user
+	// index and the device's solve count.
+	Delay func(user, solves int) time.Duration
+}
+
+func (a AsyncConfig) withDefaults(t int) AsyncConfig {
+	if a.Barrier <= 0 {
+		a.Barrier = t / 4
+		if a.Barrier < 1 {
+			a.Barrier = 1
+		}
+	}
+	if a.Barrier > t {
+		a.Barrier = t
+	}
+	if a.MaxUpdatesPerRound <= 0 {
+		a.MaxUpdatesPerRound = 60 * t
+	}
+	if a.Rho <= 0 {
+		a.Rho = 1
+	}
+	if a.EpsAbs <= 0 {
+		a.EpsAbs = 1e-3
+	}
+	return a
+}
+
+// TrainAsync runs distributed PLOS with asynchronous consensus updates:
+// devices solve continuously against the freshest (z, u_t) they can see,
+// and the server folds updates in at a partial barrier without waiting for
+// stragglers. Accuracy matches the synchronous trainer to within solver
+// tolerance while wall-clock no longer depends on the slowest device.
+func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainInfo, error) {
+	dim, err := validateUsers(users)
+	if err != nil {
+		return nil, TrainInfo{}, err
+	}
+	cfg = cfg.withDefaults()
+	tCount := len(users)
+	acfg = acfg.withDefaults(tCount)
+
+	workers := make([]*Worker, tCount)
+	for t, u := range users {
+		wk, err := NewWorker(u, tCount, cfg)
+		if err != nil {
+			return nil, TrainInfo{}, fmt.Errorf("core: TrainAsync: user %d: %w", t, err)
+		}
+		workers[t] = wk
+	}
+	w0 := initialW0(users, dim, cfg)
+
+	info := TrainInfo{}
+	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		for _, wk := range workers {
+			wk.RefreshSigns(w0)
+		}
+		z, obj, updates, err := asyncRound(workers, w0, cfg, acfg, dim)
+		info.ADMMIterations += updates
+		if err != nil {
+			return 0, err
+		}
+		w0 = z
+		return obj, nil
+	}, cfg.CCCPTol, cfg.MaxCCCPIter)
+	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
+		return nil, info, fmt.Errorf("core: TrainAsync: %w", err)
+	}
+	info.CCCPIterations = cccpInfo.Iterations
+	info.CCCPConverged = cccpInfo.Converged
+	info.Objective = cccpInfo.Objective
+	info.ObjectiveHistory = cccpInfo.History
+
+	model := &Model{W0: w0, W: make([]mat.Vector, tCount)}
+	for t, wk := range workers {
+		model.W[t] = wk.Hyperplane()
+		info.Constraints += wk.set.Len()
+	}
+	return model, info, nil
+}
+
+// asyncState is the server's shared view, guarded by one mutex: device
+// goroutines snapshot (z, u_t) under it and deliver results through a
+// channel, so the consensus algebra itself stays single-threaded.
+type asyncState struct {
+	mu sync.Mutex
+	z  mat.Vector
+	us []mat.Vector
+}
+
+type asyncUpdate struct {
+	user int
+	x, v mat.Vector
+	xi   float64
+	err  error
+}
+
+// asyncRound runs one CCCP round of asynchronous ADMM and returns the
+// final consensus, the objective L of Eq. (23), and the update count.
+func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, dim int) (mat.Vector, float64, int, error) {
+	tCount := len(workers)
+	st := &asyncState{z: w0.Clone(), us: make([]mat.Vector, tCount)}
+	for t := range st.us {
+		st.us[t] = mat.NewVector(dim)
+	}
+	latestX := make([]mat.Vector, tCount)
+	latestV := make([]mat.Vector, tCount)
+	latestXi := make([]float64, tCount)
+
+	updatesCh := make(chan asyncUpdate)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := range workers {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			solves := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if acfg.Delay != nil {
+					if d := acfg.Delay(t, solves); d > 0 {
+						select {
+						case <-stop:
+							return
+						case <-time.After(d):
+						}
+					}
+				}
+				st.mu.Lock()
+				z := st.z.Clone()
+				u := st.us[t].Clone()
+				st.mu.Unlock()
+				w, v, xi, err := workers[t].Solve(z, u, acfg.Rho)
+				solves++
+				up := asyncUpdate{user: t, err: err}
+				if err == nil {
+					up.x = mat.SubVec(w, v)
+					up.v = v
+					up.xi = xi
+				}
+				select {
+				case <-stop:
+					return
+				case updatesCh <- up:
+				}
+			}
+		}(t)
+	}
+
+	totalUpdates := 0
+	everyoneReported := false
+	fresh := make(map[int]asyncUpdate, tCount)
+	var loopErr error
+	for totalUpdates < acfg.MaxUpdatesPerRound {
+		up := <-updatesCh
+		if up.err != nil {
+			loopErr = fmt.Errorf("core: TrainAsync: user %d: %w", up.user, up.err)
+			break
+		}
+		totalUpdates++
+		// Keep only the newest solution per device between barriers: a
+		// fast device re-solving against an unchanged consensus refines,
+		// not multiplies, its contribution (this is what keeps the
+		// stale-synchronous scheme stable where naive per-arrival dual
+		// accumulation diverges).
+		fresh[up.user] = up
+		if len(fresh) < acfg.Barrier {
+			continue
+		}
+
+		st.mu.Lock()
+		for t, f := range fresh {
+			latestX[t] = f.x
+			latestV[t] = f.v
+			latestXi[t] = f.xi
+		}
+		// z-update over every device's freshest solution (stale ones
+		// participate with their standing x and u — bounded staleness).
+		sum := mat.NewVector(dim)
+		contributors := 0
+		for t := range workers {
+			if latestX[t] != nil {
+				sum.Add(latestX[t])
+				sum.Add(st.us[t])
+				contributors++
+			}
+		}
+		zPrev := st.z
+		if contributors > 0 {
+			st.z = admm.SquaredNormZ(sum, contributors, acfg.Rho)
+		}
+		// Dual updates only for the devices that reported fresh solutions
+		// this barrier, against the new consensus (exactly the sync rule,
+		// restricted to the participants).
+		for t := range fresh {
+			st.us[t].Add(mat.SubVec(latestX[t], st.z))
+		}
+		everyoneReported = everyoneReported || contributors == tCount
+		var primalSq float64
+		for t := range workers {
+			if latestX[t] != nil {
+				primalSq += mat.SquaredDist(latestX[t], st.z)
+			}
+		}
+		dual := acfg.Rho * mat.Dist2(st.z, zPrev)
+		st.mu.Unlock()
+		fresh = make(map[int]asyncUpdate, tCount)
+
+		if everyoneReported &&
+			math.Sqrt(primalSq) <= math.Sqrt(float64(tCount))*acfg.EpsAbs &&
+			dual <= acfg.EpsAbs {
+			break
+		}
+	}
+	close(stop)
+	// Drain any in-flight sends so worker goroutines can exit.
+	go func() {
+		for range updatesCh {
+		}
+	}()
+	wg.Wait()
+	close(updatesCh)
+	if loopErr != nil {
+		return nil, 0, totalUpdates, loopErr
+	}
+
+	st.mu.Lock()
+	z := st.z.Clone()
+	us := st.us
+	st.mu.Unlock()
+	// Final synchronous sweep: every device re-solves against the settled
+	// consensus so the personalized hyperplanes (and the objective) are
+	// consistent with z, not with whatever stale snapshot a device last
+	// saw mid-flight.
+	obj := z.SquaredNorm()
+	lambdaOverT := cfg.Lambda / float64(tCount)
+	for t, wk := range workers {
+		_, v, xi, err := wk.Solve(z, us[t], acfg.Rho)
+		if err != nil {
+			return nil, 0, totalUpdates, fmt.Errorf("core: TrainAsync: final sweep user %d: %w", t, err)
+		}
+		latestV[t], latestXi[t] = v, xi
+		obj += lambdaOverT*v.SquaredNorm() + xi
+		totalUpdates++
+	}
+	if math.IsNaN(obj) {
+		return nil, 0, totalUpdates, errors.New("core: TrainAsync: objective diverged")
+	}
+	return z, obj, totalUpdates, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"plos/internal/rng"
+)
+
+func asyncTestUsers(seed int64) ([]UserData, [][]float64) {
+	g := rng.New(seed)
+	var users []UserData
+	var truths [][]float64
+	for i := 0; i < 4; i++ {
+		labeled := 10
+		if i >= 2 {
+			labeled = 0
+		}
+		u, truth := synthUser(g.SplitN("u", i), 15, labeled, float64(i)*0.15)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	return users, truths
+}
+
+func TestAsyncMatchesSyncAccuracy(t *testing.T) {
+	users, truths := asyncTestUsers(1)
+	cfg := Config{Lambda: 50, Cl: 1, Cu: 0.2, Seed: 1}
+
+	sync, _, err := TrainDistributed(users, cfg, DistConfig{})
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	async, info, err := TrainAsync(users, cfg, AsyncConfig{})
+	if err != nil {
+		t.Fatalf("async: %v", err)
+	}
+	if info.ADMMIterations == 0 {
+		t.Error("async should report update counts")
+	}
+	var accSync, accAsync float64
+	for i := range users {
+		accSync += userAccuracy(sync, i, users[i], truths[i])
+		accAsync += userAccuracy(async, i, users[i], truths[i])
+	}
+	accSync /= float64(len(users))
+	accAsync /= float64(len(users))
+	if math.Abs(accSync-accAsync) > 0.1 {
+		t.Errorf("sync acc %v vs async acc %v", accSync, accAsync)
+	}
+	if accAsync < 0.8 {
+		t.Errorf("async accuracy = %v", accAsync)
+	}
+}
+
+func TestAsyncToleratesStraggler(t *testing.T) {
+	users, truths := asyncTestUsers(2)
+	cfg := Config{Lambda: 50, Cl: 1, Cu: 0.2, Seed: 2}
+	// User 3 is pathologically slow: every solve stalls. The partial
+	// barrier must let the rest make progress anyway.
+	slow := func(user, _ int) time.Duration {
+		if user == 3 {
+			return 30 * time.Millisecond
+		}
+		return 0
+	}
+	start := time.Now()
+	m, _, err := TrainAsync(users, cfg, AsyncConfig{Barrier: 2, Delay: slow,
+		MaxUpdatesPerRound: 200})
+	if err != nil {
+		t.Fatalf("TrainAsync: %v", err)
+	}
+	elapsed := time.Since(start)
+	var acc float64
+	for i := 0; i < 3; i++ { // the responsive users
+		acc += userAccuracy(m, i, users[i], truths[i])
+	}
+	acc /= 3
+	if acc < 0.8 {
+		t.Errorf("responsive users' accuracy = %v", acc)
+	}
+	// Sanity bound: with a synchronous barrier every one of the hundreds
+	// of rounds would pay the 30ms straggler latency; the async run must
+	// come in far below that.
+	if elapsed > 20*time.Second {
+		t.Errorf("async run took %v — partial barrier not effective?", elapsed)
+	}
+}
+
+func TestAsyncBarrierEqualsTIsSyncLike(t *testing.T) {
+	users, truths := asyncTestUsers(3)
+	cfg := Config{Lambda: 50, Seed: 3}
+	m, _, err := TrainAsync(users, cfg, AsyncConfig{Barrier: len(users)})
+	if err != nil {
+		t.Fatalf("TrainAsync: %v", err)
+	}
+	var acc float64
+	for i := range users {
+		acc += userAccuracy(m, i, users[i], truths[i])
+	}
+	if acc/float64(len(users)) < 0.8 {
+		t.Errorf("accuracy = %v", acc/float64(len(users)))
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	if _, _, err := TrainAsync(nil, Config{}, AsyncConfig{}); err == nil {
+		t.Error("no users should error")
+	}
+}
+
+func TestAsyncConfigDefaults(t *testing.T) {
+	a := AsyncConfig{}.withDefaults(8)
+	if a.Barrier != 2 || a.Rho != 1 || a.MaxUpdatesPerRound != 480 {
+		t.Errorf("defaults: %+v", a)
+	}
+	small := AsyncConfig{}.withDefaults(2)
+	if small.Barrier != 1 {
+		t.Errorf("small-T barrier = %d", small.Barrier)
+	}
+	clamped := AsyncConfig{Barrier: 10}.withDefaults(3)
+	if clamped.Barrier != 3 {
+		t.Errorf("barrier should clamp to T, got %d", clamped.Barrier)
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"plos/internal/mat"
+	"plos/internal/optimize"
+	"plos/internal/qp"
+)
+
+// TrainCentralized runs the paper's Algorithm 1: the server holds every
+// user's raw data and solves problem (4) by CCCP linearization, cutting-
+// plane constraint generation, and the structured QP dual (16).
+//
+// Internals never materialize the stacked feature map Φ of Eq. (7): a
+// constraint aggregate z_kt decomposes as a per-user vector A_kt placed in
+// slot t plus a λ-scaled copy in slot 0, so all Φ-space inner products are
+// ⟨z_kt, z_k't'⟩ = (λ/T + δ_tt')⟨A_kt, A_k't'⟩ and the stacked solution
+// collapses to w0 = (λ/T)Σγ·A and v_t = Σ_{k∈Ω_t}γ·A.
+func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
+	dim, err := validateUsers(users)
+	if err != nil {
+		return nil, TrainInfo{}, err
+	}
+	cfg = cfg.withDefaults()
+	tCount := len(users)
+	state := &centralState{
+		users:   users,
+		cfg:     cfg,
+		dim:     dim,
+		t:       tCount,
+		budget:  float64(tCount) / (2 * cfg.Lambda),
+		scaleW0: cfg.Lambda / float64(tCount),
+		sets:    make([]optimize.WorkingSet, tCount),
+		signs:   make([][]float64, tCount),
+		weights: make([][]float64, tCount),
+	}
+	w0 := initialW0(users, dim, cfg)
+	state.w0 = w0
+	state.w = make([]mat.Vector, tCount)
+	for t := range state.w {
+		state.w[t] = w0.Clone()
+	}
+	for t, u := range users {
+		m := u.NumSamples()
+		weights := make([]float64, m)
+		for i := 0; i < m; i++ {
+			if i < u.NumLabeled() {
+				weights[i] = cfg.Cl / float64(m)
+			} else {
+				weights[i] = cfg.Cu / float64(m)
+			}
+		}
+		state.weights[t] = weights
+	}
+
+	info := TrainInfo{}
+	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		state.refreshSigns()
+		if !cfg.WarmWorkingSets {
+			for t := range state.sets {
+				state.sets[t].Reset()
+			}
+			state.gamma = nil
+		}
+		obj, rounds, qpIters, err := state.solveConvexified()
+		info.CutRounds += rounds
+		info.QPIterations += qpIters
+		if err != nil {
+			return 0, err
+		}
+		return obj, nil
+	}, cfg.CCCPTol, cfg.MaxCCCPIter)
+	// A non-monotone CCCP step with an inexact inner QP is a soft failure:
+	// surface everything else.
+	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
+		return nil, info, fmt.Errorf("core: TrainCentralized: %w", err)
+	}
+	info.CCCPIterations = cccpInfo.Iterations
+	info.CCCPConverged = cccpInfo.Converged
+	info.Objective = cccpInfo.Objective
+	info.ObjectiveHistory = cccpInfo.History
+	for t := range state.sets {
+		info.Constraints += state.sets[t].Len()
+	}
+	model := &Model{W0: state.w0, W: state.w}
+	return model, info, nil
+}
+
+// centralState carries the mutable solver state across CCCP rounds.
+type centralState struct {
+	users   []UserData
+	cfg     Config
+	dim     int
+	t       int
+	budget  float64 // per-user dual budget T/(2λ)
+	scaleW0 float64 // λ/T
+
+	sets    []optimize.WorkingSet
+	signs   [][]float64 // CCCP-frozen effective labels per user (length m_t)
+	weights [][]float64 // per-sample loss weights (Cl/m or Cu/m)
+
+	w0 mat.Vector
+	w  []mat.Vector // personalized hyperplanes w_t
+	// gamma holds the dual variables aligned per user with the working
+	// sets (sets only append, so warm starts survive constraint growth).
+	gamma [][]float64
+}
+
+// refreshSigns fixes the effective labels for this CCCP round: true labels
+// for labeled samples, sign(w_t·x) at the current iterate for unlabeled
+// ones (the first-order Taylor linearization of Eq. 10).
+func (s *centralState) refreshSigns() {
+	for t, u := range s.users {
+		m := u.NumSamples()
+		eff := make([]float64, m)
+		copy(eff, u.Y)
+		lt := u.NumLabeled()
+		for i := lt; i < m; i++ {
+			if s.w[t].Dot(u.X.Row(i)) >= 0 {
+				eff[i] = 1
+			} else {
+				eff[i] = -1
+			}
+		}
+		if s.cfg.BalanceGuard && lt == 0 && m > 1 {
+			balanceSigns(u.X, eff, s.w[t])
+		}
+		s.signs[t] = eff
+	}
+}
+
+// balanceSigns prevents the all-one-side degenerate assignment for a
+// zero-label user: if every sign agrees, the half of the samples with the
+// smallest |margin| is flipped to the other side.
+func balanceSigns(x *mat.Matrix, eff []float64, w mat.Vector) {
+	first := eff[0]
+	for _, e := range eff[1:] {
+		if e != first {
+			return
+		}
+	}
+	// All identical: flip the floor(m/2) lowest-|margin| samples.
+	m := x.Rows
+	type scored struct {
+		idx int
+		abs float64
+	}
+	order := make([]scored, m)
+	for i := 0; i < m; i++ {
+		v := w.Dot(x.Row(i))
+		if v < 0 {
+			v = -v
+		}
+		order[i] = scored{i, v}
+	}
+	// Selection of the m/2 smallest by simple partial sort (m is small).
+	for i := 0; i < m/2; i++ {
+		min := i
+		for j := i + 1; j < m; j++ {
+			if order[j].abs < order[min].abs {
+				min = j
+			}
+		}
+		order[i], order[min] = order[min], order[i]
+		eff[order[i].idx] = -first
+	}
+}
+
+// solveConvexified runs the cutting-plane loop for the current
+// linearization and returns the primal objective of problem (12),
+// the number of cutting-plane rounds, and cumulative QP iterations.
+func (s *centralState) solveConvexified() (float64, int, int, error) {
+	cfg := s.cfg
+	qpIters := 0
+	rounds := 0
+	for round := 0; round < cfg.MaxCutIter; round++ {
+		rounds = round + 1
+		// Solve the restricted dual over the current working sets. With
+		// empty sets the restricted optimum is w' = 0 (every margin is
+		// then violated, seeding the first constraints); the CCCP signs
+		// were already frozen from the pre-zeroing iterate.
+		if s.totalConstraints() > 0 {
+			iters, err := s.solveRestrictedQP()
+			qpIters += iters
+			if err != nil {
+				return 0, rounds, qpIters, err
+			}
+		} else {
+			s.w0 = mat.NewVector(s.dim)
+			for t := range s.w {
+				s.w[t] = mat.NewVector(s.dim)
+			}
+		}
+		added := 0
+		for t, u := range s.users {
+			c, err := optimize.MostViolated(u.X, s.signs[t], s.weights[t], s.w[t])
+			if err != nil {
+				return 0, rounds, qpIters, fmt.Errorf("core: user %d: %w", t, err)
+			}
+			xi := optimize.Slack(&s.sets[t], s.w[t])
+			if optimize.Violation(c, s.w[t], xi) > cfg.Epsilon {
+				if s.sets[t].Add(c) {
+					added++
+				}
+			}
+		}
+		if added == 0 {
+			break
+		}
+	}
+	return s.objective(), rounds, qpIters, nil
+}
+
+func (s *centralState) totalConstraints() int {
+	n := 0
+	for t := range s.sets {
+		n += s.sets[t].Len()
+	}
+	return n
+}
+
+// solveRestrictedQP solves the dual (16) restricted to the working sets and
+// refreshes w0, w_t from the dual solution.
+func (s *centralState) solveRestrictedQP() (int, error) {
+	// Flatten constraints: order = user-major, insertion order inside.
+	type ref struct {
+		user int
+		a    mat.Vector
+		c    float64
+	}
+	var flat []ref
+	groups := make([][]int, s.t)
+	for t := range s.sets {
+		for _, c := range s.sets[t].Constraints() {
+			groups[t] = append(groups[t], len(flat))
+			flat = append(flat, ref{user: t, a: c.A, c: c.C})
+		}
+	}
+	n := len(flat)
+	g := mat.NewMatrix(n, n)
+	cvec := make(mat.Vector, n)
+	lot := s.scaleW0 // λ/T
+	for i := 0; i < n; i++ {
+		cvec[i] = flat[i].c
+		for j := i; j < n; j++ {
+			dot := flat[i].a.Dot(flat[j].a)
+			v := lot * dot
+			if flat[i].user == flat[j].user {
+				v += dot
+			}
+			g.Data[i*n+j] = v
+			g.Data[j*n+i] = v
+		}
+	}
+	budgets := make([]float64, s.t)
+	for t := range budgets {
+		budgets[t] = s.budget
+	}
+	prob := &qp.Problem{G: g, C: cvec, Groups: qp.GroupSpec{Groups: groups, Budgets: budgets}}
+	// Warm start: previous per-user duals padded with zeros for the
+	// constraints added since the last solve.
+	warm := make(mat.Vector, n)
+	if s.gamma != nil {
+		for t, idx := range groups {
+			for k, flatIdx := range idx {
+				if t < len(s.gamma) && k < len(s.gamma[t]) {
+					warm[flatIdx] = s.gamma[t][k]
+				}
+			}
+		}
+	}
+	gamma, qinfo, err := qp.Solve(prob, qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9, X0: warm})
+	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
+		return qinfo.Iterations, fmt.Errorf("core: restricted QP: %w", err)
+	}
+	s.gamma = make([][]float64, s.t)
+	for t, idx := range groups {
+		s.gamma[t] = make([]float64, len(idx))
+		for k, flatIdx := range idx {
+			s.gamma[t][k] = gamma[flatIdx]
+		}
+	}
+
+	// Recover hyperplanes: w0 = (λ/T) Σ γ_i A_i ; v_t = Σ_{i∈t} γ_i A_i.
+	w0 := mat.NewVector(s.dim)
+	vts := make([]mat.Vector, s.t)
+	for t := range vts {
+		vts[t] = mat.NewVector(s.dim)
+	}
+	for i, f := range flat {
+		if gamma[i] == 0 {
+			continue
+		}
+		w0.AddScaled(lot*gamma[i], f.a)
+		vts[f.user].AddScaled(gamma[i], f.a)
+	}
+	s.w0 = w0
+	for t := range vts {
+		vts[t].Add(w0)
+		s.w[t] = vts[t]
+	}
+	return qinfo.Iterations, nil
+}
+
+// objective evaluates the primal objective of problem (12):
+// ½||w'||² + (T/2λ)Σξ_t with ||w'||² = (T/λ)||w0||² + Σ||w_t−w0||².
+func (s *centralState) objective() float64 {
+	wNorm := s.w0.SquaredNorm() / s.scaleW0
+	for t := range s.w {
+		diff := mat.SubVec(s.w[t], s.w0)
+		wNorm += diff.SquaredNorm()
+	}
+	obj := 0.5 * wNorm
+	slackScale := float64(s.t) / (2 * s.cfg.Lambda)
+	for t := range s.sets {
+		obj += slackScale * optimize.Slack(&s.sets[t], s.w[t])
+	}
+	return obj
+}

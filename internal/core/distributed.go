@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"plos/internal/admm"
+	"plos/internal/mat"
+	"plos/internal/optimize"
+	"plos/internal/qp"
+)
+
+// DistConfig holds the ADMM-specific knobs of distributed PLOS. The zero
+// value reproduces the paper's §VI-E setup: ρ = 1, ε_abs = 1e-3.
+type DistConfig struct {
+	Rho         float64
+	EpsAbs      float64
+	MaxADMMIter int
+	// Parallel runs worker solves concurrently (one goroutine per user),
+	// mirroring phones computing simultaneously.
+	Parallel bool
+}
+
+func (d DistConfig) withDefaults() DistConfig {
+	if d.Rho <= 0 {
+		d.Rho = 1
+	}
+	if d.EpsAbs <= 0 {
+		d.EpsAbs = 1e-3
+	}
+	if d.MaxADMMIter <= 0 {
+		d.MaxADMMIter = 150
+	}
+	return d
+}
+
+// Worker is one user's device-side state in distributed PLOS. It owns the
+// raw data (which never leaves the worker), the local cutting-plane working
+// set Ω_t, and the CCCP-frozen effective labels. Workers are driven either
+// by the in-process trainer (TrainDistributed) or by the wire protocol
+// (internal/transport + the plos-client binary).
+type Worker struct {
+	data       UserData
+	cfg        Config
+	totalUsers int
+
+	set     optimize.WorkingSet
+	signs   []float64
+	weights []float64
+	alpha   []float64 // warm-start duals aligned with set
+
+	w, v mat.Vector
+	xi   float64
+}
+
+// NewWorker validates the user's data and prepares device-side state.
+// totalUsers is T, needed for the λ/T coupling strength.
+func NewWorker(data UserData, totalUsers int, cfg Config) (*Worker, error) {
+	if _, err := validateUsers([]UserData{data}); err != nil {
+		return nil, err
+	}
+	if totalUsers <= 0 {
+		return nil, fmt.Errorf("core: NewWorker: totalUsers must be positive, got %d", totalUsers)
+	}
+	cfg = cfg.withDefaults()
+	m := data.NumSamples()
+	weights := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if i < data.NumLabeled() {
+			weights[i] = cfg.Cl / float64(m)
+		} else {
+			weights[i] = cfg.Cu / float64(m)
+		}
+	}
+	return &Worker{
+		data:       data,
+		cfg:        cfg,
+		totalUsers: totalUsers,
+		weights:    weights,
+		w:          mat.NewVector(data.X.Cols),
+		v:          mat.NewVector(data.X.Cols),
+	}, nil
+}
+
+// RefreshSigns starts a CCCP round on the device: effective labels of
+// unlabeled samples are frozen at sign(w_t·x) of the current personalized
+// hyperplane (initialized from w0 on the first round). It resets the
+// working set unless the configuration keeps warm sets.
+func (wk *Worker) RefreshSigns(w0 mat.Vector) {
+	ref := wk.w
+	if ref.Norm2() == 0 {
+		ref = w0
+	}
+	m := wk.data.NumSamples()
+	eff := make([]float64, m)
+	copy(eff, wk.data.Y)
+	lt := wk.data.NumLabeled()
+	for i := lt; i < m; i++ {
+		if ref.Dot(wk.data.X.Row(i)) >= 0 {
+			eff[i] = 1
+		} else {
+			eff[i] = -1
+		}
+	}
+	if wk.cfg.BalanceGuard && lt == 0 && m > 1 {
+		balanceSigns(wk.data.X, eff, ref)
+	}
+	wk.signs = eff
+	if !wk.cfg.WarmWorkingSets {
+		wk.set.Reset()
+		wk.alpha = nil
+	}
+}
+
+// Solve performs the device-side x-update of one ADMM round: it minimizes
+// subproblem (22) with a local cutting-plane loop. v_t is eliminated in
+// closed form (v_t = ρ·p/(a+ρ) with a = 2λ/T and p = w_t − (w0 − u_t)),
+// leaving a one-slack QP in w_t whose dual has a single unit-budget simplex
+// constraint. It returns w_t, v_t and the slack ξ_t.
+func (wk *Worker) Solve(w0, u mat.Vector, rho float64) (mat.Vector, mat.Vector, float64, error) {
+	if wk.signs == nil {
+		return nil, nil, 0, errors.New("core: Worker.Solve before RefreshSigns")
+	}
+	if rho <= 0 {
+		return nil, nil, 0, fmt.Errorf("core: Worker.Solve: rho must be positive, got %g", rho)
+	}
+	a := 2 * wk.cfg.Lambda / float64(wk.totalUsers)
+	rhoEff := a * rho / (a + rho)
+	b := mat.SubVec(w0, u)
+
+	var w mat.Vector
+	for round := 0; round < wk.cfg.MaxCutIter; round++ {
+		var p mat.Vector
+		if wk.set.Len() > 0 {
+			var err error
+			p, err = wk.solveLocalDual(b, rhoEff)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+		} else {
+			p = mat.NewVector(len(b))
+		}
+		w = mat.AddVec(b, p)
+		c, err := optimize.MostViolated(wk.data.X, wk.signs, wk.weights, w)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		xi := optimize.Slack(&wk.set, w)
+		if optimize.Violation(c, w, xi) <= wk.cfg.Epsilon || !wk.set.Add(c) {
+			break
+		}
+	}
+	p := mat.SubVec(w, b)
+	v := mat.ScaleVec(rho/(a+rho), p)
+	wk.w = w
+	wk.v = v
+	wk.xi = optimize.Slack(&wk.set, w)
+	return w.Clone(), v.Clone(), wk.xi, nil
+}
+
+// solveLocalDual solves the restricted dual of the one-slack QP:
+// min ½αᵀGα − c̃ᵀα with G = (1/ρ̃)·A·A', α >= 0, Σα <= 1, and returns
+// p = (1/ρ̃)·Σ α_k A_k.
+func (wk *Worker) solveLocalDual(b mat.Vector, rhoEff float64) (mat.Vector, error) {
+	cons := wk.set.Constraints()
+	n := len(cons)
+	g := mat.NewMatrix(n, n)
+	cvec := make(mat.Vector, n)
+	for i := 0; i < n; i++ {
+		cvec[i] = cons[i].C - b.Dot(cons[i].A)
+		for j := i; j < n; j++ {
+			v := cons[i].A.Dot(cons[j].A) / rhoEff
+			g.Data[i*n+j] = v
+			g.Data[j*n+i] = v
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	prob := &qp.Problem{G: g, C: cvec,
+		Groups: qp.GroupSpec{Groups: [][]int{idx}, Budgets: []float64{1}}}
+	warm := make(mat.Vector, n)
+	copy(warm, wk.alpha) // zero-padded for constraints added since last solve
+	alpha, _, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10, X0: warm})
+	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
+		return nil, fmt.Errorf("core: local dual QP: %w", err)
+	}
+	wk.alpha = alpha
+	p := mat.NewVector(len(b))
+	for k, c := range cons {
+		if alpha[k] != 0 {
+			p.AddScaled(alpha[k]/rhoEff, c.A)
+		}
+	}
+	return p, nil
+}
+
+// Hyperplane returns the worker's current personalized hyperplane.
+func (wk *Worker) Hyperplane() mat.Vector { return wk.w.Clone() }
+
+// objectiveTerm returns this worker's contribution (λ/T)||v_t||² + ξ_t to
+// the distributed objective L of Eq. (23).
+func (wk *Worker) objectiveTerm() float64 {
+	return wk.cfg.Lambda/float64(wk.totalUsers)*wk.v.SquaredNorm() + wk.xi
+}
+
+// TrainDistributed runs the paper's Algorithm 2 with in-process workers:
+// an outer CCCP loop; inside it, consensus ADMM where each user solves its
+// local subproblem (22) and only parameter vectors move between the
+// "devices" and the "server". The result matches TrainCentralized up to
+// ADMM tolerance (paper Fig. 11).
+func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, TrainInfo, error) {
+	dim, err := validateUsers(users)
+	if err != nil {
+		return nil, TrainInfo{}, err
+	}
+	cfg = cfg.withDefaults()
+	dcfg = dcfg.withDefaults()
+	tCount := len(users)
+
+	workers := make([]*Worker, tCount)
+	for t, u := range users {
+		wk, err := NewWorker(u, tCount, cfg)
+		if err != nil {
+			return nil, TrainInfo{}, fmt.Errorf("core: TrainDistributed: user %d: %w", t, err)
+		}
+		workers[t] = wk
+	}
+	w0 := initialW0(users, dim, cfg)
+
+	info := TrainInfo{}
+	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		for _, wk := range workers {
+			wk.RefreshSigns(w0)
+		}
+		vs := make([]mat.Vector, tCount)
+		update := func(t int, z, u mat.Vector) (mat.Vector, error) {
+			w, v, _, err := workers[t].Solve(z, u, dcfg.Rho)
+			if err != nil {
+				return nil, err
+			}
+			vs[t] = v
+			return mat.SubVec(w, v), nil // consensus variable x_t = w_t − v_t
+		}
+		cons, runInfo, err := admm.Run(dim, tCount, update, admm.SquaredNormZ, admm.Options{
+			Rho:      dcfg.Rho,
+			EpsAbs:   dcfg.EpsAbs,
+			MaxIter:  dcfg.MaxADMMIter,
+			Parallel: dcfg.Parallel,
+		})
+		info.ADMMIterations += runInfo.Iterations
+		if err != nil && !errors.Is(err, admm.ErrMaxIterations) {
+			return 0, err
+		}
+		w0 = cons.Z
+		// L of Eq. (23).
+		obj := w0.SquaredNorm()
+		for _, wk := range workers {
+			obj += wk.objectiveTerm()
+		}
+		return obj, nil
+	}, cfg.CCCPTol, cfg.MaxCCCPIter)
+	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
+		return nil, info, fmt.Errorf("core: TrainDistributed: %w", err)
+	}
+	info.CCCPIterations = cccpInfo.Iterations
+	info.CCCPConverged = cccpInfo.Converged
+	info.Objective = cccpInfo.Objective
+	info.ObjectiveHistory = cccpInfo.History
+
+	model := &Model{W0: w0, W: make([]mat.Vector, tCount)}
+	for t, wk := range workers {
+		model.W[t] = wk.Hyperplane()
+		info.Constraints += wk.set.Len()
+	}
+	return model, info, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+func TestLocalInitWithLabels(t *testing.T) {
+	u, _ := synthUser(rng.New(1), 15, 10, 0)
+	w, weight := LocalInit(u, Config{})
+	if weight != 10 {
+		t.Errorf("weight = %v, want labeled count 10", weight)
+	}
+	if len(w) != 2 {
+		t.Fatalf("dim = %d", len(w))
+	}
+	// The ridge direction must point toward the +1 class at (4,4).
+	if w.Dot(mat.Vector{4, 4}) <= 0 {
+		t.Errorf("init direction inverted: %v", w)
+	}
+}
+
+func TestLocalInitSingleClassFallsBack(t *testing.T) {
+	u, _ := synthUser(rng.New(2), 10, 0, 0)
+	u.Y = []float64{1, 1} // single class → variance-axis fallback
+	w, weight := LocalInit(u, Config{})
+	if weight != 0 {
+		t.Errorf("single-class weight = %v, want 0", weight)
+	}
+	if math.Abs(w.Norm2()-1) > 1e-9 {
+		t.Errorf("fallback axis should be unit length: %v", w.Norm2())
+	}
+}
+
+func TestLocalInitNoLabels(t *testing.T) {
+	u, _ := synthUser(rng.New(3), 10, 0, 0)
+	w, weight := LocalInit(u, Config{})
+	if weight != 0 || w.Norm2() == 0 {
+		t.Errorf("no-label init: w=%v weight=%v", w, weight)
+	}
+}
+
+func TestFederatedInit(t *testing.T) {
+	ws := []mat.Vector{{1, 0}, {0, 1}, {9, 9}}
+	// Weighted average over positive-weight entries only.
+	got := FederatedInit(ws, []float64{1, 3, 0})
+	want := mat.Vector{0.25, 0.75}
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("FederatedInit = %v, want %v", got, want)
+	}
+	// All-zero weights: plain average of everything.
+	uniform := FederatedInit(ws, []float64{0, 0, 0})
+	if !uniform.Equal(mat.Vector{10.0 / 3, 10.0 / 3}, 1e-12) {
+		t.Errorf("uniform FederatedInit = %v", uniform)
+	}
+	if FederatedInit(nil, nil) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestRidgeTowardRobustToFlippedLabel(t *testing.T) {
+	// Six points, one flipped deep in the wrong class: the ridge direction
+	// must keep the true polarity (the property that motivated replacing
+	// the SVM init — see DESIGN.md §6).
+	x := mat.FromRows([][]float64{
+		{4, 4}, {5, 3}, {-4, -4}, {-5, -3}, {-4, -5},
+		{-4.5, -4.5}, // actually negative-region...
+	})
+	y := []float64{1, 1, -1, -1, -1, 1} // last label flipped
+	w, err := ridgeToward(x, y)
+	if err != nil {
+		t.Fatalf("ridgeToward: %v", err)
+	}
+	if w.Dot(mat.Vector{4, 4}) <= 0 {
+		t.Errorf("flipped label inverted the ridge direction: %v", w)
+	}
+}

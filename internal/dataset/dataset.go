@@ -1,0 +1,128 @@
+// Package dataset generates the synthetic workloads of the paper's §VI-D
+// and §VI-E: two-class 2-D Gaussian data with label noise, replicated into
+// a user population by rotating each user's copy around the origin.
+//
+// Paper parameters, reproduced as the defaults:
+//
+//	class +1 ~ N(μ = (10, 10),  Σ = [[225, −180], [−180, 225]])
+//	class −1 ~ N(μ = (−10, −10), Σ)
+//	200 points per class, 10% of the ground-truth labels flipped,
+//	users t = 0..T−1 rotated by uniformly spaced angles in [0, maxAngle].
+package dataset
+
+import (
+	"fmt"
+
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+// SynthConfig configures the generator. The zero value reproduces the
+// paper's setup.
+type SynthConfig struct {
+	// PerClass is the number of points per class per user (default 200).
+	PerClass int
+	// Mean is the +1 class mean; the −1 class uses its negation
+	// (default (10, 10)).
+	Mean mat.Vector
+	// Cov is the shared class covariance (default [[225,−180],[−180,225]]).
+	Cov *mat.Matrix
+	// FlipFraction is the label-noise rate: 0 selects the paper's default
+	// of 0.10; pass a negative value for noise-free labels.
+	FlipFraction float64
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.PerClass <= 0 {
+		c.PerClass = 200
+	}
+	if c.Mean == nil {
+		c.Mean = mat.Vector{10, 10}
+	}
+	if c.Cov == nil {
+		c.Cov = mat.FromRows([][]float64{{225, -180}, {-180, 225}})
+	}
+	if c.FlipFraction == 0 {
+		c.FlipFraction = 0.10
+	} else if c.FlipFraction < 0 {
+		c.FlipFraction = 0
+	}
+	return c
+}
+
+// User is one generated user's dataset with ground truth.
+type User struct {
+	// X rows are the samples; Truth has one ±1 entry per row (after label
+	// flipping, i.e. what an annotator would report).
+	X     *mat.Matrix
+	Truth []float64
+	// Angle is the rotation this user's data was generated with.
+	Angle float64
+}
+
+// Population generates T users whose data are rotations of the base
+// distribution with uniformly spaced angles in [0, maxAngle] (paper §VI-D:
+// "with a given maximum rotation angle, we can generate 10 users with
+// uniform rotation angles"). Samples are interleaved +1/−1 so that any
+// prefix contains both classes.
+func Population(tCount int, maxAngle float64, cfg SynthConfig, g *rng.RNG) ([]User, error) {
+	if tCount <= 0 {
+		return nil, fmt.Errorf("dataset: Population: need at least one user, got %d", tCount)
+	}
+	cfg = cfg.withDefaults()
+	posMVN, err := rng.NewMVN(cfg.Mean, cfg.Cov)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: Population: covariance: %w", err)
+	}
+	negMean := cfg.Mean.Clone()
+	negMean.Scale(-1)
+	negMVN, err := rng.NewMVN(negMean, cfg.Cov)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: Population: covariance: %w", err)
+	}
+
+	users := make([]User, tCount)
+	for t := 0; t < tCount; t++ {
+		angle := 0.0
+		if tCount > 1 {
+			angle = maxAngle * float64(t) / float64(tCount-1)
+		}
+		users[t] = generateUser(posMVN, negMVN, angle, cfg, g.SplitN("synth-user", t))
+	}
+	return users, nil
+}
+
+func generateUser(pos, neg *rng.MVN, angle float64, cfg SynthConfig, g *rng.RNG) User {
+	rot := rng.Rotation2D(angle)
+	n := 2 * cfg.PerClass
+	x := mat.NewMatrix(n, pos.Dim())
+	truth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cls := 1.0
+		sampler := pos
+		if i%2 == 1 {
+			cls = -1
+			sampler = neg
+		}
+		p := rot.MulVec(sampler.Sample(g))
+		copy(x.Row(i), p)
+		truth[i] = cls
+	}
+	// Flip a random fraction of the labels (the annotator noise of the
+	// paper: "we randomly swap 10% of the ground truth labels").
+	flips := int(cfg.FlipFraction * float64(n))
+	for _, i := range g.SampleWithoutReplacement(n, flips) {
+		truth[i] = -truth[i]
+	}
+	return User{X: x, Truth: truth, Angle: angle}
+}
+
+// Split marks the first `labeled` samples of the user as labeled and
+// returns (X, Y-prefix, full truth). Because classes are interleaved, the
+// labeled prefix is class-balanced.
+func (u User) Split(labeled int) (*mat.Matrix, []float64, []float64) {
+	if labeled > len(u.Truth) {
+		labeled = len(u.Truth)
+	}
+	return u.X, u.Truth[:labeled], u.Truth
+}

@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+func TestPopulationDefaults(t *testing.T) {
+	users, err := Population(10, math.Pi/2, SynthConfig{}, rng.New(1))
+	if err != nil {
+		t.Fatalf("Population: %v", err)
+	}
+	if len(users) != 10 {
+		t.Fatalf("users = %d", len(users))
+	}
+	for i, u := range users {
+		if u.X.Rows != 400 || u.X.Cols != 2 {
+			t.Fatalf("user %d shape = %dx%d", i, u.X.Rows, u.X.Cols)
+		}
+		if len(u.Truth) != 400 {
+			t.Fatalf("user %d truth length = %d", i, len(u.Truth))
+		}
+	}
+	// Angles uniformly spaced over [0, π/2].
+	if users[0].Angle != 0 {
+		t.Errorf("first angle = %v", users[0].Angle)
+	}
+	if math.Abs(users[9].Angle-math.Pi/2) > 1e-12 {
+		t.Errorf("last angle = %v", users[9].Angle)
+	}
+	step := users[1].Angle - users[0].Angle
+	for i := 2; i < 10; i++ {
+		if math.Abs((users[i].Angle-users[i-1].Angle)-step) > 1e-9 {
+			t.Errorf("angles not uniform at %d", i)
+		}
+	}
+}
+
+func TestPopulationErrors(t *testing.T) {
+	if _, err := Population(0, 0, SynthConfig{}, rng.New(1)); err == nil {
+		t.Error("0 users should error")
+	}
+	bad := SynthConfig{Cov: mat.FromRows([][]float64{{1, 3}, {3, 1}})}
+	if _, err := Population(2, 0, bad, rng.New(1)); err == nil {
+		t.Error("indefinite covariance should error")
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a, err := Population(3, 1, SynthConfig{PerClass: 10}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Population(3, 1, SynthConfig{PerClass: 10}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].X.Equal(b[i].X, 0) {
+			t.Fatal("same seed should generate identical data")
+		}
+	}
+}
+
+func TestLabelNoiseRate(t *testing.T) {
+	users, err := Population(1, 0, SynthConfig{PerClass: 500}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := users[0]
+	// Count samples whose label disagrees with their generating class
+	// (generation interleaves +1/−1).
+	flipped := 0
+	for i, y := range u.Truth {
+		gen := 1.0
+		if i%2 == 1 {
+			gen = -1
+		}
+		if y != gen {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(len(u.Truth))
+	if math.Abs(rate-0.10) > 1e-9 {
+		t.Errorf("flip rate = %v, want exactly 0.10 of samples", rate)
+	}
+	clean, err := Population(1, 0, SynthConfig{PerClass: 100, FlipFraction: -1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range clean[0].Truth {
+		gen := 1.0
+		if i%2 == 1 {
+			gen = -1
+		}
+		if y != gen {
+			t.Fatal("FlipFraction<0 should disable noise")
+		}
+	}
+}
+
+func TestRotationMovesData(t *testing.T) {
+	users, err := Population(2, math.Pi, SynthConfig{PerClass: 50, FlipFraction: -1}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 1 is rotated by π: its +1 class mean should be near the
+	// negation of user 0's +1 class mean.
+	mean := func(u User, cls float64) mat.Vector {
+		m := mat.NewVector(2)
+		count := 0.0
+		for i := range u.Truth {
+			if u.Truth[i] == cls {
+				m.Add(u.X.Row(i))
+				count++
+			}
+		}
+		m.Scale(1 / count)
+		return m
+	}
+	m0 := mean(users[0], 1)
+	m1 := mean(users[1], 1)
+	neg := m0.Clone()
+	neg.Scale(-1)
+	if mat.Dist2(m1, neg) > 6 { // class std is 15 per axis; mean of 50 ~ 2.1σ
+		t.Errorf("π-rotated mean %v not near %v", m1, neg)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	users, err := Population(1, 0, SynthConfig{PerClass: 5}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, truth := users[0].Split(4)
+	if x.Rows != 10 || len(y) != 4 || len(truth) != 10 {
+		t.Fatalf("Split shapes: %d rows, %d labels, %d truth", x.Rows, len(y), len(truth))
+	}
+	_, yAll, _ := users[0].Split(99)
+	if len(yAll) != 10 {
+		t.Errorf("over-long split should clamp, got %d", len(yAll))
+	}
+}
+
+// Property: prefixes are class-balanced before flipping (interleaving), so
+// even-length labeled prefixes contain both classes (modulo the 10% noise,
+// checked with noise disabled).
+func TestPropertyPrefixBalanced(t *testing.T) {
+	f := func(seed int64, labRaw uint8) bool {
+		users, err := Population(1, 0, SynthConfig{PerClass: 50, FlipFraction: -1}, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		labeled := (int(labRaw%20) + 1) * 2
+		_, y, _ := users[0].Split(labeled)
+		pos, neg := 0, 0
+		for _, v := range y {
+			if v > 0 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		return pos == neg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package features implements the paper's §VI-B feature-extraction
+// pipeline for body-sensor signals:
+//
+//	raw signals → downsample to 20 Hz → normalize → 3.2 s sliding windows
+//	with 50% overlap → per-window feature vectors.
+//
+// Each sensing node contributes 5 signals (accelerometer x/y/z, gyroscope
+// u/v). Per window a node yields 40 features:
+//
+//   - 7 per signal (mean, standard deviation, median absolute deviation,
+//     maximum, minimum, energy, interquartile range) × 5 signals = 35;
+//   - the mean magnitude of the three accelerometer axes (1);
+//   - the angles between the mean acceleration vector and the three axes (3);
+//   - the signal magnitude area of the accelerometer output (1).
+//
+// Three nodes (waist, left shin, right shin) are concatenated into the
+// paper's 120-dimensional vector.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SignalsPerNode is the number of raw channels per sensing node.
+const SignalsPerNode = 5
+
+// PerSignalCount is the number of single-signal features.
+const PerSignalCount = 7
+
+// PerNodeCount is the feature count one node contributes per window.
+const PerNodeCount = SignalsPerNode*PerSignalCount + 5 // 35 + magnitude + 3 angles + SMA
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation.
+func Std(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Median returns the sample median; 0 for an empty slice.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median.
+func MAD(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Median(x)
+	dev := make([]float64, len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - m)
+	}
+	return Median(dev)
+}
+
+// Energy returns the mean squared value Σx²/n.
+func Energy(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s / float64(len(x))
+}
+
+// Quantile returns the q-th linear-interpolated quantile, q ∈ [0,1].
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// IQR returns the interquartile range Q3 − Q1.
+func IQR(x []float64) float64 { return Quantile(x, 0.75) - Quantile(x, 0.25) }
+
+// SignalFeatures computes the 7 single-signal features in the order:
+// mean, std, MAD, max, min, energy, IQR.
+func SignalFeatures(x []float64) [PerSignalCount]float64 {
+	var out [PerSignalCount]float64
+	if len(x) == 0 {
+		return out
+	}
+	maxV, minV := x[0], x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	out[0] = Mean(x)
+	out[1] = Std(x)
+	out[2] = MAD(x)
+	out[3] = maxV
+	out[4] = minV
+	out[5] = Energy(x)
+	out[6] = IQR(x)
+	return out
+}
+
+// AccelFeatures computes the cross-signal features from the three
+// accelerometer axes: mean magnitude, the angles between the mean
+// acceleration and each axis, and the signal magnitude area (the normalized
+// integral of absolute values).
+func AccelFeatures(ax, ay, az []float64) [5]float64 {
+	var out [5]float64
+	n := len(ax)
+	if n == 0 || len(ay) != n || len(az) != n {
+		return out
+	}
+	var magSum, smaSum float64
+	for i := 0; i < n; i++ {
+		magSum += math.Sqrt(ax[i]*ax[i] + ay[i]*ay[i] + az[i]*az[i])
+		smaSum += math.Abs(ax[i]) + math.Abs(ay[i]) + math.Abs(az[i])
+	}
+	out[0] = magSum / float64(n)
+	mx, my, mz := Mean(ax), Mean(ay), Mean(az)
+	norm := math.Sqrt(mx*mx + my*my + mz*mz)
+	if norm > 1e-12 {
+		out[1] = math.Acos(clamp(mx/norm, -1, 1))
+		out[2] = math.Acos(clamp(my/norm, -1, 1))
+		out[3] = math.Acos(clamp(mz/norm, -1, 1))
+	}
+	out[4] = smaSum / float64(n)
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NodeFeatures computes the 40-entry feature block of one sensing node for
+// one window. signals must hold exactly 5 equal-length channels ordered
+// accel-x, accel-y, accel-z, gyro-u, gyro-v.
+func NodeFeatures(signals [][]float64) ([]float64, error) {
+	if len(signals) != SignalsPerNode {
+		return nil, fmt.Errorf("features: NodeFeatures: got %d signals, want %d", len(signals), SignalsPerNode)
+	}
+	n := len(signals[0])
+	for i, s := range signals {
+		if len(s) != n {
+			return nil, fmt.Errorf("features: NodeFeatures: signal %d has %d samples, signal 0 has %d", i, len(s), n)
+		}
+	}
+	out := make([]float64, 0, PerNodeCount)
+	for _, s := range signals {
+		f := SignalFeatures(s)
+		out = append(out, f[:]...)
+	}
+	a := AccelFeatures(signals[0], signals[1], signals[2])
+	out = append(out, a[:]...)
+	return out, nil
+}
+
+// Downsample keeps every factor-th sample (simple decimation; the simulated
+// signals are band-limited by construction, so no anti-alias filter is
+// needed). factor must be >= 1.
+func Downsample(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("features: Downsample: factor must be >= 1, got %d", factor)
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out, nil
+}
+
+// ZNormalize returns (x − mean)/std; a constant signal maps to all zeros.
+func ZNormalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	m, s := Mean(x), Std(x)
+	if s < 1e-12 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - m) / s
+	}
+	return out
+}
+
+// Window is a half-open index interval [Start, End).
+type Window struct {
+	Start, End int
+}
+
+// SlidingWindows enumerates the windows of `width` samples with the given
+// stride over a signal of n samples (the paper: 3.2 s width at 20 Hz = 64
+// samples, 50% overlap = stride 32). Trailing samples that do not fill a
+// window are discarded.
+func SlidingWindows(n, width, stride int) ([]Window, error) {
+	if width <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("features: SlidingWindows: width (%d) and stride (%d) must be positive", width, stride)
+	}
+	var out []Window
+	for start := 0; start+width <= n; start += stride {
+		out = append(out, Window{Start: start, End: start + width})
+	}
+	return out, nil
+}

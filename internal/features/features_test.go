@@ -1,0 +1,253 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarFeaturesKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Mean", Mean(x), 3},
+		{"Std", Std(x), math.Sqrt(2)},
+		{"Median", Median(x), 3},
+		{"MAD", MAD(x), 1},
+		{"Energy", Energy(x), 11},
+		{"IQR", IQR(x), 2},
+		{"Quantile0", Quantile(x, 0), 1},
+		{"Quantile1", Quantile(x, 1), 5},
+		{"QuantileHalf", Quantile(x, 0.5), 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if math.Abs(tc.got-tc.want) > 1e-12 {
+				t.Errorf("got %v, want %v", tc.got, tc.want)
+			}
+		})
+	}
+}
+
+func TestScalarFeaturesEmpty(t *testing.T) {
+	var empty []float64
+	for name, f := range map[string]func([]float64) float64{
+		"Mean": Mean, "Std": Std, "Median": Median, "MAD": MAD,
+		"Energy": Energy, "IQR": IQR,
+	} {
+		if got := f(empty); got != 0 {
+			t.Errorf("%s(empty) = %v", name, got)
+		}
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestSignalFeaturesOrder(t *testing.T) {
+	x := []float64{-1, 0, 3}
+	f := SignalFeatures(x)
+	if f[3] != 3 || f[4] != -1 {
+		t.Errorf("max/min misplaced: %v", f)
+	}
+	if math.Abs(f[0]-Mean(x)) > 1e-12 || math.Abs(f[5]-Energy(x)) > 1e-12 {
+		t.Errorf("mean/energy misplaced: %v", f)
+	}
+}
+
+func TestAccelFeatures(t *testing.T) {
+	// Constant acceleration along x: magnitude 2, angle to x = 0, to y and
+	// z = π/2, SMA = 2.
+	ax := []float64{2, 2, 2}
+	ay := []float64{0, 0, 0}
+	az := []float64{0, 0, 0}
+	f := AccelFeatures(ax, ay, az)
+	want := [5]float64{2, 0, math.Pi / 2, math.Pi / 2, 2}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-12 {
+			t.Errorf("AccelFeatures[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+	// Mismatched lengths yield zeros rather than panicking.
+	if got := AccelFeatures([]float64{1}, []float64{}, []float64{1}); got != [5]float64{} {
+		t.Errorf("mismatched input should give zeros, got %v", got)
+	}
+}
+
+func TestNodeFeatures(t *testing.T) {
+	sigs := make([][]float64, SignalsPerNode)
+	for i := range sigs {
+		sigs[i] = []float64{float64(i), float64(i) + 1}
+	}
+	f, err := NodeFeatures(sigs)
+	if err != nil {
+		t.Fatalf("NodeFeatures: %v", err)
+	}
+	if len(f) != PerNodeCount {
+		t.Fatalf("len = %d, want %d", len(f), PerNodeCount)
+	}
+	if _, err := NodeFeatures(sigs[:3]); err == nil {
+		t.Error("wrong signal count should error")
+	}
+	ragged := make([][]float64, SignalsPerNode)
+	for i := range ragged {
+		ragged[i] = make([]float64, i+1)
+	}
+	if _, err := NodeFeatures(ragged); err == nil {
+		t.Error("ragged signals should error")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6}
+	got, err := Downsample(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := Downsample(x, 0); err == nil {
+		t.Error("factor 0 should error")
+	}
+	same, err := Downsample(x, 1)
+	if err != nil || len(same) != len(x) {
+		t.Error("factor 1 should preserve the signal")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	z := ZNormalize(x)
+	if math.Abs(Mean(z)) > 1e-12 {
+		t.Errorf("normalized mean = %v", Mean(z))
+	}
+	if math.Abs(Std(z)-1) > 1e-12 {
+		t.Errorf("normalized std = %v", Std(z))
+	}
+	constant := ZNormalize([]float64{5, 5, 5})
+	for _, v := range constant {
+		if v != 0 {
+			t.Error("constant signal should normalize to zeros")
+		}
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	// Paper's setup: 20 Hz, 3.2 s window = 64 samples, 50% overlap = 32
+	// stride. 70 segments need 69*32+64 = 2272 samples.
+	wins, err := SlidingWindows(2272, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 70 {
+		t.Errorf("windows = %d, want 70 (paper §VI-B)", len(wins))
+	}
+	if wins[0].Start != 0 || wins[0].End != 64 || wins[1].Start != 32 {
+		t.Errorf("window layout wrong: %+v", wins[:2])
+	}
+	if _, err := SlidingWindows(100, 0, 32); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := SlidingWindows(100, 64, 0); err == nil {
+		t.Error("zero stride should error")
+	}
+	none, err := SlidingWindows(10, 64, 32)
+	if err != nil || len(none) != 0 {
+		t.Error("short signal should yield no windows")
+	}
+}
+
+// Property: features are invariant under sample permutation (all are
+// order-free statistics).
+func TestPropertyPermutationInvariance(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 5
+		}
+		orig := SignalFeatures(x)
+		shuffled := append([]float64(nil), x...)
+		r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		perm := SignalFeatures(shuffled)
+		for i := range orig {
+			if math.Abs(orig[i]-perm[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting a signal shifts mean/max/min/median by the same amount
+// and leaves std/MAD/IQR unchanged.
+func TestPropertyShiftEquivariance(t *testing.T) {
+	f := func(seed int64, shiftRaw float64) bool {
+		shift := math.Mod(shiftRaw, 100)
+		if math.IsNaN(shift) {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, 20)
+		y := make([]float64, 20)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = x[i] + shift
+		}
+		fx, fy := SignalFeatures(x), SignalFeatures(y)
+		const tol = 1e-9
+		// mean, max, min shift; std, MAD, IQR invariant.
+		return math.Abs(fy[0]-(fx[0]+shift)) < tol &&
+			math.Abs(fy[3]-(fx[3]+shift)) < tol &&
+			math.Abs(fy[4]-(fx[4]+shift)) < tol &&
+			math.Abs(fy[1]-fx[1]) < tol &&
+			math.Abs(fy[2]-fx[2]) < tol &&
+			math.Abs(fy[6]-fx[6]) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed int64, q1Raw, q2Raw float64) bool {
+		q1 := math.Abs(math.Mod(q1Raw, 1))
+		q2 := math.Abs(math.Mod(q2Raw, 1))
+		if math.IsNaN(q1) || math.IsNaN(q2) {
+			return true
+		}
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, 15)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		v1, v2 := Quantile(x, q1), Quantile(x, q2)
+		return v1 <= v2+1e-12 &&
+			v1 >= Quantile(x, 0)-1e-12 && v2 <= Quantile(x, 1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plos/internal/mat"
+)
+
+func TestKernelValues(t *testing.T) {
+	x := mat.Vector{1, 2}
+	y := mat.Vector{3, -1}
+	tests := []struct {
+		name string
+		k    Kernel
+		want float64
+	}{
+		{"linear", Linear{}, 1},
+		{"rbf", RBF{Gamma: 0.5}, math.Exp(-0.5 * 13)}, // ||x−y||² = 4 + 9
+		{"poly", Polynomial{Degree: 2, C: 1}, 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.k.Eval(x, y); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Eval = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if (RBF{Gamma: 1}).Eval(x, x) != 1 {
+		t.Error("RBF(x,x) should be 1")
+	}
+	for _, k := range []Kernel{Linear{}, RBF{Gamma: 1}, Polynomial{Degree: 3, C: 1}} {
+		if k.Name() == "" {
+			t.Error("kernel must have a name")
+		}
+	}
+}
+
+// Property: kernels are symmetric, and RBF is bounded in (0, 1].
+func TestPropertyKernelSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := mat.Vector{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		y := mat.Vector{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		for _, k := range []Kernel{Linear{}, RBF{Gamma: 0.7}, Polynomial{Degree: 2, C: 1}} {
+			if math.Abs(k.Eval(x, y)-k.Eval(y, x)) > 1e-12 {
+				return false
+			}
+		}
+		rbf := RBF{Gamma: 0.7}.Eval(x, y)
+		return rbf > 0 && rbf <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func makeGram(t *testing.T) *Gram {
+	t.Helper()
+	u0 := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	u1 := mat.FromRows([][]float64{{1, 1}})
+	g, err := NewGram([]*mat.Matrix{u0, u1}, Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGramIndexing(t *testing.T) {
+	g := makeGram(t)
+	if g.Total() != 3 {
+		t.Fatalf("Total = %d", g.Total())
+	}
+	if g.Index(0, 1) != 1 || g.Index(1, 0) != 2 {
+		t.Error("global indexing wrong")
+	}
+	// K entries: rows (1,0),(0,1),(1,1) under the linear kernel.
+	if g.At(0, 2) != 1 || g.At(1, 2) != 1 || g.At(0, 1) != 0 || g.At(2, 2) != 2 {
+		t.Errorf("kernel entries wrong")
+	}
+}
+
+func TestGramErrors(t *testing.T) {
+	if _, err := NewGram(nil, Linear{}); err == nil {
+		t.Error("no users should error")
+	}
+	if _, err := NewGram([]*mat.Matrix{mat.NewMatrix(0, 2)}, Linear{}); err == nil {
+		t.Error("empty user should error")
+	}
+}
+
+func TestExpansionDots(t *testing.T) {
+	g := makeGram(t)
+	// a = Φ(s0) + 2Φ(s1); b = Φ(s2).
+	a := Expansion{Idx: []int{0, 1}, Coeff: []float64{1, 2}}
+	b := Expansion{Idx: []int{2}, Coeff: []float64{1}}
+	// Under linear kernel: a maps to (1,0)+2(0,1) = (1,2); b = (1,1).
+	if got := g.Dot(a, b); got != 3 {
+		t.Errorf("Dot = %v, want 3", got)
+	}
+	if got := g.Dot(a, a); got != 5 {
+		t.Errorf("Dot(a,a) = %v, want 5", got)
+	}
+	if got := g.DotSample(a, 2); got != 3 {
+		t.Errorf("DotSample = %v, want 3", got)
+	}
+}
+
+// Property: under the linear kernel, expansion dots agree with the explicit
+// vector-space computation.
+func TestPropertyLinearExpansionConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(6) + 2
+		x := mat.NewMatrix(n, 3)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		g, err := NewGram([]*mat.Matrix{x}, Linear{})
+		if err != nil {
+			return false
+		}
+		a := Expansion{}
+		b := Expansion{}
+		va := mat.NewVector(3)
+		vb := mat.NewVector(3)
+		for i := 0; i < n; i++ {
+			ca, cb := r.NormFloat64(), r.NormFloat64()
+			a.Idx = append(a.Idx, i)
+			a.Coeff = append(a.Coeff, ca)
+			b.Idx = append(b.Idx, i)
+			b.Coeff = append(b.Coeff, cb)
+			va.AddScaled(ca, x.Row(i))
+			vb.AddScaled(cb, x.Row(i))
+		}
+		return math.Abs(g.Dot(a, b)-va.Dot(vb)) < 1e-8*(1+math.Abs(va.Dot(vb)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package kplos
+
+import (
+	"math"
+	"testing"
+
+	"plos/internal/core"
+	"plos/internal/kernel"
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+// linearUser builds a linearly separable two-Gaussian user.
+func linearUser(g *rng.RNG, perClass, labeled int, theta float64) (core.UserData, []float64) {
+	rot := rng.Rotation2D(theta)
+	n := 2 * perClass
+	x := mat.NewMatrix(n, 2)
+	truth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		p := rot.MulVec(mat.Vector{cls*4 + g.Norm(), cls*4 + g.Norm()})
+		copy(x.Row(i), p)
+		truth[i] = cls
+	}
+	return core.UserData{X: x, Y: truth[:labeled]}, truth
+}
+
+// ringUser builds a radially separable dataset (inner disc vs outer ring) —
+// impossible for a linear hyperplane through any feature budget of 2, easy
+// for RBF.
+func ringUser(g *rng.RNG, perClass, labeled int) (core.UserData, []float64) {
+	n := 2 * perClass
+	x := mat.NewMatrix(n, 2)
+	truth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cls := 1.0
+		radius := 0.5 + 0.3*g.Float64()
+		if i%2 == 1 {
+			cls = -1
+			radius = 2.2 + 0.4*g.Float64()
+		}
+		angle := g.Float64() * 2 * math.Pi
+		x.Set(i, 0, radius*math.Cos(angle))
+		x.Set(i, 1, radius*math.Sin(angle))
+		truth[i] = cls
+	}
+	return core.UserData{X: x, Y: truth[:labeled]}, truth
+}
+
+func accuracyOf(m *Model, t int, u core.UserData, truth []float64) float64 {
+	correct := 0
+	for i := 0; i < u.X.Rows; i++ {
+		if m.PredictUser(t, u.X.Row(i)) == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(u.X.Rows)
+}
+
+func TestLinearKernelMatchesLinearSolver(t *testing.T) {
+	g := rng.New(1)
+	var users []core.UserData
+	var truths [][]float64
+	for i := 0; i < 3; i++ {
+		labeled := 8
+		if i == 2 {
+			labeled = 0
+		}
+		u, truth := linearUser(g.SplitN("u", i), 15, labeled, 0)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	cfg := core.Config{Lambda: 50, Cl: 1, Cu: 0.2, Seed: 1}
+	km, kinfo, err := Train(users, cfg, kernel.Linear{})
+	if err != nil {
+		t.Fatalf("kplos.Train: %v", err)
+	}
+	lm, _, err := core.TrainCentralized(users, cfg)
+	if err != nil {
+		t.Fatalf("core.TrainCentralized: %v", err)
+	}
+	if kinfo.Constraints == 0 || kinfo.CCCPIterations == 0 {
+		t.Errorf("suspicious info: %+v", kinfo)
+	}
+	// Same algorithm, different init details — compare accuracy.
+	var kAcc, lAcc float64
+	for i := range users {
+		kAcc += accuracyOf(km, i, users[i], truths[i])
+		correct := 0
+		for r := 0; r < users[i].X.Rows; r++ {
+			if lm.PredictUser(i, users[i].X.Row(r)) == truths[i][r] {
+				correct++
+			}
+		}
+		lAcc += float64(correct) / float64(users[i].X.Rows)
+	}
+	kAcc /= float64(len(users))
+	lAcc /= float64(len(users))
+	if math.Abs(kAcc-lAcc) > 0.1 {
+		t.Errorf("linear-kernel PLOS acc %v vs linear solver %v", kAcc, lAcc)
+	}
+	if kAcc < 0.85 {
+		t.Errorf("linear-kernel accuracy = %v", kAcc)
+	}
+}
+
+func TestRBFSolvesNonlinearTask(t *testing.T) {
+	g := rng.New(2)
+	var users []core.UserData
+	var truths [][]float64
+	for i := 0; i < 3; i++ {
+		labeled := 10
+		if i == 2 {
+			labeled = 0
+		}
+		u, truth := ringUser(g.SplitN("u", i), 20, labeled)
+		users = append(users, u)
+		truths = append(truths, truth)
+	}
+	cfg := core.Config{Lambda: 50, Cl: 1, Cu: 0.2, Seed: 2}
+
+	rbf, _, err := Train(users, cfg, kernel.RBF{Gamma: 1})
+	if err != nil {
+		t.Fatalf("RBF Train: %v", err)
+	}
+	lin, _, err := Train(users, cfg, kernel.Linear{})
+	if err != nil {
+		t.Fatalf("Linear Train: %v", err)
+	}
+	var rbfAcc, linAcc float64
+	for i := range users {
+		rbfAcc += accuracyOf(rbf, i, users[i], truths[i])
+		linAcc += accuracyOf(lin, i, users[i], truths[i])
+	}
+	rbfAcc /= float64(len(users))
+	linAcc /= float64(len(users))
+	if rbfAcc < 0.9 {
+		t.Errorf("RBF accuracy on rings = %v", rbfAcc)
+	}
+	if rbfAcc <= linAcc+0.2 {
+		t.Errorf("RBF (%v) should dominate linear (%v) on radial classes", rbfAcc, linAcc)
+	}
+	// Zero-label user benefits too (the PLOS property, kernelized).
+	if acc := accuracyOf(rbf, 2, users[2], truths[2]); acc < 0.85 {
+		t.Errorf("zero-label user RBF accuracy = %v", acc)
+	}
+}
+
+func TestPredictGlobalAndSupport(t *testing.T) {
+	g := rng.New(3)
+	u0, _ := ringUser(g.Split("a"), 15, 12)
+	u1, _ := ringUser(g.Split("b"), 15, 12)
+	m, _, err := Train([]core.UserData{u0, u1}, core.Config{Lambda: 100, Seed: 3}, kernel.RBF{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d", m.NumUsers())
+	}
+	// Deep inside the inner disc.
+	if got := m.PredictGlobal(mat.Vector{0.1, 0.1}); got != 1 {
+		t.Errorf("PredictGlobal(inner) = %v", got)
+	}
+	if got := m.PredictGlobal(mat.Vector{2.4, 0}); got != -1 {
+		t.Errorf("PredictGlobal(outer) = %v", got)
+	}
+	if m.SupportSize(0) == 0 {
+		t.Error("expected nonzero support")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := rng.New(4)
+	u, _ := linearUser(g, 5, 4, 0)
+	if _, _, err := Train(nil, core.Config{}, kernel.Linear{}); err == nil {
+		t.Error("no users should error")
+	}
+	if _, _, err := Train([]core.UserData{u}, core.Config{}, nil); err == nil {
+		t.Error("nil kernel should error")
+	}
+	bad := core.UserData{X: u.X, Y: []float64{5}}
+	if _, _, err := Train([]core.UserData{bad}, core.Config{}, kernel.Linear{}); err == nil {
+		t.Error("bad label should error")
+	}
+	empty := core.UserData{X: mat.NewMatrix(0, 2)}
+	if _, _, err := Train([]core.UserData{empty}, core.Config{}, kernel.Linear{}); err == nil {
+		t.Error("empty user should error")
+	}
+}
+
+func TestAllUnlabeledAlternatingInit(t *testing.T) {
+	// No labels at all: training must still run (balanced deterministic
+	// init) and produce a nontrivial split.
+	g := rng.New(5)
+	u, truth := linearUser(g, 15, 0, 0)
+	m, _, err := Train([]core.UserData{u}, core.Config{Lambda: 10, Seed: 5}, kernel.Linear{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	acc := accuracyOf(m, 0, u, truth)
+	if acc < 0.5 {
+		acc = 1 - acc
+	}
+	if acc < 0.75 {
+		t.Errorf("matched clustering accuracy = %v", acc)
+	}
+}
+
+// Property: with the linear kernel, the model's decision values must equal
+// the explicit w·x computation recovered from the expansions.
+func TestPropertyLinearKernelScoresConsistent(t *testing.T) {
+	g := rng.New(6)
+	u0, _ := linearUser(g.Split("a"), 8, 6, 0)
+	u1, _ := linearUser(g.Split("b"), 8, 6, 0.3)
+	users := []core.UserData{u0, u1}
+	m, _, err := Train(users, core.Config{Lambda: 20, Seed: 6}, kernel.Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover the explicit hyperplane of user t by probing with basis
+	// vectors (valid exactly because the kernel is linear).
+	dim := u0.X.Cols
+	for ti := range users {
+		w := make(mat.Vector, dim)
+		for j := 0; j < dim; j++ {
+			e := make(mat.Vector, dim)
+			e[j] = 1
+			w[j] = m.ScoreUser(ti, e)
+		}
+		probe := rng.New(int64(100 + ti))
+		for trial := 0; trial < 25; trial++ {
+			x := probe.NormVector(dim)
+			want := w.Dot(x)
+			got := m.ScoreUser(ti, x)
+			if diff := want - got; diff > 1e-8 || diff < -1e-8 {
+				t.Fatalf("user %d: score %v vs linear %v", ti, got, want)
+			}
+		}
+	}
+}

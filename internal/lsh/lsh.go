@@ -1,0 +1,116 @@
+// Package lsh implements the random-hyperplane locality-sensitive hashing
+// scheme (SimHash, Charikar STOC 2002) that the Group baseline uses to
+// measure similarity between users without exchanging raw samples
+// (paper §VI-A): each data point is hashed to one of n = 2^bits buckets by
+// the sign pattern of `bits` random hyperplanes; a user is summarized by
+// the frequency histogram of their points over the buckets; and two users'
+// similarity is the generalized Jaccard coefficient
+//
+//	S(u, v) = Σ_i min(u_i, v_i) / Σ_i max(u_i, v_i)
+//
+// of their histograms. The paper sets n = 128 (7 hyperplanes).
+package lsh
+
+import (
+	"fmt"
+
+	"plos/internal/mat"
+	"plos/internal/rng"
+)
+
+// Hasher maps vectors to buckets via random hyperplanes.
+type Hasher struct {
+	planes []mat.Vector // one random unit normal per bit
+}
+
+// NewHasher creates a hasher over dim-dimensional vectors producing
+// 2^bits buckets. bits must be in [1, 30].
+func NewHasher(dim, bits int, g *rng.RNG) (*Hasher, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: NewHasher: dimension must be positive, got %d", dim)
+	}
+	if bits < 1 || bits > 30 {
+		return nil, fmt.Errorf("lsh: NewHasher: bits must be in [1,30], got %d", bits)
+	}
+	planes := make([]mat.Vector, bits)
+	for i := range planes {
+		planes[i] = g.SplitN("lsh-plane", i).UnitVector(dim)
+	}
+	return &Hasher{planes: planes}, nil
+}
+
+// Buckets returns the number of buckets, 2^bits.
+func (h *Hasher) Buckets() int { return 1 << len(h.planes) }
+
+// Hash returns the bucket index of x: bit i is set iff plane_i · x >= 0.
+func (h *Hasher) Hash(x mat.Vector) int {
+	var b int
+	for i, p := range h.planes {
+		if p.Dot(x) >= 0 {
+			b |= 1 << i
+		}
+	}
+	return b
+}
+
+// Histogram returns the normalized bucket-frequency histogram of the rows
+// of x (entries sum to 1 for nonempty input).
+func (h *Hasher) Histogram(x *mat.Matrix) mat.Vector {
+	hist := make(mat.Vector, h.Buckets())
+	if x.Rows == 0 {
+		return hist
+	}
+	for i := 0; i < x.Rows; i++ {
+		hist[h.Hash(x.Row(i))]++
+	}
+	hist.Scale(1 / float64(x.Rows))
+	return hist
+}
+
+// Jaccard returns the generalized Jaccard coefficient of two nonnegative
+// histograms: Σ min / Σ max, defined as 0 when both are empty.
+func Jaccard(u, v mat.Vector) (float64, error) {
+	if len(u) != len(v) {
+		return 0, fmt.Errorf("lsh: Jaccard: histogram lengths differ: %d vs %d", len(u), len(v))
+	}
+	var num, den float64
+	for i := range u {
+		a, b := u[i], v[i]
+		if a < 0 || b < 0 {
+			return 0, fmt.Errorf("lsh: Jaccard: negative histogram entry at %d", i)
+		}
+		if a < b {
+			num += a
+			den += b
+		} else {
+			num += b
+			den += a
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// SimilarityMatrix computes the pairwise Jaccard similarity of per-user
+// datasets under a shared hasher. The result is symmetric with unit
+// diagonal (for nonempty users).
+func SimilarityMatrix(users []*mat.Matrix, h *Hasher) (*mat.Matrix, error) {
+	hists := make([]mat.Vector, len(users))
+	for i, u := range users {
+		hists[i] = h.Histogram(u)
+	}
+	sim := mat.NewMatrix(len(users), len(users))
+	for i := range hists {
+		for j := i; j < len(hists); j++ {
+			s, err := Jaccard(hists[i], hists[j])
+			if err != nil {
+				return nil, fmt.Errorf("lsh: SimilarityMatrix(%d,%d): %w", i, j, err)
+			}
+			sim.Set(i, j, s)
+			sim.Set(j, i, s)
+		}
+	}
+	return sim, nil
+}

@@ -1,0 +1,91 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L Lᵀ.
+type CholeskyFactor struct {
+	l *Matrix // lower triangular, n x n
+}
+
+// Cholesky computes the Cholesky factorization of the symmetric
+// positive-definite matrix a. Only the lower triangle of a is read.
+func Cholesky(a *Matrix) (*CholeskyFactor, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Cholesky: matrix not square (%dx%d)", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &CholeskyFactor{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *CholeskyFactor) L() *Matrix { return c.l.Clone() }
+
+// Solve solves A x = b given the factorization A = L Lᵀ.
+func (c *CholeskyFactor) Solve(b Vector) Vector {
+	n := c.l.Rows
+	checkLen("CholeskyFactor.Solve", len(b), n)
+	// Forward substitution: L y = b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// LogDet returns log(det A) = 2 Σ log L_ii.
+func (c *CholeskyFactor) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.l.Rows; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveSPD solves A x = b for symmetric positive-definite A in one call.
+func SolveSPD(a *Matrix, b Vector) (Vector, error) {
+	f, err := Cholesky(a)
+	if err != nil {
+		return nil, fmt.Errorf("mat: SolveSPD: %w", err)
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,179 @@
+// Package optimize provides the two outer-loop drivers from the paper's
+// Algorithm 1/2 that are shared between centralized and distributed PLOS:
+//
+//   - CCCP, the concave-convex procedure (Yuille & Rangarajan 2003): the
+//     non-convex |w·x| terms are linearized at the previous iterate and the
+//     resulting convex problem is re-solved until the objective stabilizes.
+//     CCCP monotonically decreases a bounded objective, so it converges.
+//
+//   - Cutting-plane working sets (Kelley 1960): problem (11) has Σ_t 2^{m_t}
+//     constraints — one per subset vector c_t ∈ {0,1}^{m_t}. The working set
+//     Ω_t starts empty and grows by the most-violated constraint (Eq. 14)
+//     until no constraint is violated by more than ε (Eq. 15).
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"plos/internal/mat"
+)
+
+// Constraint is one aggregated cutting-plane constraint for a single user:
+// in hyperplane variables it reads  w·A >= C − ξ. A and C are the z_kt and
+// c_kt aggregates of paper Eq. (17)–(18), expressed in the user's original
+// feature space (the stacked Φ-space inner products are recovered
+// analytically by the solver; see internal/core).
+type Constraint struct {
+	A mat.Vector
+	C float64
+	// Key identifies the selected sample subset (packed bitmask) so a
+	// constraint is never added to a working set twice.
+	Key string
+}
+
+// WorkingSet is one user's Ω_t: an insertion-ordered, deduplicated set of
+// constraints. The zero value is ready to use.
+type WorkingSet struct {
+	constraints []Constraint
+	keys        map[string]struct{}
+}
+
+// Add appends c unless an identical subset is already present. It reports
+// whether the constraint was inserted.
+func (ws *WorkingSet) Add(c Constraint) bool {
+	if ws.keys == nil {
+		ws.keys = make(map[string]struct{})
+	}
+	if _, dup := ws.keys[c.Key]; dup {
+		return false
+	}
+	ws.keys[c.Key] = struct{}{}
+	ws.constraints = append(ws.constraints, c)
+	return true
+}
+
+// Len returns the number of constraints in the set.
+func (ws *WorkingSet) Len() int { return len(ws.constraints) }
+
+// Constraints returns the constraints in insertion order. The slice is the
+// set's backing store; callers must not mutate it.
+func (ws *WorkingSet) Constraints() []Constraint { return ws.constraints }
+
+// Reset empties the working set (used between CCCP rounds when running
+// with cold working sets).
+func (ws *WorkingSet) Reset() {
+	ws.constraints = ws.constraints[:0]
+	ws.keys = nil
+}
+
+// MostViolated constructs one user's most-violated constraint (Eq. 14)
+// given the hyperplane w. eff[i] is the sample's effective label: the true
+// label y_i for labeled samples, the CCCP-frozen sign s_i for unlabeled
+// ones. weight[i] is the per-sample loss weight (Cl/m_t or Cu/m_t).
+// Sample i is selected iff its functional margin eff_i·(w·x_i) < 1.
+//
+// The returned constraint may be empty (A = 0, C = 0) when every sample has
+// margin >= 1; its violation against any ξ >= 0 is then non-positive.
+func MostViolated(x *mat.Matrix, eff, weight []float64, w mat.Vector) (Constraint, error) {
+	if x.Rows != len(eff) || x.Rows != len(weight) {
+		return Constraint{}, fmt.Errorf("optimize: MostViolated: %d rows, %d labels, %d weights",
+			x.Rows, len(eff), len(weight))
+	}
+	if x.Cols != len(w) {
+		return Constraint{}, fmt.Errorf("optimize: MostViolated: %d features vs |w| = %d", x.Cols, len(w))
+	}
+	a := mat.NewVector(x.Cols)
+	var c float64
+	bits := make([]byte, (x.Rows+7)/8)
+	for i := 0; i < x.Rows; i++ {
+		if weight[i] == 0 {
+			continue // contributes nothing to A or C
+		}
+		xi := x.Row(i)
+		if eff[i]*w.Dot(xi) < 1 {
+			a.AddScaled(weight[i]*eff[i], xi)
+			c += weight[i]
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return Constraint{A: a, C: c, Key: string(bits)}, nil
+}
+
+// Violation returns how much constraint c is violated at hyperplane w with
+// slack xi: max over nothing — just C − w·A − ξ. A positive value means the
+// constraint is violated by that amount (compare against ε per Eq. 15).
+func Violation(c Constraint, w mat.Vector, xi float64) float64 {
+	return c.C - w.Dot(c.A) - xi
+}
+
+// Slack returns the tight slack value ξ_t implied by a working set at w:
+// max(0, max_k (C_k − w·A_k)).
+func Slack(ws *WorkingSet, w mat.Vector) float64 {
+	var s float64
+	for _, c := range ws.constraints {
+		if v := c.C - w.Dot(c.A); v > s {
+			s = v
+		}
+	}
+	return s
+}
+
+// CCCPInfo reports the outcome of a CCCP run.
+type CCCPInfo struct {
+	Iterations int
+	Objective  float64
+	Converged  bool
+	// History records the objective after each CCCP round.
+	History []float64
+}
+
+// ErrNotDescending is wrapped into CCCP's error when a round increases the
+// objective by more than the tolerance — a symptom of an inexact inner
+// solver, surfaced rather than hidden because monotone descent is CCCP's
+// convergence guarantee.
+var ErrNotDescending = errors.New("optimize: CCCP objective increased")
+
+// CCCP iterates step (which must linearize at the current iterate and
+// solve the convexified problem, returning its objective) until the
+// objective changes by at most tol·(1+|L|) between rounds, or maxIter
+// rounds elapse. On non-monotone steps it returns the iterate anyway with
+// an ErrNotDescending-wrapped error so callers can decide.
+func CCCP(step func(iter int) (float64, error), tol float64, maxIter int) (CCCPInfo, error) {
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	info := CCCPInfo{}
+	prev := 0.0
+	for k := 0; k < maxIter; k++ {
+		obj, err := step(k)
+		if err != nil {
+			return info, fmt.Errorf("optimize: CCCP round %d: %w", k, err)
+		}
+		info.Iterations = k + 1
+		info.Objective = obj
+		info.History = append(info.History, obj)
+		if k > 0 {
+			delta := prev - obj
+			if delta < -tol*(1+abs(prev)) {
+				return info, fmt.Errorf("%w at round %d: %g -> %g", ErrNotDescending, k, prev, obj)
+			}
+			if abs(delta) <= tol*(1+abs(prev)) {
+				info.Converged = true
+				return info, nil
+			}
+		}
+		prev = obj
+	}
+	return info, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

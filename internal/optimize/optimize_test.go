@@ -1,0 +1,206 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plos/internal/mat"
+)
+
+func TestWorkingSetDedup(t *testing.T) {
+	var ws WorkingSet
+	c1 := Constraint{A: mat.Vector{1, 0}, C: 1, Key: "\x01"}
+	c2 := Constraint{A: mat.Vector{0, 1}, C: 2, Key: "\x02"}
+	if !ws.Add(c1) || !ws.Add(c2) {
+		t.Fatal("fresh constraints should insert")
+	}
+	if ws.Add(Constraint{A: mat.Vector{9, 9}, C: 9, Key: "\x01"}) {
+		t.Error("duplicate key should not insert")
+	}
+	if ws.Len() != 2 {
+		t.Errorf("Len = %d", ws.Len())
+	}
+	got := ws.Constraints()
+	if got[0].C != 1 || got[1].C != 2 {
+		t.Error("insertion order not preserved")
+	}
+	ws.Reset()
+	if ws.Len() != 0 {
+		t.Error("Reset should empty the set")
+	}
+	if !ws.Add(c1) {
+		t.Error("Add after Reset should insert")
+	}
+}
+
+func TestMostViolatedSelectsLowMargin(t *testing.T) {
+	// Two samples: first has margin 5 (excluded), second margin -1 (included).
+	x := mat.FromRows([][]float64{{5, 0}, {-1, 0}})
+	eff := []float64{1, 1}
+	weight := []float64{0.5, 0.5}
+	w := mat.Vector{1, 0}
+	c, err := MostViolated(x, eff, weight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only sample 2 selected: A = 0.5*1*(-1,0), C = 0.5.
+	if !c.A.Equal(mat.Vector{-0.5, 0}, 1e-12) {
+		t.Errorf("A = %v", c.A)
+	}
+	if c.C != 0.5 {
+		t.Errorf("C = %v", c.C)
+	}
+}
+
+func TestMostViolatedEmptyWhenAllMarginsMet(t *testing.T) {
+	x := mat.FromRows([][]float64{{5, 0}, {7, 0}})
+	c, err := MostViolated(x, []float64{1, 1}, []float64{1, 1}, mat.Vector{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.C != 0 || c.A.Norm2() != 0 {
+		t.Errorf("expected empty constraint, got %+v", c)
+	}
+	if Violation(c, mat.Vector{1, 0}, 0) > 0 {
+		t.Error("empty constraint should not be violated")
+	}
+}
+
+func TestMostViolatedErrors(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}})
+	if _, err := MostViolated(x, []float64{1, 1}, []float64{1}, mat.Vector{0, 0}); err == nil {
+		t.Error("label length mismatch should error")
+	}
+	if _, err := MostViolated(x, []float64{1}, []float64{1}, mat.Vector{0}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestMostViolatedKeyEncodesSubset(t *testing.T) {
+	x := mat.FromRows([][]float64{{-1}, {5}, {-1}})
+	eff := []float64{1, 1, 1}
+	weight := []float64{1, 1, 1}
+	c, err := MostViolated(x, eff, weight, mat.Vector{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples 0 and 2 selected: bits 0b101 = 0x05.
+	if c.Key != "\x05" {
+		t.Errorf("Key = %x", c.Key)
+	}
+}
+
+func TestViolationAndSlack(t *testing.T) {
+	var ws WorkingSet
+	ws.Add(Constraint{A: mat.Vector{1}, C: 2, Key: "a"})
+	ws.Add(Constraint{A: mat.Vector{-1}, C: 0.2, Key: "b"})
+	w := mat.Vector{1}
+	// Constraint a: 2 - 1 = 1; constraint b: 0.2 + 1 = 1.2. Slack = 1.2.
+	if got := Slack(&ws, w); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("Slack = %v", got)
+	}
+	if got := Violation(ws.Constraints()[0], w, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Violation = %v", got)
+	}
+	var empty WorkingSet
+	if Slack(&empty, w) != 0 {
+		t.Error("empty working set should give zero slack")
+	}
+}
+
+// Property: the most-violated constraint maximizes c·selection over all
+// 2^m subsets — verify against brute force for small m (Eq. 13/14 argmax).
+func TestPropertyMostViolatedIsArgmax(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		r := rand.New(rand.NewSource(seed))
+		x := mat.NewMatrix(m, 2)
+		eff := make([]float64, m)
+		weight := make([]float64, m)
+		for i := 0; i < m; i++ {
+			x.Set(i, 0, r.NormFloat64())
+			x.Set(i, 1, r.NormFloat64())
+			eff[i] = float64(r.Intn(2))*2 - 1
+			weight[i] = r.Float64()
+		}
+		w := mat.Vector{r.NormFloat64(), r.NormFloat64()}
+		got, err := MostViolated(x, eff, weight, w)
+		if err != nil {
+			return false
+		}
+		gotVal := got.C - w.Dot(got.A)
+		// Brute force over all subsets.
+		best := math.Inf(-1)
+		for mask := 0; mask < 1<<m; mask++ {
+			var val float64
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					val += weight[i] * (1 - eff[i]*w.Dot(x.Row(i)))
+				}
+			}
+			if val > best {
+				best = val
+			}
+		}
+		return math.Abs(gotVal-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCCPConvergesOnDecreasingSequence(t *testing.T) {
+	// Objective halves every round: converges when steps get small.
+	val := 8.0
+	info, err := CCCP(func(int) (float64, error) {
+		val /= 2
+		return val, nil
+	}, 1e-3, 100)
+	if err != nil {
+		t.Fatalf("CCCP: %v", err)
+	}
+	if !info.Converged {
+		t.Error("should converge")
+	}
+	if len(info.History) != info.Iterations {
+		t.Errorf("history length %d != iterations %d", len(info.History), info.Iterations)
+	}
+}
+
+func TestCCCPDetectsIncrease(t *testing.T) {
+	vals := []float64{5, 1, 9}
+	i := 0
+	_, err := CCCP(func(int) (float64, error) {
+		v := vals[i]
+		i++
+		return v, nil
+	}, 1e-6, 10)
+	if !errors.Is(err, ErrNotDescending) {
+		t.Errorf("err = %v, want ErrNotDescending", err)
+	}
+}
+
+func TestCCCPPropagatesStepError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := CCCP(func(int) (float64, error) { return 0, boom }, 1e-6, 10)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestCCCPMaxIter(t *testing.T) {
+	calls := 0
+	info, err := CCCP(func(k int) (float64, error) {
+		calls++
+		return -float64(k), nil // keeps decreasing by 1, never converges
+	}, 1e-9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 || info.Iterations != 7 || info.Converged {
+		t.Errorf("calls=%d info=%+v", calls, info)
+	}
+}

@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"fmt"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/transport"
+)
+
+// ClientResult is what a device ends up with after training: the shared
+// hyperplane and its own personalized one, plus its traffic accounting.
+type ClientResult struct {
+	W0      mat.Vector
+	W       mat.Vector
+	Traffic transport.Stats
+}
+
+// ClientOptions tweak device behavior. Hyperparameters arrive from the
+// server, so the zero value is the normal deployment.
+type ClientOptions struct {
+	// Seed drives the device-local SVM initialization.
+	Seed int64
+}
+
+// RunClient executes the device side of the protocol over conn using the
+// local dataset. It blocks until the server finishes (or fails) and
+// returns the final model from the device's perspective. The raw samples
+// in data are never serialized.
+func RunClient(conn transport.Conn, data core.UserData, opts ClientOptions) (*ClientResult, error) {
+	if data.X == nil || data.X.Rows == 0 {
+		return nil, core.ErrEmptyUser
+	}
+	initW, initWeight := core.LocalInit(data, core.Config{Seed: opts.Seed})
+	hello := transport.Message{
+		Type:    transport.MsgHello,
+		Dim:     data.X.Cols,
+		Samples: data.NumSamples(),
+		Labeled: data.NumLabeled(),
+		W:       initW,
+	}
+	// The server weights init hyperplanes by the hello's Labeled field;
+	// LocalInit returns weight == labeled count exactly when a local SVM
+	// trained, so a single-class user reports 0 to stay out of the
+	// weighted average.
+	if initWeight == 0 {
+		hello.Labeled = 0
+	}
+	if err := conn.Send(hello); err != nil {
+		return nil, fmt.Errorf("protocol: RunClient hello: %w", err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("protocol: RunClient hello reply: %w", err)
+	}
+	switch reply.Type {
+	case transport.MsgHello:
+	case transport.MsgError:
+		return nil, fmt.Errorf("%w: %s", ErrAborted, reply.Reason)
+	default:
+		return nil, fmt.Errorf("%w: got %v, want hello", ErrUnexpectedMsg, reply.Type)
+	}
+	if reply.Config == nil || reply.Users <= 0 {
+		return nil, fmt.Errorf("%w: hello reply missing config", ErrUnexpectedMsg)
+	}
+	cfg := coreConfig(reply.Config)
+	cfg.Seed = opts.Seed
+	rho := reply.Config.Rho
+	worker, err := core.NewWorker(data, reply.Users, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: RunClient: %w", err)
+	}
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("protocol: RunClient: %w", err)
+		}
+		switch msg.Type {
+		case transport.MsgStartRound:
+			worker.RefreshSigns(mat.Vector(msg.W0))
+		case transport.MsgParams:
+			w, v, xi, err := worker.Solve(mat.Vector(msg.W0), mat.Vector(msg.U), rho)
+			if err != nil {
+				_ = conn.Send(transport.Message{Type: transport.MsgError, Reason: err.Error()})
+				return nil, fmt.Errorf("protocol: RunClient solve: %w", err)
+			}
+			update := transport.Message{Type: transport.MsgUpdate, Round: msg.Round,
+				W: w, V: v, Xi: xi}
+			if err := conn.Send(update); err != nil {
+				return nil, fmt.Errorf("protocol: RunClient update: %w", err)
+			}
+		case transport.MsgDone:
+			return &ClientResult{
+				W0:      mat.Vector(msg.W0),
+				W:       worker.Hyperplane(),
+				Traffic: conn.Stats(),
+			}, nil
+		case transport.MsgError:
+			return nil, fmt.Errorf("%w: %s", ErrAborted, msg.Reason)
+		default:
+			return nil, fmt.Errorf("%w: %v", ErrUnexpectedMsg, msg.Type)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package protocol implements the wire protocol of distributed PLOS
+// (paper Algorithm 2) on top of internal/transport: a Server that owns the
+// consensus state and drives CCCP + ADMM rounds, and a Client that runs on
+// each user's device, keeping the raw data local and exchanging only model
+// parameters.
+//
+// Message flow (one connection per user):
+//
+//	client → server  hello {dim, samples, labeled, local-init hyperplane}
+//	server → client  hello {T, hyperparameters}
+//	per CCCP round:
+//	  server → client  start-round {w0}          (device freezes CCCP signs)
+//	  per ADMM iteration:
+//	    server → client  params {z, u_t}
+//	    client → server  update {w_t, v_t, ξ_t}
+//	server → client  done {w0}
+//
+// The server tolerates device dropouts: a connection that fails mid-round
+// is removed from the consensus (admm.Consensus.DropWorker) and training
+// continues with the survivors, down to a configurable minimum.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"plos/internal/admm"
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/optimize"
+	"plos/internal/transport"
+)
+
+// Errors returned by the server.
+var (
+	ErrNoConns       = errors.New("protocol: no client connections")
+	ErrDimMismatch   = errors.New("protocol: clients disagree on feature dimension")
+	ErrTooFewActive  = errors.New("protocol: active clients fell below minimum")
+	ErrUnexpectedMsg = errors.New("protocol: unexpected message")
+	ErrAborted       = errors.New("protocol: aborted by peer")
+)
+
+// ServerConfig configures a training run.
+type ServerConfig struct {
+	Core core.Config
+	Dist core.DistConfig
+	// MinActive is the number of live devices below which the run aborts
+	// (default 1).
+	MinActive int
+}
+
+// ServerResult is the trained model plus per-user traffic accounting.
+type ServerResult struct {
+	Model *core.Model // W[t] is nil for users that dropped out
+	Info  core.TrainInfo
+	// Dropped[t] reports whether user t's device died during training.
+	Dropped []bool
+	// PerUser[t] is the server-side traffic on user t's connection;
+	// Total aggregates them.
+	PerUser []transport.Stats
+	Total   transport.Stats
+}
+
+func wireConfig(cfg core.Config, dist core.DistConfig) *transport.WireConfig {
+	return &transport.WireConfig{
+		Lambda: cfg.Lambda, Cl: cfg.Cl, Cu: cfg.Cu, Epsilon: cfg.Epsilon,
+		Rho:        dist.Rho,
+		MaxCutIter: cfg.MaxCutIter, QPMaxIter: cfg.QPMaxIter,
+		BalanceGuard: cfg.BalanceGuard, WarmWorkingSets: cfg.WarmWorkingSets,
+	}
+}
+
+func coreConfig(w *transport.WireConfig) core.Config {
+	return core.Config{
+		Lambda: w.Lambda, Cl: w.Cl, Cu: w.Cu, Epsilon: w.Epsilon,
+		MaxCutIter: w.MaxCutIter, QPMaxIter: w.QPMaxIter,
+		BalanceGuard: w.BalanceGuard, WarmWorkingSets: w.WarmWorkingSets,
+	}
+}
+
+// defaultedServerConfig fills zero fields. Exposed logic kept in one place
+// so RunServer and tests agree.
+func (c ServerConfig) withDefaults() ServerConfig {
+	c.Core = fillCoreDefaults(c.Core)
+	if c.Dist.Rho <= 0 {
+		c.Dist.Rho = 1
+	}
+	if c.Dist.EpsAbs <= 0 {
+		c.Dist.EpsAbs = 1e-3
+	}
+	if c.Dist.MaxADMMIter <= 0 {
+		c.Dist.MaxADMMIter = 150
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	return c
+}
+
+// fillCoreDefaults mirrors core's private defaulting for the fields the
+// protocol needs on the wire.
+func fillCoreDefaults(c core.Config) core.Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 100
+	}
+	if c.Cl <= 0 {
+		c.Cl = 1
+	}
+	if c.Cu < 0 {
+		c.Cu = 0
+	} else if c.Cu == 0 {
+		c.Cu = 0.2
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-3
+	}
+	if c.CCCPTol <= 0 {
+		c.CCCPTol = 1e-3
+	}
+	if c.MaxCCCPIter <= 0 {
+		c.MaxCCCPIter = 20
+	}
+	if c.MaxCutIter <= 0 {
+		c.MaxCutIter = 60
+	}
+	if c.QPMaxIter <= 0 {
+		c.QPMaxIter = 5000
+	}
+	return c
+}
+
+// serverUser is the server's view of one device.
+type serverUser struct {
+	conn    transport.Conn
+	dropped bool
+	lastW   mat.Vector
+	lastV   mat.Vector
+	lastXi  float64
+}
+
+// RunServer drives a full training run over the given client connections
+// (one per user) and returns the trained model. It blocks until training
+// finishes or fails.
+func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) {
+	if len(conns) == 0 {
+		return nil, ErrNoConns
+	}
+	cfg = cfg.withDefaults()
+	tCount := len(conns)
+
+	users := make([]*serverUser, tCount)
+	for t, c := range conns {
+		users[t] = &serverUser{conn: c}
+	}
+
+	// Handshake: gather hellos, validate dimensions, aggregate the
+	// federated initialization, reply with T and hyperparameters.
+	dim := -1
+	initWs := make([]mat.Vector, 0, tCount)
+	initWeights := make([]float64, 0, tCount)
+	for t, u := range users {
+		m, err := u.conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("protocol: hello from user %d: %w", t, err)
+		}
+		if m.Type != transport.MsgHello {
+			return nil, fmt.Errorf("%w: got %v during handshake", ErrUnexpectedMsg, m.Type)
+		}
+		if dim == -1 {
+			dim = m.Dim
+		} else if m.Dim != dim {
+			abort(users, fmt.Sprintf("dimension mismatch: %d vs %d", m.Dim, dim))
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, m.Dim, dim)
+		}
+		initWs = append(initWs, mat.Vector(m.W))
+		initWeights = append(initWeights, float64(m.Labeled))
+	}
+	reply := transport.Message{Type: transport.MsgHello, Users: tCount, Dim: dim,
+		Config: wireConfig(cfg.Core, cfg.Dist)}
+	for t, u := range users {
+		if err := u.conn.Send(reply); err != nil {
+			return nil, fmt.Errorf("protocol: hello reply to user %d: %w", t, err)
+		}
+	}
+	w0 := core.FederatedInit(initWs, initWeights)
+	if w0 == nil || len(w0) != dim {
+		w0 = mat.NewVector(dim)
+	}
+
+	st := &serverState{cfg: cfg, users: users, dim: dim, w0: w0}
+	info := core.TrainInfo{}
+	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		return st.cccpRound(round, &info)
+	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter)
+	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
+		abort(users, err.Error())
+		return nil, fmt.Errorf("protocol: RunServer: %w", err)
+	}
+	info.CCCPIterations = cccpInfo.Iterations
+	info.CCCPConverged = cccpInfo.Converged
+	info.Objective = cccpInfo.Objective
+	info.ObjectiveHistory = cccpInfo.History
+
+	// Finish: broadcast the final w0.
+	done := transport.Message{Type: transport.MsgDone, W0: st.w0}
+	st.broadcast(done)
+
+	res := &ServerResult{
+		Model:   &core.Model{W0: st.w0, W: make([]mat.Vector, tCount)},
+		Info:    info,
+		Dropped: make([]bool, tCount),
+		PerUser: make([]transport.Stats, tCount),
+	}
+	for t, u := range users {
+		res.Dropped[t] = u.dropped
+		if !u.dropped {
+			res.Model.W[t] = u.lastW
+		}
+		res.PerUser[t] = u.conn.Stats()
+		res.Total = res.Total.Add(res.PerUser[t])
+	}
+	return res, nil
+}
+
+// serverState carries the consensus across CCCP rounds.
+type serverState struct {
+	cfg   ServerConfig
+	users []*serverUser
+	dim   int
+	w0    mat.Vector
+	// us holds the scaled duals of the *active* users, persisted across
+	// CCCP rounds (consistent with ADMM warm-starting).
+	us map[int]mat.Vector
+}
+
+func (st *serverState) active() []int {
+	var idx []int
+	for t, u := range st.users {
+		if !u.dropped {
+			idx = append(idx, t)
+		}
+	}
+	return idx
+}
+
+// drop marks user t dead and checks the minimum-active invariant.
+func (st *serverState) drop(t int, cause error) error {
+	st.users[t].dropped = true
+	if len(st.active()) < st.cfg.MinActive {
+		return fmt.Errorf("%w: %d < %d (last failure: user %d: %v)",
+			ErrTooFewActive, len(st.active()), st.cfg.MinActive, t, cause)
+	}
+	return nil
+}
+
+// broadcast sends m to all active users, dropping the ones that fail.
+// Errors from the minimum-active check are ignored here because broadcast
+// is only used for the final MsgDone.
+func (st *serverState) broadcast(m transport.Message) {
+	for _, t := range st.active() {
+		if err := st.users[t].conn.Send(m); err != nil {
+			st.users[t].dropped = true
+		}
+	}
+}
+
+// cccpRound runs one CCCP round: announce the linearization point, then
+// iterate ADMM until the residual rule fires. Returns the objective L of
+// Eq. (23).
+func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, error) {
+	cfg := st.cfg
+	// Start-round announcement.
+	for _, t := range st.active() {
+		msg := transport.Message{Type: transport.MsgStartRound, Round: round, W0: st.w0}
+		if err := st.users[t].conn.Send(msg); err != nil {
+			if derr := st.drop(t, err); derr != nil {
+				return 0, derr
+			}
+		}
+	}
+	if st.us == nil {
+		st.us = make(map[int]mat.Vector)
+	}
+
+	cons, err := admm.NewConsensus(st.dim, len(st.active()), cfg.Dist.Rho, admm.SquaredNormZ)
+	if err != nil {
+		return 0, err
+	}
+	cons.Z = st.w0.Clone()
+	for i, t := range st.active() {
+		if u, ok := st.us[t]; ok {
+			cons.U[i] = u
+		}
+	}
+
+	for iter := 0; iter < cfg.Dist.MaxADMMIter; iter++ {
+		activeIdx := st.active()
+		// Parallel param/update exchange with every active device.
+		type outcome struct {
+			user int
+			msg  transport.Message
+			err  error
+		}
+		results := make([]outcome, len(activeIdx))
+		var wg sync.WaitGroup
+		for i, t := range activeIdx {
+			wg.Add(1)
+			go func(i, t, consIdx int) {
+				defer wg.Done()
+				u := st.users[t]
+				msg := transport.Message{Type: transport.MsgParams, Round: iter,
+					W0: cons.Z, U: cons.U[consIdx]}
+				if err := u.conn.Send(msg); err != nil {
+					results[i] = outcome{user: t, err: err}
+					return
+				}
+				rep, err := u.conn.Recv()
+				if err == nil && rep.Type != transport.MsgUpdate {
+					err = fmt.Errorf("%w: got %v, want update", ErrUnexpectedMsg, rep.Type)
+				}
+				results[i] = outcome{user: t, msg: rep, err: err}
+			}(i, t, i)
+		}
+		wg.Wait()
+
+		// Handle dropouts: rebuild the consensus without the dead users.
+		xs := make([]mat.Vector, 0, len(activeIdx))
+		kept := make([]int, 0, len(activeIdx))
+		for i, r := range results {
+			if r.err != nil {
+				st.users[r.user].dropped = true
+				if derr := st.drop(r.user, r.err); derr != nil {
+					return 0, derr
+				}
+				// Remove the dual of the dropped user, adjusting for the
+				// users already removed this iteration.
+				if err := cons.DropWorker(i - (len(activeIdx) - cons.Workers())); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			u := st.users[r.user]
+			u.lastW = mat.Vector(r.msg.W)
+			u.lastV = mat.Vector(r.msg.V)
+			u.lastXi = r.msg.Xi
+			xs = append(xs, mat.SubVec(u.lastW, u.lastV))
+			kept = append(kept, r.user)
+		}
+		if len(xs) == 0 {
+			return 0, fmt.Errorf("%w: all devices failed in the same round", ErrTooFewActive)
+		}
+		res, err := cons.Step(xs)
+		if err != nil {
+			return 0, err
+		}
+		info.ADMMIterations++
+		// Persist duals by user id for the next CCCP round.
+		for i, t := range kept {
+			st.us[t] = cons.U[i]
+		}
+		if res.Converged(len(xs), cfg.Dist.EpsAbs) {
+			break
+		}
+	}
+	st.w0 = cons.Z
+
+	// Objective L of Eq. (23) from the last reported (v_t, ξ_t).
+	obj := st.w0.SquaredNorm()
+	lambdaOverT := cfg.Core.Lambda / float64(len(st.users))
+	for _, t := range st.active() {
+		u := st.users[t]
+		if u.lastV != nil {
+			obj += lambdaOverT*u.lastV.SquaredNorm() + u.lastXi
+		}
+	}
+	return obj, nil
+}
+
+func abort(users []*serverUser, reason string) {
+	for _, u := range users {
+		if !u.dropped {
+			_ = u.conn.Send(transport.Message{Type: transport.MsgError, Reason: reason})
+		}
+	}
+}

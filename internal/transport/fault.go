@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected marks a failure produced by a fault-injection wrapper.
+var ErrInjected = errors.New("transport: injected fault")
+
+// faultyConn wraps a Conn and fails permanently after a fixed number of
+// operations, simulating a device that dies mid-training. Used by the
+// robustness tests of the protocol's dropout handling.
+type faultyConn struct {
+	inner Conn
+
+	mu        sync.Mutex
+	remaining int
+	dead      bool
+}
+
+// FailAfter returns a Conn that forwards to inner for the first n combined
+// Send/Recv operations and then fails every operation with ErrInjected
+// (closing the inner connection on first failure).
+func FailAfter(inner Conn, n int) Conn {
+	return &faultyConn{inner: inner, remaining: n}
+}
+
+func (f *faultyConn) spend(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return fmt.Errorf("transport: %s: %w", op, ErrInjected)
+	}
+	if f.remaining <= 0 {
+		f.dead = true
+		_ = f.inner.Close()
+		return fmt.Errorf("transport: %s: %w", op, ErrInjected)
+	}
+	f.remaining--
+	return nil
+}
+
+func (f *faultyConn) Send(m Message) error {
+	if err := f.spend("Send"); err != nil {
+		return err
+	}
+	return f.inner.Send(m)
+}
+
+func (f *faultyConn) Recv() (Message, error) {
+	if err := f.spend("Recv"); err != nil {
+		return Message{}, err
+	}
+	return f.inner.Recv()
+}
+
+func (f *faultyConn) Close() error { return f.inner.Close() }
+
+func (f *faultyConn) Stats() Stats { return f.inner.Stats() }

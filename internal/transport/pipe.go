@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// pipeConn is one endpoint of an in-process connection. Messages flow over
+// unbuffered channels: a Send completes only when the peer Recvs, mirroring
+// the request/response discipline of the PLOS protocol.
+type pipeConn struct {
+	counter
+	send chan<- Message
+	recv <-chan Message
+
+	closeOnce sync.Once
+	closed    chan struct{}   // this endpoint closed
+	peer      <-chan struct{} // peer endpoint closed
+}
+
+// Pipe returns two connected in-process endpoints. Traffic is accounted
+// with Message.WireSize so simulated runs report deterministic volumes.
+func Pipe() (Conn, Conn) {
+	ab := make(chan Message)
+	ba := make(chan Message)
+	ca := make(chan struct{})
+	cb := make(chan struct{})
+	a := &pipeConn{send: ab, recv: ba, closed: ca, peer: cb}
+	b := &pipeConn{send: ba, recv: ab, closed: cb, peer: ca}
+	return a, b
+}
+
+func (p *pipeConn) Send(m Message) error {
+	select {
+	case <-p.closed:
+		return fmt.Errorf("transport: Send: %w", ErrClosed)
+	case <-p.peer:
+		return fmt.Errorf("transport: Send: peer %w", ErrClosed)
+	case p.send <- m:
+		p.addSent(m.WireSize())
+		return nil
+	}
+}
+
+func (p *pipeConn) Recv() (Message, error) {
+	select {
+	case <-p.closed:
+		return Message{}, fmt.Errorf("transport: Recv: %w", ErrClosed)
+	case m := <-p.recv:
+		p.addReceived(m.WireSize())
+		return m, nil
+	case <-p.peer:
+		// Drain any message raced with the close.
+		select {
+		case m := <-p.recv:
+			p.addReceived(m.WireSize())
+			return m, nil
+		default:
+			return Message{}, fmt.Errorf("transport: Recv: peer %w", ErrClosed)
+		}
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	return nil
+}

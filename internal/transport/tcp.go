@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpConn adapts a net.Conn to the Conn interface using gob encoding, with
+// real on-the-wire byte accounting via counting reader/writer wrappers.
+type tcpConn struct {
+	counter
+	nc  net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	cw  *countingWriter
+	cr  *countingReader
+
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// NewTCPConn wraps an established net.Conn. The caller keeps ownership of
+// dialing/accepting; Dial and the Listener helpers below cover the common
+// cases.
+func NewTCPConn(nc net.Conn) Conn {
+	cw := &countingWriter{w: nc}
+	cr := &countingReader{r: nc}
+	return &tcpConn{
+		nc:  nc,
+		enc: gob.NewEncoder(cw),
+		dec: gob.NewDecoder(cr),
+		cw:  cw,
+		cr:  cr,
+	}
+}
+
+// Dial connects to a PLOS server at addr ("host:port").
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: Dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+func (t *tcpConn) Send(m Message) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	before := t.cw.n
+	if err := t.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: Send: %w", err)
+	}
+	t.mu.Lock()
+	t.s.MessagesSent++
+	t.s.BytesSent += t.cw.n - before
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *tcpConn) Recv() (Message, error) {
+	var m Message
+	before := t.cr.n
+	if err := t.dec.Decode(&m); err != nil {
+		if err == io.EOF {
+			return Message{}, fmt.Errorf("transport: Recv: %w", ErrClosed)
+		}
+		return Message{}, fmt.Errorf("transport: Recv: %w", err)
+	}
+	t.mu.Lock()
+	t.s.MessagesReceived++
+	t.s.BytesReceived += t.cr.n - before
+	t.mu.Unlock()
+	return m, nil
+}
+
+func (t *tcpConn) Close() error {
+	t.closeOnce.Do(func() { t.closeErr = t.nc.Close() })
+	return t.closeErr
+}
+
+// Listener accepts PLOS protocol connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (":0" picks an ephemeral port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: Listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next client connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: Accept: %w", err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+// AcceptN collects exactly n client connections.
+func (l *Listener) AcceptN(n int) ([]Conn, error) {
+	conns := make([]Conn, 0, n)
+	for len(conns) < n {
+		c, err := l.Accept()
+		if err != nil {
+			for _, open := range conns {
+				_ = open.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,157 @@
+// Package transport provides the message-passing substrate for distributed
+// PLOS: a Message vocabulary shared by the server and the user devices, a
+// Conn abstraction with per-connection traffic accounting (paper Fig. 13
+// reports per-user message overhead in KB), an in-process channel
+// implementation for simulation-scale experiments, and a TCP/gob
+// implementation for real deployments (cmd/plos-server, cmd/plos-client).
+//
+// Only model parameters ever appear in a Message — raw user data has no
+// representation in the protocol, which is the privacy property the paper's
+// distributed design is built around.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MsgType enumerates the protocol messages of distributed PLOS.
+type MsgType int
+
+const (
+	// MsgHello is sent by a client on connect: announces its feature
+	// dimension and sample count (metadata only, never samples).
+	MsgHello MsgType = iota + 1
+	// MsgStartRound starts a CCCP round: carries the current w0 so the
+	// device can freeze its effective labels.
+	MsgStartRound
+	// MsgParams is one ADMM half-round, server to device: carries the
+	// consensus z (w0) and the device's scaled dual u_t.
+	MsgParams
+	// MsgUpdate is the device's reply: its local solution (w_t, v_t, ξ_t).
+	MsgUpdate
+	// MsgDone ends training: carries the final w0.
+	MsgDone
+	// MsgError aborts the protocol with a reason.
+	MsgError
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgStartRound:
+		return "start-round"
+	case MsgParams:
+		return "params"
+	case MsgUpdate:
+		return "update"
+	case MsgDone:
+		return "done"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", int(t))
+	}
+}
+
+// Message is the single wire frame of the protocol. Fields are used
+// according to Type; unused fields stay zero and cost nothing on the wire
+// estimate.
+type Message struct {
+	Type  MsgType
+	Round int
+	// Dim, Samples and Labeled are metadata carried by MsgHello (client
+	// side); Users is the total user count T announced by the server's
+	// hello reply.
+	Dim, Samples, Labeled, Users int
+	// W0, U, W, V are model parameter vectors.
+	W0, U, W, V []float64
+	// Xi is the device slack in MsgUpdate.
+	Xi float64
+	// Reason explains a MsgError.
+	Reason string
+	// Config distributes the training hyperparameters from the server to
+	// the devices in the hello reply.
+	Config *WireConfig
+}
+
+// WireConfig is the hyperparameter block the server pushes to devices so a
+// deployment is configured in exactly one place.
+type WireConfig struct {
+	Lambda, Cl, Cu, Epsilon, Rho  float64
+	MaxCutIter, QPMaxIter         int
+	BalanceGuard, WarmWorkingSets bool
+}
+
+// WireSize returns the deterministic size estimate of the message in bytes:
+// an 8-byte header word per scalar field plus 8 bytes per vector element.
+// The in-process transport uses it so simulated experiments report the same
+// communication volumes regardless of host encoding; the TCP transport
+// reports real encoded bytes instead.
+func (m Message) WireSize() int {
+	const header = 8 * 7 // type, round, dim, samples, labeled, users, xi
+	size := header + len(m.Reason) + 8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))
+	if m.Config != nil {
+		size += 8 * 9
+	}
+	return size
+}
+
+// Stats is a connection's cumulative traffic, as seen from the local side.
+type Stats struct {
+	MessagesSent, MessagesReceived int
+	BytesSent, BytesReceived       int64
+}
+
+// Add returns the element-wise sum of two stats (for aggregating across
+// connections).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MessagesSent:     s.MessagesSent + o.MessagesSent,
+		MessagesReceived: s.MessagesReceived + o.MessagesReceived,
+		BytesSent:        s.BytesSent + o.BytesSent,
+		BytesReceived:    s.BytesReceived + o.BytesReceived,
+	}
+}
+
+// Conn is a bidirectional, message-oriented connection with accounting.
+// Implementations must make Send and Recv safe to call from different
+// goroutines (one sender, one receiver).
+type Conn interface {
+	Send(m Message) error
+	Recv() (Message, error)
+	Close() error
+	Stats() Stats
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// counter tracks Stats under a mutex; embedded by implementations.
+type counter struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *counter) addSent(bytes int) {
+	c.mu.Lock()
+	c.s.MessagesSent++
+	c.s.BytesSent += int64(bytes)
+	c.mu.Unlock()
+}
+
+func (c *counter) addReceived(bytes int) {
+	c.mu.Lock()
+	c.s.MessagesReceived++
+	c.s.BytesReceived += int64(bytes)
+	c.mu.Unlock()
+}
+
+func (c *counter) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

@@ -1,0 +1,111 @@
+package plos
+
+import (
+	"errors"
+	"fmt"
+
+	"plos/internal/kernel"
+	"plos/internal/kplos"
+	"plos/internal/mat"
+	"plos/internal/svm"
+)
+
+// KernelSpec selects the kernel for TrainKernel. Construct with
+// LinearKernel, RBFKernel, or PolyKernel.
+type KernelSpec struct {
+	k kernel.Kernel
+}
+
+// LinearKernel selects the plain inner product (TrainKernel then matches
+// Train up to solver details).
+func LinearKernel() KernelSpec { return KernelSpec{k: kernel.Linear{}} }
+
+// RBFKernel selects the Gaussian kernel exp(−γ||x−y||²); gamma must be
+// positive.
+func RBFKernel(gamma float64) KernelSpec { return KernelSpec{k: kernel.RBF{Gamma: gamma}} }
+
+// PolyKernel selects (x·y + c)^degree.
+func PolyKernel(degree int, c float64) KernelSpec {
+	return KernelSpec{k: kernel.Polynomial{Degree: degree, C: c}}
+}
+
+// ErrBadKernel is returned for an unusable kernel specification.
+var ErrBadKernel = errors.New("plos: invalid kernel specification")
+
+// KernelModel is a trained kernelized PLOS model. Decision functions are
+// kernel expansions over the training samples, so the model retains
+// references to them.
+type KernelModel struct {
+	model *kplos.Model
+	info  Stats
+	bias  bool
+}
+
+// TrainKernel fits kernelized centralized PLOS — the paper's Algorithm 1
+// run in the RKHS of the chosen kernel (its §IV remark made concrete).
+// Use it when user data is not linearly separable; with LinearKernel it
+// reproduces Train. Only centralized training is available: the kernel
+// expansions reference samples across users, which is exactly what the
+// distributed design avoids shipping.
+func TrainKernel(users []User, spec KernelSpec, opts ...Option) (*KernelModel, error) {
+	if spec.k == nil {
+		return nil, fmt.Errorf("%w: use LinearKernel/RBFKernel/PolyKernel", ErrBadKernel)
+	}
+	if rbf, ok := spec.k.(kernel.RBF); ok && rbf.Gamma <= 0 {
+		return nil, fmt.Errorf("%w: RBF gamma must be positive", ErrBadKernel)
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	data, err := toUserData(users, o.bias)
+	if err != nil {
+		return nil, err
+	}
+	m, info, err := kplos.Train(data, o.core, spec.k)
+	if err != nil {
+		return nil, fmt.Errorf("plos: TrainKernel: %w", err)
+	}
+	return &KernelModel{
+		model: m,
+		bias:  o.bias,
+		info: Stats{
+			CCCPIterations: info.CCCPIterations,
+			CCCPConverged:  info.CCCPConverged,
+			Objective:      info.Objective,
+			Constraints:    info.Constraints,
+		},
+	}, nil
+}
+
+// NumUsers returns the number of personalized functions.
+func (m *KernelModel) NumUsers() int { return m.model.NumUsers() }
+
+// Predict classifies x with user t's personalized function.
+func (m *KernelModel) Predict(t int, x []float64) float64 {
+	return m.model.PredictUser(t, m.vec(x))
+}
+
+// Score returns user t's decision value on x.
+func (m *KernelModel) Score(t int, x []float64) float64 {
+	return m.model.ScoreUser(t, m.vec(x))
+}
+
+// PredictGlobal classifies x with the shared function (cold start).
+func (m *KernelModel) PredictGlobal(x []float64) float64 {
+	return m.model.PredictGlobal(m.vec(x))
+}
+
+// SupportSize returns how many training samples carry nonzero weight in
+// user t's decision function.
+func (m *KernelModel) SupportSize(t int) int { return m.model.SupportSize(t) }
+
+// Stats returns training diagnostics.
+func (m *KernelModel) Stats() Stats { return m.info }
+
+func (m *KernelModel) vec(x []float64) mat.Vector {
+	if m.bias {
+		return svm.AugmentBiasVec(mat.Vector(x))
+	}
+	return mat.Vector(x)
+}

@@ -1,0 +1,121 @@
+package plos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"plos/internal/rng"
+)
+
+// ringUsers builds users whose classes are radially separable (inner disc
+// vs outer ring) with per-user radius shifts.
+func ringUsers(seed int64, count, perClass int, labeledFor func(int) int) []User {
+	g := rng.New(seed)
+	users := make([]User, count)
+	for t := 0; t < count; t++ {
+		gu := g.SplitN("ring", t)
+		shift := 0.2 * float64(t)
+		u := User{}
+		labeled := labeledFor(t)
+		for i := 0; i < 2*perClass; i++ {
+			cls := 1.0
+			radius := 0.5 + 0.3*gu.Float64() + shift
+			if i%2 == 1 {
+				cls = -1
+				radius = 2.3 + 0.4*gu.Float64() + shift
+			}
+			angle := gu.Float64() * 2 * math.Pi
+			u.Features = append(u.Features, []float64{
+				radius * math.Cos(angle), radius * math.Sin(angle),
+			})
+			if i < labeled {
+				u.Labels = append(u.Labels, cls)
+			}
+		}
+		users[t] = u
+	}
+	return users
+}
+
+func ringAccuracy(predict func(x []float64) float64, u User) float64 {
+	correct := 0
+	for i, x := range u.Features {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		if predict(x) == cls {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(u.Features))
+}
+
+func TestTrainKernelRBF(t *testing.T) {
+	users := ringUsers(1, 3, 20, func(i int) int {
+		if i == 2 {
+			return 0
+		}
+		return 10
+	})
+	km, err := TrainKernel(users, RBFKernel(1), WithLambda(50), WithSeed(1))
+	if err != nil {
+		t.Fatalf("TrainKernel: %v", err)
+	}
+	if km.NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d", km.NumUsers())
+	}
+	for i, u := range users {
+		if acc := ringAccuracy(func(x []float64) float64 { return km.Predict(i, x) }, u); acc < 0.85 {
+			t.Errorf("user %d RBF accuracy = %v", i, acc)
+		}
+	}
+	// Linear PLOS cannot solve rings.
+	lm, err := Train(users, WithLambda(50), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linAcc := ringAccuracy(func(x []float64) float64 { return lm.Predict(0, x) }, users[0])
+	rbfAcc := ringAccuracy(func(x []float64) float64 { return km.Predict(0, x) }, users[0])
+	if rbfAcc <= linAcc+0.15 {
+		t.Errorf("RBF (%v) should dominate linear (%v) on rings", rbfAcc, linAcc)
+	}
+	if km.SupportSize(0) == 0 {
+		t.Error("expected nonzero support size")
+	}
+	if km.Stats().CCCPIterations == 0 {
+		t.Error("stats missing")
+	}
+	if got := km.PredictGlobal([]float64{0, 0}); got != 1 {
+		t.Errorf("PredictGlobal(center) = %v", got)
+	}
+	if km.Score(0, []float64{0, 0}) <= 0 {
+		t.Error("Score at the center should be positive")
+	}
+}
+
+func TestTrainKernelValidation(t *testing.T) {
+	users := ringUsers(2, 1, 5, func(int) int { return 4 })
+	if _, err := TrainKernel(users, KernelSpec{}); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("zero spec: %v", err)
+	}
+	if _, err := TrainKernel(users, RBFKernel(-1)); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("negative gamma: %v", err)
+	}
+	if _, err := TrainKernel(nil, LinearKernel()); !errors.Is(err, ErrNoUsers) {
+		t.Errorf("no users: %v", err)
+	}
+}
+
+func TestTrainKernelPoly(t *testing.T) {
+	users := ringUsers(3, 2, 15, func(int) int { return 10 })
+	km, err := TrainKernel(users, PolyKernel(2, 1), WithLambda(50), WithSeed(3))
+	if err != nil {
+		t.Fatalf("PolyKernel: %v", err)
+	}
+	// Degree-2 polynomial also separates rings (x² + y² is in its span).
+	if acc := ringAccuracy(func(x []float64) float64 { return km.Predict(0, x) }, users[0]); acc < 0.8 {
+		t.Errorf("poly accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,122 @@
+package plos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MulticlassUser is one participant's data for a multi-activity task: the
+// first len(Labels) rows of Features are labeled with arbitrary integer
+// class ids (e.g. the six HAR activities). The paper evaluates PLOS on one
+// binary pair; this wrapper extends it to the full task with a
+// one-vs-rest decomposition — K personalized binary PLOS models whose
+// margins are compared at prediction time.
+type MulticlassUser struct {
+	Features [][]float64
+	Labels   []int
+}
+
+// MulticlassModel holds one PLOS model per class.
+type MulticlassModel struct {
+	classes []int
+	models  []*Model
+}
+
+// ErrTooFewClasses is returned when the pooled labels cover fewer than two
+// classes.
+var ErrTooFewClasses = errors.New("plos: multiclass training needs at least two labeled classes")
+
+// TrainMulticlass fits a one-vs-rest ensemble of PLOS models. Options are
+// passed through to every binary problem.
+func TrainMulticlass(users []MulticlassUser, opts ...Option) (*MulticlassModel, error) {
+	if len(users) == 0 {
+		return nil, ErrNoUsers
+	}
+	classSet := map[int]struct{}{}
+	for t, u := range users {
+		if len(u.Labels) > len(u.Features) {
+			return nil, fmt.Errorf("plos: TrainMulticlass: user %d has more labels than samples", t)
+		}
+		for _, c := range u.Labels {
+			classSet[c] = struct{}{}
+		}
+	}
+	if len(classSet) < 2 {
+		return nil, ErrTooFewClasses
+	}
+	classes := make([]int, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	out := &MulticlassModel{classes: classes, models: make([]*Model, len(classes))}
+	for k, cls := range classes {
+		binary := make([]User, len(users))
+		for t, u := range users {
+			bu := User{Features: u.Features}
+			for _, c := range u.Labels {
+				if c == cls {
+					bu.Labels = append(bu.Labels, 1)
+				} else {
+					bu.Labels = append(bu.Labels, -1)
+				}
+			}
+			binary[t] = bu
+		}
+		m, err := Train(binary, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("plos: TrainMulticlass class %d: %w", cls, err)
+		}
+		out.models[k] = m
+	}
+	return out, nil
+}
+
+// Classes returns the class ids in the model, ascending.
+func (m *MulticlassModel) Classes() []int { return append([]int(nil), m.classes...) }
+
+// Predict classifies x with user t's personalized ensemble: the class whose
+// one-vs-rest margin is largest.
+func (m *MulticlassModel) Predict(t int, x []float64) int {
+	best, bestScore := m.classes[0], math.Inf(-1)
+	for k, cls := range m.classes {
+		if s := m.models[k].Score(t, x); s > bestScore {
+			best, bestScore = cls, s
+		}
+	}
+	return best
+}
+
+// PredictGlobal classifies x for an unseen user with the shared models.
+func (m *MulticlassModel) PredictGlobal(x []float64) int {
+	best, bestScore := m.classes[0], math.Inf(-1)
+	for k, cls := range m.classes {
+		mk := m.models[k]
+		if s := dot(mk.Global(), mk.vec(x)); s > bestScore {
+			best, bestScore = cls, s
+		}
+	}
+	return best
+}
+
+// Binary returns the underlying one-vs-rest model for a class id, or nil
+// if the class is unknown.
+func (m *MulticlassModel) Binary(class int) *Model {
+	for k, cls := range m.classes {
+		if cls == class {
+			return m.models[k]
+		}
+	}
+	return nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

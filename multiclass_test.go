@@ -1,0 +1,173 @@
+package plos
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"plos/internal/rng"
+)
+
+// threeClassUsers builds users whose samples form three well-separated
+// blobs (classes 0, 1, 2), cycling classes so labeled prefixes cover all.
+func threeClassUsers(seed int64, count, perClass, labeledPerClass int) []MulticlassUser {
+	g := rng.New(seed)
+	centers := [][]float64{{6, 0}, {-3, 5}, {-3, -5}}
+	users := make([]MulticlassUser, count)
+	for t := 0; t < count; t++ {
+		gu := g.SplitN("user", t)
+		u := MulticlassUser{}
+		n := 3 * perClass
+		for i := 0; i < n; i++ {
+			cls := i % 3
+			u.Features = append(u.Features, []float64{
+				centers[cls][0] + gu.Norm(),
+				centers[cls][1] + gu.Norm(),
+			})
+			if i < 3*labeledPerClass {
+				u.Labels = append(u.Labels, cls)
+			}
+		}
+		users[t] = u
+	}
+	return users
+}
+
+func TestTrainMulticlass(t *testing.T) {
+	users := threeClassUsers(1, 3, 15, 4)
+	users[2].Labels = nil // a zero-label user
+	m, err := TrainMulticlass(users, WithLambda(100), WithSeed(1))
+	if err != nil {
+		t.Fatalf("TrainMulticlass: %v", err)
+	}
+	if got := m.Classes(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Classes = %v", got)
+	}
+	for ti := range users {
+		correct := 0
+		for i, x := range users[ti].Features {
+			if m.Predict(ti, x) == i%3 {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(users[ti].Features)); acc < 0.85 {
+			t.Errorf("user %d multiclass accuracy = %v", ti, acc)
+		}
+	}
+	// Global prediction for a new user near class 1's center.
+	if got := m.PredictGlobal([]float64{-3, 5}); got != 1 {
+		t.Errorf("PredictGlobal = %v, want 1", got)
+	}
+	if m.Binary(1) == nil || m.Binary(99) != nil {
+		t.Error("Binary lookup wrong")
+	}
+}
+
+func TestTrainMulticlassErrors(t *testing.T) {
+	if _, err := TrainMulticlass(nil); !errors.Is(err, ErrNoUsers) {
+		t.Errorf("nil users: %v", err)
+	}
+	oneClass := []MulticlassUser{{
+		Features: [][]float64{{1, 2}, {3, 4}},
+		Labels:   []int{5, 5},
+	}}
+	if _, err := TrainMulticlass(oneClass); !errors.Is(err, ErrTooFewClasses) {
+		t.Errorf("one class: %v", err)
+	}
+	tooMany := []MulticlassUser{{
+		Features: [][]float64{{1, 2}},
+		Labels:   []int{0, 1},
+	}}
+	if _, err := TrainMulticlass(tooMany); err == nil {
+		t.Error("labels > samples should error")
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	users := makeUsers(5, 3, 10, 0.2, func(i int) int { return 8 })
+	m, err := Train(users, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if loaded.NumUsers() != m.NumUsers() {
+		t.Fatalf("NumUsers mismatch")
+	}
+	for ti := range users {
+		for _, x := range users[ti].Features[:5] {
+			if m.Predict(ti, x) != loaded.Predict(ti, x) {
+				t.Fatalf("prediction changed after round trip")
+			}
+			if m.Score(ti, x) != loaded.Score(ti, x) {
+				t.Fatalf("score changed after round trip")
+			}
+		}
+	}
+	if m.PredictGlobal([]float64{1, 1}) != loaded.PredictGlobal([]float64{1, 1}) {
+		t.Error("global prediction changed")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"wrong version", `{"version": 99, "w0": [1]}`},
+		{"missing w0", `{"version": 1, "w0": []}`},
+		{"ragged w", `{"version": 1, "w0": [1, 2], "w": [[1]]}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadModel(strings.NewReader(tc.data)); !errors.Is(err, ErrBadModelFile) {
+				t.Errorf("err = %v, want ErrBadModelFile", err)
+			}
+		})
+	}
+}
+
+func TestTrainAsyncPublicAPI(t *testing.T) {
+	// TrainAsync is exposed through the facade below; exercise it.
+	users := makeUsers(6, 3, 10, 0.1, func(i int) int {
+		if i == 2 {
+			return 0
+		}
+		return 8
+	})
+	m, err := TrainAsync(users, WithSeed(6))
+	if err != nil {
+		t.Fatalf("TrainAsync: %v", err)
+	}
+	var acc float64
+	for i, u := range users {
+		acc += userAccuracy(m, i, u)
+	}
+	if acc/3 < 0.8 {
+		t.Errorf("async facade accuracy = %v", acc/3)
+	}
+}
+
+func TestLoadModelDroppedUser(t *testing.T) {
+	// A model saved after a device dropout carries a null hyperplane;
+	// it must round-trip without error.
+	data := `{"version":1,"bias":true,"w0":[1,2],"w":[[3,4],null]}`
+	m, err := LoadModel(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if m.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d", m.NumUsers())
+	}
+	if got := m.Predict(0, []float64{1}); got != 1 {
+		t.Errorf("surviving user predict = %v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package plos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+)
+
+// modelFile is the on-disk JSON schema. Version guards future format
+// changes; bias must round-trip so Predict augments consistently.
+type modelFile struct {
+	Version int         `json:"version"`
+	Bias    bool        `json:"bias"`
+	W0      []float64   `json:"w0"`
+	W       [][]float64 `json:"w"`
+}
+
+const modelFileVersion = 1
+
+// ErrBadModelFile is wrapped into errors returned by LoadModel for
+// malformed or incompatible files.
+var ErrBadModelFile = errors.New("plos: invalid model file")
+
+// Save serializes the trained model as JSON. The format is stable and
+// versioned, so models can move between a training server and devices.
+func (m *Model) Save(w io.Writer) error {
+	file := modelFile{
+		Version: modelFileVersion,
+		Bias:    m.bias,
+		W0:      m.model.W0,
+		W:       make([][]float64, len(m.model.W)),
+	}
+	for t, wt := range m.model.W {
+		file.W[t] = wt
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(file); err != nil {
+		return fmt.Errorf("plos: Model.Save: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var file modelFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModelFile, err)
+	}
+	if file.Version != modelFileVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadModelFile, file.Version, modelFileVersion)
+	}
+	if len(file.W0) == 0 {
+		return nil, fmt.Errorf("%w: missing global hyperplane", ErrBadModelFile)
+	}
+	cm := &core.Model{W0: mat.Vector(file.W0), W: make([]mat.Vector, len(file.W))}
+	for t, wt := range file.W {
+		if wt == nil {
+			continue // user dropped out during distributed training
+		}
+		if len(wt) != len(file.W0) {
+			return nil, fmt.Errorf("%w: user %d hyperplane has %d dims, global has %d",
+				ErrBadModelFile, t, len(wt), len(file.W0))
+		}
+		cm.W[t] = mat.Vector(wt)
+	}
+	return &Model{model: cm, bias: file.Bias}, nil
+}

@@ -1,0 +1,279 @@
+// Package plos is a from-scratch Go implementation of PLOS, the
+// Personalized Learning framework for mObile Sensing applications
+// (Jiang et al., ICDCS 2018).
+//
+// PLOS jointly trains one classifier per user from a population in which
+// many users label little or none of their data: a shared global
+// hyperplane captures what all users have in common, per-user offsets
+// capture how each user differs, and unlabeled samples contribute through
+// maximum-margin clustering terms. Training is available in two modes:
+//
+//   - Train: the centralized solver (CCCP + cutting planes + a QP dual) —
+//     all data in one process.
+//   - TrainDistributed: the same objective solved by consensus ADMM with
+//     per-user local solvers — in-process here, or across real devices via
+//     Serve/Join, where raw data never leaves a device and only model
+//     parameters cross the wire.
+//
+// The minimal flow:
+//
+//	users := []plos.User{
+//	    {Features: laura, Labels: []float64{+1, -1, +1}}, // labels cover the first rows
+//	    {Features: noah},                                 // no labels at all
+//	}
+//	model, err := plos.Train(users, plos.WithLambda(100))
+//	...
+//	class := model.Predict(1, sample) // Noah's personalized classifier
+//
+// See DESIGN.md for the algorithm and EXPERIMENTS.md for the reproduction
+// of the paper's evaluation.
+package plos
+
+import (
+	"fmt"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/svm"
+)
+
+// User is one participant's training data. Features rows are samples;
+// Labels, when present, label the FIRST len(Labels) rows with ±1 (the
+// paper's l_t prefix convention). A user with no labels still contributes
+// the structure of their unlabeled data and receives a personalized
+// classifier.
+type User struct {
+	Features [][]float64
+	Labels   []float64
+}
+
+// options aggregates the functional options.
+type options struct {
+	core  core.Config
+	dist  core.DistConfig
+	async core.AsyncConfig
+	bias  bool
+}
+
+func defaultOptions() options {
+	return options{bias: true}
+}
+
+// Option customizes training.
+type Option func(*options)
+
+// WithLambda sets the personalization strength λ: large values tie every
+// user to the global model, small values let users follow their own data.
+// The paper finds a broad optimum near λ = 100 (Fig. 7).
+func WithLambda(lambda float64) Option {
+	return func(o *options) { o.core.Lambda = lambda }
+}
+
+// WithLossWeights sets Cl and Cu, the loss weights of labeled and
+// unlabeled samples (defaults 1 and 0.2). Pass cu = 0 to ignore unlabeled
+// data entirely.
+func WithLossWeights(cl, cu float64) Option {
+	return func(o *options) {
+		o.core.Cl = cl
+		if cu == 0 {
+			o.core.Cu = -1 // the core sentinel for "disabled"
+		} else {
+			o.core.Cu = cu
+		}
+	}
+}
+
+// WithEpsilon sets the cutting-plane tolerance ε (default 1e-3).
+func WithEpsilon(eps float64) Option {
+	return func(o *options) { o.core.Epsilon = eps }
+}
+
+// WithSeed fixes all internal randomness for reproducible training.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.core.Seed = seed }
+}
+
+// WithoutBias disables the automatic constant-1 feature: hyperplanes then
+// pass through the origin (the paper's footnote-1 convention in reverse).
+func WithoutBias() Option {
+	return func(o *options) { o.bias = false }
+}
+
+// WithBalanceGuard enables the class-balance heuristic that keeps
+// zero-label users' max-margin clustering from collapsing to one side.
+func WithBalanceGuard() Option {
+	return func(o *options) { o.core.BalanceGuard = true }
+}
+
+// WithWarmWorkingSets keeps cutting-plane working sets across CCCP rounds
+// (faster, slightly less faithful to the paper's Algorithm 1).
+func WithWarmWorkingSets() Option {
+	return func(o *options) { o.core.WarmWorkingSets = true }
+}
+
+// WithADMM sets the distributed solver's penalty ρ and absolute stopping
+// tolerance ε_abs (defaults 1 and 1e-3, the paper's §VI-E settings). It
+// has no effect on centralized training.
+func WithADMM(rho, epsAbs float64) Option {
+	return func(o *options) {
+		o.dist.Rho = rho
+		o.dist.EpsAbs = epsAbs
+	}
+}
+
+// WithParallelWorkers runs distributed users' local solvers on separate
+// goroutines, mirroring devices computing concurrently.
+func WithParallelWorkers() Option {
+	return func(o *options) { o.dist.Parallel = true }
+}
+
+// WithAsyncBarrier sets the partial-barrier size of TrainAsync: the number
+// of fresh device updates that triggers a consensus refresh (default T/4;
+// T reproduces a synchronous schedule). It has no effect on the other
+// trainers.
+func WithAsyncBarrier(updates int) Option {
+	return func(o *options) { o.async.Barrier = updates }
+}
+
+// Model is a trained PLOS model.
+type Model struct {
+	model *core.Model
+	info  core.TrainInfo
+	bias  bool
+}
+
+// ErrNoUsers is returned when Train is called with an empty population.
+var ErrNoUsers = core.ErrNoUsers
+
+func toUserData(users []User, bias bool) ([]core.UserData, error) {
+	if len(users) == 0 {
+		return nil, ErrNoUsers
+	}
+	out := make([]core.UserData, len(users))
+	for t, u := range users {
+		if len(u.Features) == 0 {
+			return nil, fmt.Errorf("plos: user %d: %w", t, core.ErrEmptyUser)
+		}
+		x := mat.FromRows(u.Features)
+		if bias {
+			x = svm.AugmentBias(x)
+		}
+		out[t] = core.UserData{X: x, Y: append([]float64(nil), u.Labels...)}
+	}
+	return out, nil
+}
+
+// Train fits the centralized PLOS model (paper Algorithm 1).
+func Train(users []User, opts ...Option) (*Model, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	data, err := toUserData(users, o.bias)
+	if err != nil {
+		return nil, err
+	}
+	m, info, err := core.TrainCentralized(data, o.core)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Train: %w", err)
+	}
+	return &Model{model: m, info: info, bias: o.bias}, nil
+}
+
+// TrainDistributed fits the same objective with the ADMM-based distributed
+// solver (paper Algorithm 2), running every user's device logic in this
+// process. For training across real machines see Serve and Join.
+func TrainDistributed(users []User, opts ...Option) (*Model, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	data, err := toUserData(users, o.bias)
+	if err != nil {
+		return nil, err
+	}
+	m, info, err := core.TrainDistributed(data, o.core, o.dist)
+	if err != nil {
+		return nil, fmt.Errorf("plos: TrainDistributed: %w", err)
+	}
+	return &Model{model: m, info: info, bias: o.bias}, nil
+}
+
+// TrainAsync fits the objective with the asynchronous distributed solver:
+// devices never wait for each other; the consensus refreshes at a partial
+// barrier (the paper's §VII future-work scenario, where some users may
+// delay their responses arbitrarily long). Accuracy matches the
+// synchronous trainers to within solver tolerance.
+func TrainAsync(users []User, opts ...Option) (*Model, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	data, err := toUserData(users, o.bias)
+	if err != nil {
+		return nil, err
+	}
+	m, info, err := core.TrainAsync(data, o.core, o.async)
+	if err != nil {
+		return nil, fmt.Errorf("plos: TrainAsync: %w", err)
+	}
+	return &Model{model: m, info: info, bias: o.bias}, nil
+}
+
+// NumUsers returns the number of personalized classifiers in the model.
+func (m *Model) NumUsers() int { return m.model.NumUsers() }
+
+// Predict classifies x with user t's personalized hyperplane, returning
+// +1 or −1.
+func (m *Model) Predict(t int, x []float64) float64 {
+	return m.model.PredictUser(t, m.vec(x))
+}
+
+// Score returns user t's signed margin on x (distance-scaled confidence).
+func (m *Model) Score(t int, x []float64) float64 {
+	return m.model.ScoreUser(t, m.vec(x))
+}
+
+// PredictGlobal classifies x with the shared hyperplane — the model to
+// apply to a brand-new user with no training presence (cold start).
+func (m *Model) PredictGlobal(x []float64) float64 {
+	return m.model.PredictGlobal(m.vec(x))
+}
+
+// Global returns a copy of the shared hyperplane w0 (including the bias
+// weight as the last entry when bias is enabled).
+func (m *Model) Global() []float64 {
+	return append([]float64(nil), m.model.W0...)
+}
+
+// Personalized returns a copy of user t's hyperplane.
+func (m *Model) Personalized(t int) []float64 {
+	return append([]float64(nil), m.model.W[t]...)
+}
+
+// Stats reports solver diagnostics from training.
+type Stats struct {
+	CCCPIterations int
+	CCCPConverged  bool
+	Objective      float64
+	Constraints    int
+	ADMMIterations int
+}
+
+// Stats returns the training diagnostics.
+func (m *Model) Stats() Stats {
+	return Stats{
+		CCCPIterations: m.info.CCCPIterations,
+		CCCPConverged:  m.info.CCCPConverged,
+		Objective:      m.info.Objective,
+		Constraints:    m.info.Constraints,
+		ADMMIterations: m.info.ADMMIterations,
+	}
+}
+
+func (m *Model) vec(x []float64) mat.Vector {
+	if m.bias {
+		return svm.AugmentBiasVec(mat.Vector(x))
+	}
+	return mat.Vector(x)
+}

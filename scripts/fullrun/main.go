@@ -1,0 +1,95 @@
+// fullrun regenerates the remaining paper-scale figures (7–13) with the
+// reductions documented in EXPERIMENTS.md (trials=2; coarser λ grid for
+// Fig 7; 5 of the 10 population sizes for Figs 11–12), chosen so the whole
+// evaluation completes on a single core.
+//
+//	go run ./scripts/fullrun >> benchrun_full.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"plos/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fullrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cohort := eval.CohortOptions{Trials: 2, Seed: 1, Lambda: 100, Cl: 1, Cu: 0.2}
+	harOpt := eval.HAROptions{CohortOptions: cohort, LogLambdas: []float64{0, 1, 2, 3, 4}}
+	synth := eval.SynthOptions{CohortOptions: cohort}
+	lowLambda := cohort
+	lowLambda.Lambda = 10
+	synthLow := eval.SynthOptions{CohortOptions: lowLambda}
+	scale := eval.ScaleOptions{CohortOptions: cohort, UserCounts: []int{10, 40, 70, 100}}
+
+	two := func(name string, f func() (eval.Figure, eval.Figure, error)) error {
+		a, b, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(a.Format())
+		fmt.Println(b.Format())
+		return nil
+	}
+	one := func(name string, f func() (eval.Figure, error)) error {
+		a, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(a.Format())
+		return nil
+	}
+
+	steps := []func() error{
+		func() error {
+			return two("fig8", func() (eval.Figure, eval.Figure, error) { return eval.Fig8(synth) })
+		},
+		func() error {
+			return two("fig9", func() (eval.Figure, eval.Figure, error) { return eval.Fig9(synth) })
+		},
+		func() error {
+			return two("fig10", func() (eval.Figure, eval.Figure, error) { return eval.Fig10(synth) })
+		},
+		func() error {
+			// Supplement: Fig 8 at λ=10 — the paper cross-validates λ per
+			// point, and at large rotations a small λ is what it would
+			// pick; see EXPERIMENTS.md.
+			return two("fig8-lambda10", func() (eval.Figure, eval.Figure, error) {
+				a, b, err := eval.Fig8(synthLow)
+				a.ID += "-lambda10"
+				b.ID += "-lambda10"
+				a.Title += " (lambda=10)"
+				b.Title += " (lambda=10)"
+				return a, b, err
+			})
+		},
+		func() error {
+			return one("fig13", func() (eval.Figure, error) { return eval.Fig13(scale) })
+		},
+		func() error {
+			return two("fig7", func() (eval.Figure, eval.Figure, error) { return eval.Fig7(harOpt) })
+		},
+		func() error {
+			return two("fig11", func() (eval.Figure, eval.Figure, error) { return eval.Fig11(scale) })
+		},
+		func() error {
+			return one("fig12", func() (eval.Figure, error) { return eval.Fig12(scale) })
+		},
+		func() error {
+			return one("energy", func() (eval.Figure, error) { return eval.EnergyComparison(scale) })
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Splice bench outputs into EXPERIMENTS.md.
+
+Replaces the <!-- RESULTS --> marker with per-figure fenced blocks from
+benchrun_full.txt and the <!-- ABLATIONS --> marker with the ablation
+tables from benchrun_ablations.txt (if present).
+"""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = root / "EXPERIMENTS.md"
+full = root / "benchrun_full.txt"
+abl = root / "benchrun_ablations.txt"
+
+text = exp.read_text()
+
+def blocks(path):
+    if not path.exists():
+        return "*(run pending)*\n"
+    raw = path.read_text().strip()
+    # Split on blank lines between figures; keep each as a fenced block.
+    figs = re.split(r"\n\n(?=\S)", raw)
+    out = []
+    for f in figs:
+        first = f.splitlines()[0]
+        title = first.split(":", 1)[0] if ":" in first else first
+        out.append(f"### {title}\n\n```\n{f}\n```\n")
+    return "\n".join(out)
+
+text = text.replace("<!-- RESULTS -->", blocks(full))
+text = text.replace("<!-- ABLATIONS -->", blocks(abl))
+exp.write_text(text)
+print("spliced", exp)

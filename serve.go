@@ -1,0 +1,140 @@
+package plos
+
+import (
+	"errors"
+	"fmt"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/protocol"
+	"plos/internal/svm"
+	"plos/internal/transport"
+)
+
+// ServeResult is the coordinator-side outcome of a distributed run: the
+// trained model plus per-device traffic accounting (what the paper's
+// Fig. 13 reports).
+type ServeResult struct {
+	Model *Model
+	// Dropped[t] is true if device t died mid-training; its personalized
+	// hyperplane is then absent from the model.
+	Dropped []bool
+	// TrafficBytes[t] is the total bytes exchanged with device t;
+	// TrafficMessages[t] the message count.
+	TrafficBytes    []int64
+	TrafficMessages []int
+}
+
+// Serve runs the PLOS coordinator on addr ("host:port"; ":0" picks a free
+// port) and trains with exactly `devices` connected Join peers. It blocks
+// until training completes. onListen, if non-nil, receives the bound
+// address before accepting starts (useful with ":0").
+//
+// Raw data never reaches the coordinator: devices exchange only model
+// parameters (paper §V).
+func Serve(addr string, devices int, onListen func(addr string), opts ...Option) (*ServeResult, error) {
+	if devices <= 0 {
+		return nil, errors.New("plos: Serve: need at least one device")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Serve: %w", err)
+	}
+	defer l.Close()
+	if onListen != nil {
+		onListen(l.Addr())
+	}
+	conns, err := l.AcceptN(devices)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Serve: %w", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	res, err := protocol.RunServer(conns, protocol.ServerConfig{Core: o.core, Dist: o.dist})
+	if err != nil {
+		return nil, fmt.Errorf("plos: Serve: %w", err)
+	}
+	out := &ServeResult{
+		Model:   &Model{model: res.Model, info: res.Info, bias: o.bias},
+		Dropped: res.Dropped,
+	}
+	for _, s := range res.PerUser {
+		out.TrafficBytes = append(out.TrafficBytes, s.BytesSent+s.BytesReceived)
+		out.TrafficMessages = append(out.TrafficMessages, s.MessagesSent+s.MessagesReceived)
+	}
+	return out, nil
+}
+
+// DeviceModel is what a device holds after Join completes: the shared
+// hyperplane and its own personalized one.
+type DeviceModel struct {
+	global, personal mat.Vector
+	bias             bool
+	// Bytes and Messages account the device's total traffic.
+	Bytes    int64
+	Messages int
+}
+
+// Predict classifies x with the device's personalized hyperplane.
+func (d *DeviceModel) Predict(x []float64) float64 {
+	v := mat.Vector(x)
+	if d.bias {
+		v = svm.AugmentBiasVec(v)
+	}
+	if d.personal.Dot(v) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Global returns a copy of the shared hyperplane.
+func (d *DeviceModel) Global() []float64 { return append([]float64(nil), d.global...) }
+
+// Personalized returns a copy of the device's hyperplane.
+func (d *DeviceModel) Personalized() []float64 { return append([]float64(nil), d.personal...) }
+
+// Join connects a device to a Serve coordinator at addr and participates
+// in training with its local data. It blocks until the coordinator
+// finishes. The user's raw samples are never serialized.
+//
+// The training hyperparameters (λ, Cl, Cu, ρ, …) are decided by the
+// coordinator and pushed to devices; Join's options only cover
+// device-local choices (bias augmentation must match the coordinator's,
+// and the seed drives the local initialization).
+func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if len(user.Features) == 0 {
+		return nil, fmt.Errorf("plos: Join: %w", core.ErrEmptyUser)
+	}
+	x := mat.FromRows(user.Features)
+	if o.bias {
+		x = svm.AugmentBias(x)
+	}
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Join: %w", err)
+	}
+	defer conn.Close()
+	res, err := protocol.RunClient(conn, core.UserData{X: x, Y: append([]float64(nil), user.Labels...)},
+		protocol.ClientOptions{Seed: o.core.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("plos: Join: %w", err)
+	}
+	return &DeviceModel{
+		global:   res.W0,
+		personal: res.W,
+		bias:     o.bias,
+		Bytes:    res.Traffic.BytesSent + res.Traffic.BytesReceived,
+		Messages: res.Traffic.MessagesSent + res.Traffic.MessagesReceived,
+	}, nil
+}

@@ -1,0 +1,137 @@
+package plos
+
+import (
+	"fmt"
+	"math"
+
+	"plos/internal/features"
+)
+
+// Stream is an online classifier for one sensing node's live signal: push
+// raw 5-channel samples as they arrive and receive a prediction for every
+// completed sliding window (the paper's 3.2 s windows at 50% overlap,
+// computed incrementally).
+//
+// Unlike the batch pipeline (ExtractWindows), which z-normalizes each
+// channel over the whole recording, a stream cannot see the future: it
+// normalizes with *running* mean/variance (Welford), so early-window
+// features are computed against a still-settling baseline. Prime the
+// stream with a few seconds of data before trusting its output.
+type Stream struct {
+	predict func(x []float64) float64
+	cfg     SignalConfig
+
+	factor int
+	width  int
+	stride int
+
+	// decimation + per-channel running stats.
+	tick  int
+	stats [features.SignalsPerNode]welford
+	// ring buffers of normalized, decimated samples per channel.
+	buf   [features.SignalsPerNode][]float64
+	count int // decimated samples seen
+}
+
+type welford struct {
+	n        float64
+	mean, m2 float64
+}
+
+func (w *welford) push(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / w.n
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) normalize(x float64) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	std := math.Sqrt(w.m2 / w.n)
+	if std < 1e-12 {
+		return 0
+	}
+	return (x - w.mean) / std
+}
+
+// NewStream builds a stream that classifies windows with predict — any
+// classifier over the node's FeaturesPerNode-dimensional window features:
+// model.PredictGlobal, a closure over model.Predict(t, ·), or a
+// DeviceModel.Predict.
+func NewStream(predict func(x []float64) float64, cfg SignalConfig) (*Stream, error) {
+	if predict == nil {
+		return nil, fmt.Errorf("plos: NewStream: nil predictor")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.SampleHz%cfg.TargetHz != 0 {
+		return nil, fmt.Errorf("plos: NewStream: TargetHz %d must divide SampleHz %d",
+			cfg.TargetHz, cfg.SampleHz)
+	}
+	width := int(cfg.WindowSec * float64(cfg.TargetHz))
+	if width < 2 {
+		return nil, fmt.Errorf("plos: NewStream: window too short (%d samples)", width)
+	}
+	return &Stream{
+		predict: predict,
+		cfg:     cfg,
+		factor:  cfg.SampleHz / cfg.TargetHz,
+		width:   width,
+		stride:  width / 2,
+	}, nil
+}
+
+// Prediction is one classified window.
+type Prediction struct {
+	// Class is the ±1 decision for the window ending at this sample.
+	Class float64
+	// EndSample is the (decimated) sample index the window ends at.
+	EndSample int
+}
+
+// Push consumes one raw multichannel sample (accel x/y/z, gyro u/v) and
+// returns a prediction when it completes a window, or nil otherwise.
+func (s *Stream) Push(sample [5]float64) (*Prediction, error) {
+	keep := s.tick%s.factor == 0
+	s.tick++
+	if !keep {
+		return nil, nil
+	}
+	for c, v := range sample {
+		s.stats[c].push(v)
+		var norm float64
+		if s.cfg.SkipNormalize {
+			norm = v
+		} else {
+			norm = s.stats[c].normalize(v)
+		}
+		s.buf[c] = append(s.buf[c], norm)
+		if len(s.buf[c]) > s.width {
+			s.buf[c] = s.buf[c][1:]
+		}
+	}
+	s.count++
+	if s.count < s.width || (s.count-s.width)%s.stride != 0 {
+		return nil, nil
+	}
+	sigs := make([][]float64, features.SignalsPerNode)
+	for c := range sigs {
+		sigs[c] = s.buf[c]
+	}
+	f, err := features.NodeFeatures(sigs)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Stream.Push: %w", err)
+	}
+	return &Prediction{Class: s.predict(f), EndSample: s.count}, nil
+}
+
+// Reset clears the buffers and running statistics (e.g. when the device is
+// re-mounted).
+func (s *Stream) Reset() {
+	s.tick, s.count = 0, 0
+	for c := range s.buf {
+		s.buf[c] = nil
+		s.stats[c] = welford{}
+	}
+}

@@ -1,0 +1,151 @@
+package plos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(nil, SignalConfig{}); err == nil {
+		t.Error("nil predictor should error")
+	}
+	ok := func(x []float64) float64 { return 1 }
+	if _, err := NewStream(ok, SignalConfig{SampleHz: 100, TargetHz: 33}); err == nil {
+		t.Error("non-divisible rates should error")
+	}
+	if _, err := NewStream(ok, SignalConfig{SampleHz: 20, TargetHz: 20, WindowSec: 0.01}); err == nil {
+		t.Error("sub-2-sample window should error")
+	}
+}
+
+func TestStreamEmitsAtWindowBoundaries(t *testing.T) {
+	// 20 Hz in = 20 Hz out (factor 1), 3.2 s window = 64 samples, stride 32.
+	st, err := NewStream(func([]float64) float64 { return 1 }, SignalConfig{SampleHz: 20, TargetHz: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	var emits []int
+	for i := 0; i < 200; i++ {
+		p, err := st.Push([5]float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			emits = append(emits, p.EndSample)
+		}
+	}
+	want := []int{64, 96, 128, 160, 192}
+	if len(emits) != len(want) {
+		t.Fatalf("emits = %v, want %v", emits, want)
+	}
+	for i := range want {
+		if emits[i] != want[i] {
+			t.Fatalf("emits = %v, want %v", emits, want)
+		}
+	}
+}
+
+func TestStreamDecimates(t *testing.T) {
+	// 100 Hz in, 20 Hz out: a window needs 64·5 raw pushes.
+	st, err := NewStream(func([]float64) float64 { return -1 }, SignalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for i := 0; i < 64*5; i++ {
+		p, err := st.Push([5]float64{1, 2, 3, 4, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			emitted++
+			if p.Class != -1 {
+				t.Fatalf("Class = %v", p.Class)
+			}
+		}
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted = %d windows, want exactly 1", emitted)
+	}
+}
+
+func TestStreamClassifiesPostureChange(t *testing.T) {
+	// Train a model on two synthetic "postures" (distinct channel means),
+	// then stream a recording that switches posture halfway: the stream's
+	// later windows must pick up the change.
+	users := makeStreamTrainingUser()
+	model, err := Train([]User{users}, WithLambda(10), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SkipNormalize on both sides so train and stream features share a
+	// scale (running normalization would re-center the regimes away).
+	st, err := NewStream(model.PredictGlobal,
+		SignalConfig{SampleHz: 20, TargetHz: 20, SkipNormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	var last *Prediction
+	push := func(mean float64, n int) {
+		for i := 0; i < n; i++ {
+			s := [5]float64{}
+			for c := range s {
+				s[c] = mean + r.NormFloat64()*0.2
+			}
+			p, err := st.Push(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p != nil {
+				last = p
+			}
+		}
+	}
+	// Settle the running stats across both regimes, then check the final
+	// window's class flips with the posture.
+	push(2, 400)
+	if last == nil || last.Class != 1 {
+		t.Fatalf("high-mean regime class = %+v, want +1", last)
+	}
+	push(-2, 400)
+	if last.Class != -1 {
+		t.Fatalf("low-mean regime class = %v, want -1", last.Class)
+	}
+	st.Reset()
+	if p, _ := st.Push([5]float64{}); p != nil {
+		t.Error("Reset should clear the window buffer")
+	}
+}
+
+// makeStreamTrainingUser builds window features for two channel-mean
+// regimes using the batch pipeline, labeled +1 (high) and −1 (low).
+func makeStreamTrainingUser() User {
+	r := rand.New(rand.NewSource(9))
+	gen := func(mean float64, windows int) [][]float64 {
+		n := (windows+1)*32 + 32 // enough 20 Hz samples for `windows` windows
+		chans := make([][]float64, 5)
+		for c := range chans {
+			chans[c] = make([]float64, n)
+			for i := range chans[c] {
+				chans[c][i] = mean + r.NormFloat64()*0.2
+			}
+		}
+		f, err := ExtractWindows(chans, SignalConfig{SampleHz: 20, TargetHz: 20, SkipNormalize: true})
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	high := gen(2, 20)
+	low := gen(-2, 20)
+	u := User{}
+	for i := 0; i < len(high) && i < len(low); i++ {
+		u.Features = append(u.Features, high[i])
+		u.Labels = append(u.Labels, 1)
+		u.Features = append(u.Features, low[i])
+		u.Labels = append(u.Labels, -1)
+	}
+	return u
+}
