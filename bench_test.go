@@ -8,7 +8,9 @@ package plos
 // cmd/plos-bench -full. EXPERIMENTS.md records paper-vs-measured shapes.
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"plos/internal/cluster"
@@ -116,6 +118,28 @@ func BenchmarkFig05HARLabelProviders(b *testing.B) {
 		}
 	}
 	logPanels(b, pa, pb)
+}
+
+// BenchmarkTrainParallel measures the worker-pool payoff on the Fig. 5 HAR
+// workload: identical cohorts and seeds, only the WithWorkers count differs.
+// The outputs are bit-identical by construction (determinism_test.go), so
+// any time delta is pure scheduling.
+func BenchmarkTrainParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchHAR()
+			opts.Workers = workers
+			var pa, pb eval.Figure
+			for i := 0; i < b.N; i++ {
+				var err error
+				pa, pb, err = eval.Fig5(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			logPanels(b, pa, pb)
+		})
+	}
 }
 
 func BenchmarkFig06HARTrainingRate(b *testing.B) {

@@ -17,25 +17,27 @@ import (
 	"os"
 
 	"plos/internal/eval"
+	"plos/internal/parallel"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 3..13, 'ablations', or 'all'")
-		full   = flag.Bool("full", false, "paper-scale cohorts (slow)")
-		trials = flag.Int("trials", 0, "trials per point (default 3, or 1 when reduced)")
-		seed   = flag.Int64("seed", 1, "experiment seed")
-		lambda = flag.Float64("lambda", 100, "PLOS lambda")
-		format = flag.String("format", "table", "output format: table | csv")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3..13, 'ablations', or 'all'")
+		full    = flag.Bool("full", false, "paper-scale cohorts (slow)")
+		trials  = flag.Int("trials", 0, "trials per point (default 3, or 1 when reduced)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		lambda  = flag.Float64("lambda", 100, "PLOS lambda")
+		workers = flag.Int("workers", 0, "goroutine fan-out (0 = GOMAXPROCS, 1 = sequential); figure values are identical either way")
+		format  = flag.String("format", "table", "output format: table | csv")
 	)
 	flag.Parse()
-	if err := run(*fig, *full, *trials, *seed, *lambda, *format); err != nil {
+	if err := run(*fig, *full, *trials, *seed, *lambda, *workers, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, trials int, seed int64, lambda float64, format string) error {
+func run(fig string, full bool, trials int, seed int64, lambda float64, workers int, format string) error {
 	if format != "table" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", format)
 	}
@@ -46,7 +48,7 @@ func run(fig string, full bool, trials int, seed int64, lambda float64, format s
 			trials = 1
 		}
 	}
-	cohort := eval.CohortOptions{Trials: trials, Seed: seed, Lambda: lambda, Cl: 1, Cu: 0.2}
+	cohort := eval.CohortOptions{Trials: trials, Seed: seed, Lambda: lambda, Cl: 1, Cu: 0.2, Workers: workers}
 
 	body := eval.BodyOptions{CohortOptions: cohort}
 	harOpt := eval.HAROptions{CohortOptions: cohort}
@@ -119,11 +121,39 @@ func run(fig string, full bool, trials int, seed int64, lambda float64, format s
 		}
 		selected = []string{fig}
 	}
-	for _, id := range selected {
-		out, err := figures[id]()
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", id, err)
+	// Per-figure fan-out: independent figures run concurrently; outputs are
+	// gathered by position and printed in the canonical order. The timing
+	// figures (12, energy) measure wall clock, so they run sequentially
+	// after the pool drains instead of contending with the others.
+	timing := map[string]bool{"12": true, "energy": true}
+	var pooled, timed []int
+	for i, id := range selected {
+		if timing[id] {
+			timed = append(timed, i)
+		} else {
+			pooled = append(pooled, i)
 		}
+	}
+	results := make([][]eval.Figure, len(selected))
+	if err := parallel.For(workers, len(pooled), func(k int) error {
+		i := pooled[k]
+		out, err := figures[selected[i]]()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", selected[i], err)
+		}
+		results[i] = out
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, i := range timed {
+		out, err := figures[selected[i]]()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", selected[i], err)
+		}
+		results[i] = out
+	}
+	for _, out := range results {
 		for _, f := range out {
 			if format == "csv" {
 				fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())

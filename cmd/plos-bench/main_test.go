@@ -3,26 +3,26 @@ package main
 import "testing"
 
 func TestRunUnknownFormat(t *testing.T) {
-	if err := run("9", false, 1, 1, 100, "xml"); err == nil {
+	if err := run("9", false, 1, 1, 100, 0, "xml"); err == nil {
 		t.Error("unknown format should error")
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("99", false, 1, 1, 100, "table"); err == nil {
+	if err := run("99", false, 1, 1, 100, 0, "table"); err == nil {
 		t.Error("unknown figure should error")
 	}
 }
 
 func TestRunSingleFigureReduced(t *testing.T) {
 	// Smoke: regenerate one cheap figure end to end through the CLI path.
-	if err := run("9", false, 1, 1, 100, "csv"); err != nil {
+	if err := run("9", false, 1, 1, 100, 0, "csv"); err != nil {
 		t.Fatalf("run fig 9: %v", err)
 	}
 }
 
 func TestRunAblationsReduced(t *testing.T) {
-	if err := run("ablations", false, 1, 1, 100, "table"); err != nil {
+	if err := run("ablations", false, 1, 1, 100, 0, "table"); err != nil {
 		t.Fatalf("run ablations: %v", err)
 	}
 }

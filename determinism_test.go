@@ -1,0 +1,128 @@
+package plos
+
+import (
+	"runtime"
+	"testing"
+)
+
+// exactEqual is bit-level float equality — the determinism contract of
+// WithWorkers is byte-identical models, not approximately equal ones.
+func exactEqual(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func detUsers(seed int64) []User {
+	return makeUsers(seed, 3, 10, 0.2, func(i int) int {
+		if i == 2 {
+			return 0
+		}
+		return 8
+	})
+}
+
+func compareModels(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	exactEqual(t, label+": global", a.Global(), b.Global())
+	for u := 0; u < a.NumUsers(); u++ {
+		exactEqual(t, label+": personalized", a.Personalized(u), b.Personalized(u))
+	}
+	if a.Stats().Objective != b.Stats().Objective {
+		t.Fatalf("%s: objective %v vs %v", label, a.Stats().Objective, b.Stats().Objective)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("%s: stats %+v vs %+v", label, a.Stats(), b.Stats())
+	}
+}
+
+// TestTrainDeterministicAcrossWorkers is the tentpole property: for every
+// seed, the centralized trainer produces a bit-identical model whether it
+// runs strictly sequential or on an 8-worker pool.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		users := detUsers(seed)
+		seq, err := Train(users, WithSeed(seed), WithWorkers(1))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		par, err := Train(users, WithSeed(seed), WithWorkers(8))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		compareModels(t, "Train", seq, par)
+	}
+}
+
+func TestTrainDistributedDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		users := detUsers(seed)
+		seq, err := TrainDistributed(users, WithSeed(seed), WithWorkers(1))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		par, err := TrainDistributed(users, WithSeed(seed), WithWorkers(8))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		compareModels(t, "TrainDistributed", seq, par)
+	}
+}
+
+// TestTrainKernelDeterministicAcrossWorkers compares the kernel models by
+// their exact decision values on every training sample (expansions are the
+// model parameters, and scores expose every coefficient).
+func TestTrainKernelDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		users := ringUsers(seed, 3, 8, func(i int) int {
+			if i == 2 {
+				return 0
+			}
+			return 6
+		})
+		seq, err := TrainKernel(users, RBFKernel(0.5), WithSeed(seed), WithWorkers(1))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		par, err := TrainKernel(users, RBFKernel(0.5), WithSeed(seed), WithWorkers(8))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if seq.Stats().Objective != par.Stats().Objective {
+			t.Fatalf("seed %d: objective %v vs %v", seed, seq.Stats().Objective, par.Stats().Objective)
+		}
+		for u, usr := range users {
+			for _, x := range usr.Features {
+				if seq.Score(u, x) != par.Score(u, x) {
+					t.Fatalf("seed %d user %d: score %v vs %v on %v",
+						seed, u, seq.Score(u, x), par.Score(u, x), x)
+				}
+			}
+			if seq.PredictGlobal(usr.Features[0]) != par.PredictGlobal(usr.Features[0]) {
+				t.Fatalf("seed %d user %d: global prediction differs", seed, u)
+			}
+		}
+	}
+}
+
+// TestTrainIndependentOfGOMAXPROCS pins the default worker count (which is
+// GOMAXPROCS) to two different values and demands the identical model: the
+// pool size must never leak into the floats.
+func TestTrainIndependentOfGOMAXPROCS(t *testing.T) {
+	users := detUsers(7)
+	old := runtime.GOMAXPROCS(1)
+	one, err1 := Train(users, WithSeed(7))
+	runtime.GOMAXPROCS(2)
+	two, err2 := Train(users, WithSeed(7))
+	runtime.GOMAXPROCS(old)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("train: %v / %v", err1, err2)
+	}
+	compareModels(t, "GOMAXPROCS", one, two)
+}

@@ -17,9 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"plos/internal/mat"
+	"plos/internal/parallel"
 )
 
 // ZProx computes the z-update: given sum = Σ_t (x_t + u_t) and the worker
@@ -140,8 +140,15 @@ type Options struct {
 	Rho     float64 // default 1 (paper §VI-E)
 	EpsAbs  float64 // default 1e-3 (paper §VI-E)
 	MaxIter int     // default 200
-	// Parallel runs the worker solves on separate goroutines, mirroring
-	// the phones computing concurrently in the real deployment.
+	// Workers bounds the concurrent local x-updates per round, mirroring
+	// the phones computing simultaneously in the real deployment: 0 means
+	// runtime.GOMAXPROCS(0), 1 is strictly sequential. Results are
+	// identical for any value — the z- and u-updates fold the gathered
+	// x_t in worker-index order regardless of solve completion order.
+	Workers int
+	// Parallel is the legacy one-goroutine-per-worker switch, superseded
+	// by Workers (which already defaults to a full pool); it is kept so
+	// existing callers compile and has no additional effect.
 	Parallel bool
 }
 
@@ -181,30 +188,19 @@ func Run(dim, workers int, update XUpdater, prox ZProx, opts Options) (*Consensu
 	xs := make([]mat.Vector, workers)
 	for iter := 0; iter < o.MaxIter; iter++ {
 		info.Iterations = iter + 1
-		if o.Parallel {
-			var wg sync.WaitGroup
-			errs := make([]error, workers)
-			for t := 0; t < workers; t++ {
-				wg.Add(1)
-				go func(t int) {
-					defer wg.Done()
-					xs[t], errs[t] = update(t, cons.Z, cons.U[t])
-				}(t)
+		// Jacobi fan-out: every worker's x-update depends only on the
+		// frozen (z, u_t) of this round, so the solves run on the bounded
+		// pool; xs is gathered by worker index and Step folds it in index
+		// order, keeping the consensus algebra deterministic.
+		if err := parallel.For(o.Workers, workers, func(t int) error {
+			x, e := update(t, cons.Z, cons.U[t])
+			if e != nil {
+				return fmt.Errorf("admm: worker %d: %w", t, e)
 			}
-			wg.Wait()
-			for t, e := range errs {
-				if e != nil {
-					return cons, info, fmt.Errorf("admm: worker %d: %w", t, e)
-				}
-			}
-		} else {
-			for t := 0; t < workers; t++ {
-				x, e := update(t, cons.Z, cons.U[t])
-				if e != nil {
-					return cons, info, fmt.Errorf("admm: worker %d: %w", t, e)
-				}
-				xs[t] = x
-			}
+			xs[t] = x
+			return nil
+		}); err != nil {
+			return cons, info, err
 		}
 		res, err := cons.Step(xs)
 		if err != nil {

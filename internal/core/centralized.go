@@ -6,6 +6,7 @@ import (
 
 	"plos/internal/mat"
 	"plos/internal/optimize"
+	"plos/internal/parallel"
 	"plos/internal/qp"
 )
 
@@ -110,9 +111,12 @@ type centralState struct {
 
 // refreshSigns fixes the effective labels for this CCCP round: true labels
 // for labeled samples, sign(w_t·x) at the current iterate for unlabeled
-// ones (the first-order Taylor linearization of Eq. 10).
+// ones (the first-order Taylor linearization of Eq. 10). Users are
+// independent given the current iterates, so the refresh fans out across
+// the worker pool; each goroutine writes only its own signs slot.
 func (s *centralState) refreshSigns() {
-	for t, u := range s.users {
+	parallel.Do(s.cfg.Workers, len(s.users), func(t int) {
+		u := s.users[t]
 		m := u.NumSamples()
 		eff := make([]float64, m)
 		copy(eff, u.Y)
@@ -128,7 +132,7 @@ func (s *centralState) refreshSigns() {
 			balanceSigns(u.X, eff, s.w[t])
 		}
 		s.signs[t] = eff
-	}
+	})
 }
 
 // balanceSigns prevents the all-one-side degenerate assignment for a
@@ -193,17 +197,36 @@ func (s *centralState) solveConvexified() (float64, int, int, error) {
 				s.w[t] = mat.NewVector(s.dim)
 			}
 		}
-		added := 0
-		for t, u := range s.users {
+		// Per-user subproblem: each user's most-violated constraint (Eq. 14)
+		// depends only on that user's iterate, signs, and working set, so
+		// the search fans out across the pool. Candidates are gathered into
+		// index-addressed slots and folded into the working sets in user
+		// order afterwards, keeping insertion order (and therefore the QP
+		// and every downstream float) identical for any worker count.
+		type candidate struct {
+			c  optimize.Constraint
+			ok bool
+		}
+		cands := make([]candidate, len(s.users))
+		err := parallel.For(cfg.Workers, len(s.users), func(t int) error {
+			u := s.users[t]
 			c, err := optimize.MostViolated(u.X, s.signs[t], s.weights[t], s.w[t])
 			if err != nil {
-				return 0, rounds, qpIters, fmt.Errorf("core: user %d: %w", t, err)
+				return fmt.Errorf("core: user %d: %w", t, err)
 			}
 			xi := optimize.Slack(&s.sets[t], s.w[t])
 			if optimize.Violation(c, s.w[t], xi) > cfg.Epsilon {
-				if s.sets[t].Add(c) {
-					added++
-				}
+				cands[t] = candidate{c: c, ok: true}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, rounds, qpIters, err
+		}
+		added := 0
+		for t := range cands {
+			if cands[t].ok && s.sets[t].Add(cands[t].c) {
+				added++
 			}
 		}
 		if added == 0 {
@@ -242,7 +265,10 @@ func (s *centralState) solveRestrictedQP() (int, error) {
 	g := mat.NewMatrix(n, n)
 	cvec := make(mat.Vector, n)
 	lot := s.scaleW0 // λ/T
-	for i := 0; i < n; i++ {
+	// Row-parallel Gram build: row i owns cells (i, j>=i) and their
+	// mirrors, so goroutines write disjoint cells and the matrix is
+	// bit-identical for any worker count.
+	parallel.Do(s.cfg.Workers, n, func(i int) {
 		cvec[i] = flat[i].c
 		for j := i; j < n; j++ {
 			dot := flat[i].a.Dot(flat[j].a)
@@ -253,7 +279,7 @@ func (s *centralState) solveRestrictedQP() (int, error) {
 			g.Data[i*n+j] = v
 			g.Data[j*n+i] = v
 		}
-	}
+	})
 	budgets := make([]float64, s.t)
 	for t := range budgets {
 		budgets[t] = s.budget

@@ -67,6 +67,11 @@ type Config struct {
 	// pooled labels (falling back to the dominant-variance axis when no
 	// labels exist); see initialW0 for why not a max-margin init.
 	InitW0 mat.Vector
+	// Workers bounds the solver's per-user fan-out (constraint search,
+	// Gram construction): 0 means runtime.GOMAXPROCS(0), 1 is strictly
+	// sequential. Any value yields bit-identical models — all reductions
+	// are index-ordered (see internal/parallel).
+	Workers int
 	// Seed drives the deterministic internal randomness.
 	Seed int64
 }

@@ -16,8 +16,13 @@ type DistConfig struct {
 	Rho         float64
 	EpsAbs      float64
 	MaxADMMIter int
-	// Parallel runs worker solves concurrently (one goroutine per user),
-	// mirroring phones computing simultaneously.
+	// Workers bounds the concurrent per-device local solves: 0 means
+	// runtime.GOMAXPROCS(0), 1 is strictly sequential. The trained model
+	// is bit-identical for any value (index-ordered consensus folds).
+	Workers int
+	// Parallel is the legacy one-goroutine-per-user switch, superseded by
+	// Workers (which already defaults to a full pool); kept for
+	// compatibility, no additional effect.
 	Parallel bool
 }
 
@@ -244,10 +249,10 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 			return mat.SubVec(w, v), nil // consensus variable x_t = w_t − v_t
 		}
 		cons, runInfo, err := admm.Run(dim, tCount, update, admm.SquaredNormZ, admm.Options{
-			Rho:      dcfg.Rho,
-			EpsAbs:   dcfg.EpsAbs,
-			MaxIter:  dcfg.MaxADMMIter,
-			Parallel: dcfg.Parallel,
+			Rho:     dcfg.Rho,
+			EpsAbs:  dcfg.EpsAbs,
+			MaxIter: dcfg.MaxADMMIter,
+			Workers: dcfg.Workers,
 		})
 		info.ADMMIterations += runInfo.Iterations
 		if err != nil && !errors.Is(err, admm.ErrMaxIterations) {

@@ -12,6 +12,7 @@ import (
 	"plos/internal/dataset"
 	"plos/internal/har"
 	"plos/internal/mat"
+	"plos/internal/parallel"
 	"plos/internal/protocol"
 	"plos/internal/rng"
 	"plos/internal/sensors"
@@ -28,6 +29,13 @@ type CohortOptions struct {
 	// Lambda, Cl, Cu parameterize PLOS (defaults 100 / 1 / 0.2; the paper
 	// selects them by cross-validation — see CrossValidateLambda).
 	Lambda, Cl, Cu float64
+	// Workers bounds the goroutine fan-out — both across a figure's trials
+	// and inside each trial's solvers: 0 means runtime.GOMAXPROCS(0), 1 is
+	// strictly sequential. Figure values are identical for any setting
+	// (per-trial results are gathered and folded in trial order). The
+	// timing figures (Fig12, EnergyComparison) keep their trials sequential
+	// regardless so wall-clock measurements stay undisturbed.
+	Workers int
 }
 
 func (o CohortOptions) withDefaults() CohortOptions {
@@ -47,7 +55,7 @@ func (o CohortOptions) withDefaults() CohortOptions {
 }
 
 func (o CohortOptions) coreConfig() core.Config {
-	return core.Config{Lambda: o.Lambda, Cl: o.Cl, Cu: o.Cu, Seed: o.Seed}
+	return core.Config{Lambda: o.Lambda, Cl: o.Cl, Cu: o.Cu, Seed: o.Seed, Workers: o.Workers}
 }
 
 // sweep is the shared engine behind the accuracy figures: at every x it
@@ -57,6 +65,7 @@ type sweep struct {
 	id, title, xlabel string
 	xs                []float64
 	trials            int
+	workers           int
 	seed              int64
 	genBases          func(x float64, g *rng.RNG) ([]Base, error)
 	providersFor      func(x float64, nUsers int, g *rng.RNG) []int
@@ -84,24 +93,34 @@ func (s sweep) run() (Figure, Figure, error) {
 	labeledStd := make(map[string][]float64)
 	unlabeledStd := make(map[string][]float64)
 	for xi, x := range s.xs {
-		perTrial := make(map[string][]GroupAccuracies)
-		for trial := 0; trial < s.trials; trial++ {
+		// Trials are independent given the figure seed (each draws from its
+		// own SplitN stream), so they fan out across the worker pool; the
+		// gathered per-trial results are folded below in trial order, which
+		// keeps every mean/std bit-identical for any worker count.
+		trialAccs, err := parallel.Map(s.workers, s.trials, func(trial int) (map[string]GroupAccuracies, error) {
 			g := root.SplitN(fmt.Sprintf("%s-x%d", s.id, xi), trial)
 			bases, err := s.genBases(x, g.Split("data"))
 			if err != nil {
-				return Figure{}, Figure{}, fmt.Errorf("eval: %s x=%v: %w", s.id, x, err)
+				return nil, fmt.Errorf("eval: %s x=%v: %w", s.id, x, err)
 			}
 			providers := s.providersFor(x, len(bases), g.Split("providers"))
 			users, truths, err := Assemble(bases, providers, s.rateFor(x), g.Split("assemble"))
 			if err != nil {
-				return Figure{}, Figure{}, fmt.Errorf("eval: %s x=%v: %w", s.id, x, err)
+				return nil, fmt.Errorf("eval: %s x=%v: %w", s.id, x, err)
 			}
 			cfg := s.cfgFor(x)
 			cfg.Skip = append(cfg.Skip, s.skip...)
 			accs, err := RunMethods(users, truths, providers, cfg, g.Split("methods"))
 			if err != nil {
-				return Figure{}, Figure{}, fmt.Errorf("eval: %s x=%v: %w", s.id, x, err)
+				return nil, fmt.Errorf("eval: %s x=%v: %w", s.id, x, err)
 			}
+			return accs, nil
+		})
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		perTrial := make(map[string][]GroupAccuracies)
+		for _, accs := range trialAccs {
 			for name, a := range accs {
 				perTrial[name] = append(perTrial[name], a)
 			}
@@ -234,7 +253,7 @@ func Fig3(o BodyOptions) (Figure, Figure, error) {
 	}
 	return sweep{
 		id: "fig03", title: "Body sensors: accuracy vs # label providers",
-		xlabel: "#providers", xs: xs, trials: o.Trials, seed: o.Seed,
+		xlabel: "#providers", xs: xs, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(g) },
 		providersFor: func(x float64, n int, g *rng.RNG) []int {
 			return randomProviders(int(x), n, g)
@@ -252,7 +271,7 @@ func Fig4(o BodyOptions) (Figure, Figure, error) {
 	o = o.withDefaults()
 	return sweep{
 		id: "fig04", title: "Body sensors: accuracy vs training rate",
-		xlabel: "train rate", xs: o.TrainingRates, trials: o.Trials, seed: o.Seed,
+		xlabel: "train rate", xs: o.TrainingRates, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(g) },
 		providersFor: func(_ float64, n int, g *rng.RNG) []int {
 			return randomProviders(o.FixedProviders, n, g)
@@ -340,7 +359,7 @@ func Fig5(o HAROptions) (Figure, Figure, error) {
 	}
 	return sweep{
 		id: "fig05", title: "HAR: accuracy vs # label providers",
-		xlabel: "#providers", xs: xs, trials: o.Trials, seed: o.Seed,
+		xlabel: "#providers", xs: xs, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(g) },
 		providersFor: func(x float64, n int, g *rng.RNG) []int {
 			return randomProviders(int(x), n, g)
@@ -357,7 +376,7 @@ func Fig6(o HAROptions) (Figure, Figure, error) {
 	o = o.withDefaults()
 	return sweep{
 		id: "fig06", title: "HAR: accuracy vs training rate",
-		xlabel: "train rate", xs: o.TrainingRates, trials: o.Trials, seed: o.Seed,
+		xlabel: "train rate", xs: o.TrainingRates, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(g) },
 		providersFor: func(_ float64, n int, g *rng.RNG) []int {
 			return randomProviders(o.FixedProviders, n, g)
@@ -375,7 +394,7 @@ func Fig7(o HAROptions) (Figure, Figure, error) {
 	o = o.withDefaults()
 	return sweep{
 		id: "fig07", title: "HAR: PLOS accuracy vs log10(lambda)",
-		xlabel: "log10(lambda)", xs: o.LogLambdas, trials: o.Trials, seed: o.Seed,
+		xlabel: "log10(lambda)", xs: o.LogLambdas, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		skip:     []string{MethodAll, MethodGroup, MethodSingle},
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(g) },
 		providersFor: func(_ float64, n int, g *rng.RNG) []int {
@@ -477,7 +496,7 @@ func Fig8(o SynthOptions) (Figure, Figure, error) {
 	o = o.withDefaults()
 	return sweep{
 		id: "fig08", title: "Synthetic: accuracy vs rotation angle",
-		xlabel: "max angle", xs: o.RotationAngles, trials: o.Trials, seed: o.Seed,
+		xlabel: "max angle", xs: o.RotationAngles, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(x float64, g *rng.RNG) ([]Base, error) { return o.genBases(x, g) },
 		providersFor: func(_ float64, n int, g *rng.RNG) []int {
 			return randomProviders(o.Fig8Providers, n, g)
@@ -499,7 +518,7 @@ func Fig9(o SynthOptions) (Figure, Figure, error) {
 	}
 	return sweep{
 		id: "fig09", title: "Synthetic: accuracy vs # label providers",
-		xlabel: "#providers", xs: xs, trials: o.Trials, seed: o.Seed,
+		xlabel: "#providers", xs: xs, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(o.MaxAngle, g) },
 		providersFor: func(x float64, n int, g *rng.RNG) []int {
 			return randomProviders(int(x), n, g)
@@ -516,7 +535,7 @@ func Fig10(o SynthOptions) (Figure, Figure, error) {
 	o = o.withDefaults()
 	return sweep{
 		id: "fig10", title: "Synthetic: accuracy vs training rate",
-		xlabel: "train rate", xs: o.TrainingRates, trials: o.Trials, seed: o.Seed,
+		xlabel: "train rate", xs: o.TrainingRates, trials: o.Trials, workers: o.Workers, seed: o.Seed,
 		genBases: func(_ float64, g *rng.RNG) ([]Base, error) { return o.genBases(o.MaxAngle, g) },
 		providersFor: func(_ float64, n int, g *rng.RNG) []int {
 			return randomProviders(o.FixedProviders, n, g)
@@ -597,27 +616,38 @@ func Fig11(o ScaleOptions) (Figure, Figure, error) {
 	var diffLabeled, diffUnlabeled []float64
 	for i, tCount := range o.UserCounts {
 		xs[i] = float64(tCount)
-		var dl, du float64
-		for trial := 0; trial < o.Trials; trial++ {
+		// Independent trials fan out; the diffs fold in trial order below.
+		type diff struct{ dl, du float64 }
+		diffs, err := parallel.Map(o.Workers, o.Trials, func(trial int) (diff, error) {
 			g := root.SplitN(fmt.Sprintf("fig11-%d", tCount), trial)
 			users, truths, providers, err := o.buildUsers(tCount, g)
 			if err != nil {
-				return Figure{}, Figure{}, err
+				return diff{}, err
 			}
 			cfg := MethodsConfig{Core: o.coreConfig(),
 				Skip: []string{MethodAll, MethodGroup, MethodSingle}}
 			cent, err := RunMethods(users, truths, providers, cfg, g.Split("cent"))
 			if err != nil {
-				return Figure{}, Figure{}, fmt.Errorf("eval: Fig11 centralized: %w", err)
+				return diff{}, fmt.Errorf("eval: Fig11 centralized: %w", err)
 			}
 			cfg.Distributed = true
 			cfg.Dist = o.Dist
 			dist, err := RunMethods(users, truths, providers, cfg, g.Split("dist"))
 			if err != nil {
-				return Figure{}, Figure{}, fmt.Errorf("eval: Fig11 distributed: %w", err)
+				return diff{}, fmt.Errorf("eval: Fig11 distributed: %w", err)
 			}
-			dl += dist[MethodPLOS].Labeled - cent[MethodPLOS].Labeled
-			du += dist[MethodPLOS].Unlabeled - cent[MethodPLOS].Unlabeled
+			return diff{
+				dl: dist[MethodPLOS].Labeled - cent[MethodPLOS].Labeled,
+				du: dist[MethodPLOS].Unlabeled - cent[MethodPLOS].Unlabeled,
+			}, nil
+		})
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		var dl, du float64
+		for _, d := range diffs {
+			dl += d.dl
+			du += d.du
 		}
 		diffLabeled = append(diffLabeled, dl/float64(o.Trials))
 		diffUnlabeled = append(diffUnlabeled, du/float64(o.Trials))
@@ -642,6 +672,8 @@ func Fig12(o ScaleOptions) (Figure, error) {
 	for i, tCount := range o.UserCounts {
 		xs[i] = float64(tCount)
 		var centSum, distSum float64
+		// Trials stay sequential on purpose: this figure measures wall
+		// clock, and concurrent trials would contend for the same cores.
 		for trial := 0; trial < o.Trials; trial++ {
 			g := root.SplitN(fmt.Sprintf("fig12-%d", tCount), trial)
 			users, _, _, err := o.buildUsers(tCount, g)
@@ -831,6 +863,8 @@ func EnergyComparison(o ScaleOptions) (Figure, error) {
 	for i, tCount := range o.UserCounts {
 		xs[i] = float64(tCount)
 		var distSum, rawSum float64
+		// Sequential trials: the energy model is driven by measured device
+		// compute time, which parallel trials would distort.
 		for trial := 0; trial < o.Trials; trial++ {
 			g := root.SplitN(fmt.Sprintf("energy-%d", tCount), trial)
 			users, _, _, err := o.buildUsers(tCount, g)
@@ -876,19 +910,26 @@ func Fig13(o ScaleOptions) (Figure, error) {
 	var kbY []float64
 	for i, tCount := range o.UserCounts {
 		xs[i] = float64(tCount)
-		var sum float64
-		for trial := 0; trial < o.Trials; trial++ {
+		// Byte counts are exact (not timed), so the trials fan out safely.
+		kbs, err := parallel.Map(o.Workers, o.Trials, func(trial int) (float64, error) {
 			g := root.SplitN(fmt.Sprintf("fig13-%d", tCount), trial)
 			users, _, _, err := o.buildUsers(tCount, g)
 			if err != nil {
-				return Figure{}, err
+				return 0, err
 			}
 			kb, err := perUserTrafficKB(users, protocol.ServerConfig{
 				Core: o.coreConfig(), Dist: o.Dist,
 			})
 			if err != nil {
-				return Figure{}, fmt.Errorf("eval: Fig13: %w", err)
+				return 0, fmt.Errorf("eval: Fig13: %w", err)
 			}
+			return kb, nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		var sum float64
+		for _, kb := range kbs {
 			sum += kb
 		}
 		kbY = append(kbY, sum/float64(o.Trials))

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"plos/internal/mat"
+	"plos/internal/parallel"
 )
 
 // Kernel is a positive-definite similarity k(x, y).
@@ -69,7 +70,17 @@ type Gram struct {
 // NewGram evaluates the kernel over all samples of all users. users[t] is
 // user t's sample matrix (rows are samples). Memory is O(N²) for N total
 // samples — the centralized setting the paper's kernel remark lives in.
+// Construction uses the full worker pool; NewGramWorkers takes the knob.
 func NewGram(users []*mat.Matrix, k Kernel) (*Gram, error) {
+	return NewGramWorkers(users, k, 0)
+}
+
+// NewGramWorkers is NewGram with a bounded worker pool: rows of the kernel
+// matrix are evaluated concurrently on up to workers goroutines (0 means
+// runtime.GOMAXPROCS(0), 1 is sequential). Row i owns the cells (i, j>=i)
+// and their mirrors, so goroutines write disjoint cells and the resulting
+// matrix is bit-identical for any worker count.
+func NewGramWorkers(users []*mat.Matrix, k Kernel, workers int) (*Gram, error) {
 	if len(users) == 0 {
 		return nil, fmt.Errorf("kernel: NewGram: no users")
 	}
@@ -89,13 +100,13 @@ func NewGram(users []*mat.Matrix, k Kernel) (*Gram, error) {
 		}
 	}
 	km := mat.NewMatrix(total, total)
-	for i := 0; i < total; i++ {
+	parallel.Do(workers, total, func(i int) {
 		for j := i; j < total; j++ {
 			v := k.Eval(all[i], all[j])
 			km.Set(i, j, v)
 			km.Set(j, i, v)
 		}
-	}
+	})
 	return &Gram{k: km, offset: offset, total: total}, nil
 }
 

@@ -22,11 +22,13 @@ package kplos
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"plos/internal/core"
 	"plos/internal/kernel"
 	"plos/internal/mat"
 	"plos/internal/optimize"
+	"plos/internal/parallel"
 	"plos/internal/qp"
 )
 
@@ -178,7 +180,7 @@ func newState(users []core.UserData, cfg core.Config, k kernel.Kernel) (*state, 
 		}
 		mats[t] = u.X
 	}
-	gram, err := kernel.NewGram(mats, k)
+	gram, err := kernel.NewGramWorkers(mats, k, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("kplos: %w", err)
 	}
@@ -409,9 +411,11 @@ func (s *state) solveConvexified() (float64, int, int, error) {
 			xi := s.slack(t)
 			if kc.c-s.constraintValue(kc)-xi > s.cfg.Epsilon {
 				kc.dots = make([]float64, s.gram.Total())
-				for j := 0; j < s.gram.Total(); j++ {
+				// Each cache slot is an independent kernel sum; slot j is
+				// written by exactly one goroutine, so the fill fans out.
+				parallel.Do(s.cfg.Workers, s.gram.Total(), func(j int) {
 					kc.dots[j] = s.gram.DotSample(kc.a, j)
-				}
+				})
 				s.constraints = append(s.constraints, kc)
 				s.keys[kc.key] = struct{}{}
 				added++
@@ -504,12 +508,20 @@ func (s *state) buildModel() *Model {
 		merge(perMaps[kc.user], kc.a, g)
 	}
 	toExp := func(m map[int]float64) kernel.Expansion {
-		e := kernel.Expansion{}
+		// Sorted global-index order: map iteration order is random, and an
+		// unsorted expansion would make Score sums (and so the model bytes)
+		// vary run to run.
+		idx := make([]int, 0, len(m))
 		for i, c := range m {
 			if c != 0 {
-				e.Idx = append(e.Idx, i)
-				e.Coeff = append(e.Coeff, c)
+				idx = append(idx, i)
 			}
+		}
+		sort.Ints(idx)
+		e := kernel.Expansion{}
+		for _, i := range idx {
+			e.Idx = append(e.Idx, i)
+			e.Coeff = append(e.Coeff, m[i])
 		}
 		return e
 	}

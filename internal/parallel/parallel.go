@@ -1,0 +1,133 @@
+// Package parallel is the shared concurrency substrate for the training
+// hot paths: a bounded worker pool over an index space with deterministic,
+// index-ordered result collection.
+//
+// Every helper takes a worker count where 0 (or any non-positive value)
+// means runtime.GOMAXPROCS(0) and 1 means a plain sequential loop with no
+// goroutines at all. Callers that must produce bit-identical results for
+// any worker count follow one rule: goroutines only ever write to disjoint
+// index-addressed slots (gather), and all floating-point folds happen
+// afterwards on the gathered slice in index order. Map enforces the gather
+// half of that contract; the fold stays with the caller.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: non-positive values select
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines. The first error (lowest index among the iterations that ran
+// before cancellation) stops the pool: no new iterations start, and that
+// error is returned. A panic in fn is re-raised on the calling goroutine.
+//
+// With workers == 1 the loop is strictly sequential — identical evaluation
+// order and short-circuiting to the plain for-loop it replaces.
+func For(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+		errs    = make([]error, n)
+		wg      sync.WaitGroup
+	)
+	body := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicV == nil {
+					panicV = r
+				}
+				panicMu.Unlock()
+				stopped.Store(true)
+			}
+		}()
+		if err := fn(i); err != nil {
+			errs[i] = err
+			stopped.Store(true)
+		}
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do is For without error plumbing, for loop bodies that cannot fail
+// (e.g. filling disjoint rows of a matrix).
+func Do(workers, n int, fn func(i int)) {
+	_ = For(workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// Map runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and collects the results in index order: out[i] is fn(i)'s
+// value no matter which goroutine computed it or when it finished, so any
+// subsequent fold over out is deterministic. On error the first (lowest
+// index) error is returned with a nil slice.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := For(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The wire codec is a hand-rolled little-endian binary format chosen over
+// gob for three properties the protocol needs:
+//
+//   - canonical: a Message has exactly one encoding, and every byte string
+//     DecodeMessage accepts re-encodes to the identical bytes. The fuzz
+//     harness (FuzzMessageRoundTrip) leans on this — corruption anywhere in
+//     a frame is either rejected or yields a Message that still round-trips.
+//   - self-delimiting and bounded: every length is validated against the
+//     remaining input before allocation, so hostile frames cannot make the
+//     server allocate unbounded memory.
+//   - stable: the byte layout is frozen by codecVersion rather than by Go's
+//     type system, so server and clients can be built from different trees.
+//
+// Layout (all integers little-endian):
+//
+//	magic 'P' | version | Type i64 | Round i64 | Dim i64 | Samples i64 |
+//	Labeled i64 | Users i64 | Xi f64bits | Reason u32+bytes |
+//	W0 vec | U vec | W vec | V vec | Config presence byte [+ config block]
+//
+// where vec = u32 count + count f64bits, and the config block is
+// Lambda, Cl, Cu, Epsilon, Rho as f64bits, MaxCutIter, QPMaxIter as i64,
+// BalanceGuard, WarmWorkingSets as strict 0/1 bytes.
+const (
+	codecMagic   = byte('P')
+	codecVersion = byte(1)
+	// maxFrame bounds a frame (64 MiB): far above any real model exchange,
+	// far below anything that could hurt the host.
+	maxFrame = 1 << 26
+)
+
+// ErrCodec wraps every malformed-frame error from DecodeMessage.
+var ErrCodec = errors.New("transport: malformed frame")
+
+// EncodeMessage serializes m into the canonical wire form.
+func EncodeMessage(m Message) []byte {
+	buf := make([]byte, 0, 2+7*8+4+len(m.Reason)+4*4+8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))+1)
+	buf = append(buf, codecMagic, codecVersion)
+	for _, v := range []int64{int64(m.Type), int64(m.Round), int64(m.Dim),
+		int64(m.Samples), int64(m.Labeled), int64(m.Users)} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Xi))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Reason)))
+	buf = append(buf, m.Reason...)
+	for _, vec := range [][]float64{m.W0, m.U, m.W, m.V} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vec)))
+		for _, v := range vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	if m.Config == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		c := m.Config
+		for _, v := range []float64{c.Lambda, c.Cl, c.Cu, c.Epsilon, c.Rho} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.MaxCutIter)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.QPMaxIter)))
+		buf = append(buf, boolByte(c.BalanceGuard), boolByte(c.WarmWorkingSets))
+	}
+	return buf
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// decoder walks a frame with bounds checking; every take* fails cleanly at
+// the end of input instead of panicking.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) takeByte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrCodec, d.off)
+	}
+	b := d.data[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) takeU64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrCodec, d.off)
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) takeU32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrCodec, d.off)
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) takeI64() (int64, error) {
+	v, err := d.takeU64()
+	return int64(v), err
+}
+
+func (d *decoder) takeF64() (float64, error) {
+	v, err := d.takeU64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) takeVec() ([]float64, error) {
+	n, err := d.takeU32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if int(n) > d.remaining()/8 {
+		return nil, fmt.Errorf("%w: vector length %d exceeds remaining %d bytes", ErrCodec, n, d.remaining())
+	}
+	vec := make([]float64, n)
+	for i := range vec {
+		vec[i], _ = d.takeF64()
+	}
+	return vec, nil
+}
+
+// DecodeMessage parses one canonical frame. It never panics on corrupt
+// input, rejects trailing bytes, and accepts exactly the strings
+// EncodeMessage emits (so decode∘encode is the identity both ways).
+func DecodeMessage(data []byte) (Message, error) {
+	if len(data) > maxFrame {
+		return Message{}, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCodec, len(data), maxFrame)
+	}
+	d := &decoder{data: data}
+	magic, err := d.takeByte()
+	if err != nil {
+		return Message{}, err
+	}
+	if magic != codecMagic {
+		return Message{}, fmt.Errorf("%w: bad magic 0x%02x", ErrCodec, magic)
+	}
+	version, err := d.takeByte()
+	if err != nil {
+		return Message{}, err
+	}
+	if version != codecVersion {
+		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
+	}
+	var m Message
+	ints := make([]int64, 6)
+	for i := range ints {
+		if ints[i], err = d.takeI64(); err != nil {
+			return Message{}, err
+		}
+	}
+	m.Type = MsgType(ints[0])
+	m.Round = int(ints[1])
+	m.Dim = int(ints[2])
+	m.Samples = int(ints[3])
+	m.Labeled = int(ints[4])
+	m.Users = int(ints[5])
+	if m.Xi, err = d.takeF64(); err != nil {
+		return Message{}, err
+	}
+	rlen, err := d.takeU32()
+	if err != nil {
+		return Message{}, err
+	}
+	if int(rlen) > d.remaining() {
+		return Message{}, fmt.Errorf("%w: reason length %d exceeds remaining %d bytes", ErrCodec, rlen, d.remaining())
+	}
+	m.Reason = string(d.data[d.off : d.off+int(rlen)])
+	d.off += int(rlen)
+	for _, dst := range []*[]float64{&m.W0, &m.U, &m.W, &m.V} {
+		if *dst, err = d.takeVec(); err != nil {
+			return Message{}, err
+		}
+	}
+	present, err := d.takeByte()
+	if err != nil {
+		return Message{}, err
+	}
+	switch present {
+	case 0:
+	case 1:
+		var c WireConfig
+		fs := []*float64{&c.Lambda, &c.Cl, &c.Cu, &c.Epsilon, &c.Rho}
+		for _, f := range fs {
+			if *f, err = d.takeF64(); err != nil {
+				return Message{}, err
+			}
+		}
+		var mi, qi int64
+		if mi, err = d.takeI64(); err != nil {
+			return Message{}, err
+		}
+		if qi, err = d.takeI64(); err != nil {
+			return Message{}, err
+		}
+		c.MaxCutIter, c.QPMaxIter = int(mi), int(qi)
+		for _, b := range []*bool{&c.BalanceGuard, &c.WarmWorkingSets} {
+			raw, err := d.takeByte()
+			if err != nil {
+				return Message{}, err
+			}
+			// Strict 0/1 keeps the encoding canonical: a 2 would decode to
+			// true but re-encode as 1, breaking the round-trip identity.
+			if raw > 1 {
+				return Message{}, fmt.Errorf("%w: bool byte 0x%02x", ErrCodec, raw)
+			}
+			*b = raw == 1
+		}
+		m.Config = &c
+	default:
+		return Message{}, fmt.Errorf("%w: config presence byte 0x%02x", ErrCodec, present)
+	}
+	if d.remaining() != 0 {
+		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrCodec, d.remaining())
+	}
+	return m, nil
+}

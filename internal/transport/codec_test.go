@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		{},
+		{Type: MsgHello, Dim: 12, Samples: 40, Labeled: 5},
+		{Type: MsgStartRound, Round: 3, W0: []float64{1.5, -2.25, 0, math.Inf(1)}},
+		{Type: MsgParams, Round: 7, W0: []float64{0.1}, U: []float64{-0.5, 3}},
+		{Type: MsgUpdate, Round: 7, W: []float64{1, 2, 3}, V: []float64{4, 5, 6}, Xi: 0.125},
+		{Type: MsgDone, W0: []float64{math.SmallestNonzeroFloat64, math.MaxFloat64}},
+		{Type: MsgError, Reason: "device on fire 🔥"},
+		{Type: MsgHello, Users: 30, Config: &WireConfig{
+			Lambda: 100, Cl: 1, Cu: 0.2, Epsilon: 1e-3, Rho: 1,
+			MaxCutIter: 60, QPMaxIter: 5000,
+			BalanceGuard: true, WarmWorkingSets: false,
+		}},
+		{Type: MsgType(-9), Round: -1, Dim: -2, Xi: math.NaN()},
+	}
+}
+
+// equalMessages compares with NaN-tolerant float comparison (reflect alone
+// would fail on the NaN sample).
+func equalMessages(a, b Message) bool {
+	eqF := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	eqV := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !eqF(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if a.Type != b.Type || a.Round != b.Round || a.Dim != b.Dim ||
+		a.Samples != b.Samples || a.Labeled != b.Labeled || a.Users != b.Users ||
+		!eqF(a.Xi, b.Xi) || a.Reason != b.Reason {
+		return false
+	}
+	if !eqV(a.W0, b.W0) || !eqV(a.U, b.U) || !eqV(a.W, b.W) || !eqV(a.V, b.V) {
+		return false
+	}
+	if (a.Config == nil) != (b.Config == nil) {
+		return false
+	}
+	if a.Config != nil && !reflect.DeepEqual(*a.Config, *b.Config) {
+		return false
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		enc := EncodeMessage(m)
+		got, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("message %d: decode: %v", i, err)
+		}
+		if !equalMessages(m, got) {
+			t.Errorf("message %d: round trip mismatch:\n sent %+v\n got  %+v", i, m, got)
+		}
+		re := EncodeMessage(got)
+		if !bytes.Equal(enc, re) {
+			t.Errorf("message %d: re-encode differs from original encoding", i)
+		}
+	}
+}
+
+func TestCodecEmptyVectorsDecodeNil(t *testing.T) {
+	m := Message{Type: MsgUpdate, W: []float64{}, V: nil}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != nil || got.V != nil {
+		t.Errorf("empty vectors should decode to nil, got W=%v V=%v", got.W, got.V)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	valid := EncodeMessage(sampleMessages()[7]) // the config-carrying hello
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad magic":         append([]byte{'Q'}, valid[1:]...),
+		"bad version":       append([]byte{'P', 99}, valid[2:]...),
+		"truncated header":  valid[:10],
+		"truncated mid-vec": EncodeMessage(Message{W0: []float64{1, 2, 3}})[:70],
+		"trailing byte":     append(append([]byte(nil), valid...), 0),
+		// Presence byte offset: magic+version (2) + six i64 (48) + Xi (8) +
+		// reason length (4) + four empty vector lengths (16) = 78.
+		"presence byte 2":    func() []byte { b := append([]byte(nil), valid...); b[78] = 2; return b }(),
+		"huge vector length": append(append([]byte(nil), valid[:2+6*8+8]...), 0xff, 0xff, 0xff, 0xff),
+	}
+	for name, data := range cases {
+		if _, err := DecodeMessage(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		} else if !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: error %v does not wrap ErrCodec", name, err)
+		}
+	}
+}
+
+func TestCodecRejectsOversizedFrame(t *testing.T) {
+	if _, err := DecodeMessage(make([]byte, maxFrame+1)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+// FuzzMessageRoundTrip drives the codec's two contracts: (1) DecodeMessage
+// never panics, whatever the bytes; (2) any input it accepts re-encodes to
+// the identical byte string (the canonical-encoding property), and that
+// encoding decodes back to an equal Message.
+func FuzzMessageRoundTrip(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(EncodeMessage(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'P'})
+	f.Add([]byte{'P', 1})
+	f.Add([]byte("not a frame at all"))
+	f.Add(bytes.Repeat([]byte{0xff}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re := EncodeMessage(m)
+		if !bytes.Equal(data, re) {
+			t.Fatalf("decodable input is not canonical:\n in  %x\n out %x", data, re)
+		}
+		m2, err := DecodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !equalMessages(m, m2) {
+			t.Fatalf("decode∘encode∘decode drifted:\n first  %+v\n second %+v", m, m2)
+		}
+	})
+}

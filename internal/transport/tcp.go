@@ -1,63 +1,32 @@
 package transport
 
 import (
-	"encoding/gob"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 )
 
-// tcpConn adapts a net.Conn to the Conn interface using gob encoding, with
-// real on-the-wire byte accounting via counting reader/writer wrappers.
+// tcpConn adapts a net.Conn to the Conn interface with the canonical binary
+// codec (see codec.go) behind a 4-byte little-endian length prefix, and real
+// on-the-wire byte accounting (prefix included).
 type tcpConn struct {
 	counter
-	nc  net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	cw  *countingWriter
-	cr  *countingReader
+	nc net.Conn
 
 	sendMu    sync.Mutex
+	recvMu    sync.Mutex
 	closeOnce sync.Once
 	closeErr  error
-}
-
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
-type countingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
 }
 
 // NewTCPConn wraps an established net.Conn. The caller keeps ownership of
 // dialing/accepting; Dial and the Listener helpers below cover the common
 // cases.
 func NewTCPConn(nc net.Conn) Conn {
-	cw := &countingWriter{w: nc}
-	cr := &countingReader{r: nc}
-	return &tcpConn{
-		nc:  nc,
-		enc: gob.NewEncoder(cw),
-		dec: gob.NewDecoder(cr),
-		cw:  cw,
-		cr:  cr,
-	}
+	return &tcpConn{nc: nc}
 }
 
 // Dial connects to a PLOS server at addr ("host:port").
@@ -70,32 +39,50 @@ func Dial(addr string) (Conn, error) {
 }
 
 func (t *tcpConn) Send(m Message) error {
+	payload := EncodeMessage(m)
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: Send: frame of %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	before := t.cw.n
-	if err := t.enc.Encode(m); err != nil {
+	if _, err := t.nc.Write(frame); err != nil {
 		return fmt.Errorf("transport: Send: %w", err)
 	}
-	t.mu.Lock()
-	t.s.MessagesSent++
-	t.s.BytesSent += t.cw.n - before
-	t.mu.Unlock()
+	t.addSent(len(frame))
 	return nil
 }
 
 func (t *tcpConn) Recv() (Message, error) {
-	var m Message
-	before := t.cr.n
-	if err := t.dec.Decode(&m); err != nil {
-		if err == io.EOF {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.nc, hdr[:]); err != nil {
+		// EOF cleanly between frames is the peer hanging up; inside a
+		// header it is a torn frame.
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 			return Message{}, fmt.Errorf("transport: Recv: %w", ErrClosed)
 		}
 		return Message{}, fmt.Errorf("transport: Recv: %w", err)
 	}
-	t.mu.Lock()
-	t.s.MessagesReceived++
-	t.s.BytesReceived += t.cr.n - before
-	t.mu.Unlock()
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("transport: Recv: %w: frame of %d bytes exceeds limit %d", ErrCodec, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(t.nc, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			return Message{}, fmt.Errorf("transport: Recv: torn frame: %w", ErrClosed)
+		}
+		return Message{}, fmt.Errorf("transport: Recv: %w", err)
+	}
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: Recv: %w", err)
+	}
+	t.addReceived(4 + len(payload))
 	return m, nil
 }
 

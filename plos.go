@@ -121,8 +121,24 @@ func WithADMM(rho, epsAbs float64) Option {
 	}
 }
 
+// WithWorkers bounds the goroutine fan-out of every trainer: n == 1 is
+// strictly sequential, n <= 0 restores the default of runtime.GOMAXPROCS(0).
+// The trained model is bit-identical for any value — parallel sections write
+// only disjoint index-addressed slots and every floating-point reduction
+// folds in index order (see internal/parallel).
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		o.core.Workers = n
+		o.dist.Workers = n
+	}
+}
+
 // WithParallelWorkers runs distributed users' local solvers on separate
 // goroutines, mirroring devices computing concurrently.
+//
+// Deprecated: local solvers now run on a bounded pool by default; use
+// WithWorkers to bound or serialize it. The option is kept for source
+// compatibility and has no additional effect.
 func WithParallelWorkers() Option {
 	return func(o *options) { o.dist.Parallel = true }
 }

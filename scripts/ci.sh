@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, vet, build, race-enabled tests, and short fuzz
+# smokes over the two fuzz targets. Run from anywhere; operates on the repo
+# root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smoke: transport codec =="
+go test -run '^$' -fuzz 'FuzzMessageRoundTrip' -fuzztime 10s ./internal/transport
+
+echo "== fuzz smoke: parallel map =="
+go test -run '^$' -fuzz 'FuzzMapMatchesSequential' -fuzztime 5s ./internal/parallel
+
+echo "CI OK"
