@@ -18,6 +18,7 @@ import (
 	"plos/internal/eval"
 	"plos/internal/features"
 	"plos/internal/mat"
+	"plos/internal/parallel"
 	"plos/internal/qp"
 	"plos/internal/rng"
 	"plos/internal/svm"
@@ -129,6 +130,30 @@ func BenchmarkTrainParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			opts := benchHAR()
 			opts.Workers = workers
+			var pa, pb eval.Figure
+			for i := 0; i < b.N; i++ {
+				var err error
+				pa, pb, err = eval.Fig5(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			logPanels(b, pa, pb)
+		})
+	}
+}
+
+// BenchmarkTrainParallelObserved is BenchmarkTrainParallel with a live
+// observer attached — compare the two to measure the instrumentation
+// overhead (the acceptance bar is <2%).
+func BenchmarkTrainParallelObserved(b *testing.B) {
+	ob := NewObserver()
+	defer parallel.SetMetrics(nil)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchHAR()
+			opts.Workers = workers
+			opts.Obs = ob.registry()
 			var pa, pb eval.Figure
 			for i := 0; i < b.N; i++ {
 				var err error

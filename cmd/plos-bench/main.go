@@ -9,6 +9,7 @@
 //	plos-bench -fig all        # everything
 //	plos-bench -fig ablations  # DESIGN.md §5 ablations
 //	plos-bench -fig 8 -full -trials 5
+//	plos-bench -fig 11 -metrics-json out.json   # solver/transport metrics
 package main
 
 import (
@@ -17,27 +18,42 @@ import (
 	"os"
 
 	"plos/internal/eval"
+	"plos/internal/obs"
 	"plos/internal/parallel"
 )
 
 func main() {
-	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3..13, 'ablations', or 'all'")
-		full    = flag.Bool("full", false, "paper-scale cohorts (slow)")
-		trials  = flag.Int("trials", 0, "trials per point (default 3, or 1 when reduced)")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		lambda  = flag.Float64("lambda", 100, "PLOS lambda")
-		workers = flag.Int("workers", 0, "goroutine fan-out (0 = GOMAXPROCS, 1 = sequential); figure values are identical either way")
-		format  = flag.String("format", "table", "output format: table | csv")
-	)
+	var o benchOptions
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 3..13, 'ablations', or 'all'")
+	flag.BoolVar(&o.full, "full", false, "paper-scale cohorts (slow)")
+	flag.IntVar(&o.trials, "trials", 0, "trials per point (default 3, or 1 when reduced)")
+	flag.Int64Var(&o.seed, "seed", 1, "experiment seed")
+	flag.Float64Var(&o.lambda, "lambda", 100, "PLOS lambda")
+	flag.IntVar(&o.workers, "workers", 0, "goroutine fan-out (0 = GOMAXPROCS, 1 = sequential); figure values are identical either way")
+	flag.StringVar(&o.format, "format", "table", "output format: table | csv")
+	flag.StringVar(&o.metricsJSON, "metrics-json", "",
+		"write the aggregate solver/transport metrics of the whole run to this JSON file")
 	flag.Parse()
-	if err := run(*fig, *full, *trials, *seed, *lambda, *workers, *format); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, trials int, seed int64, lambda float64, workers int, format string) error {
+type benchOptions struct {
+	fig         string
+	full        bool
+	trials      int
+	seed        int64
+	lambda      float64
+	workers     int
+	format      string
+	metricsJSON string
+}
+
+func run(o benchOptions) error {
+	fig, full, trials, seed, lambda, workers, format :=
+		o.fig, o.full, o.trials, o.seed, o.lambda, o.workers, o.format
 	if format != "table" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", format)
 	}
@@ -49,6 +65,13 @@ func run(fig string, full bool, trials int, seed int64, lambda float64, workers 
 		}
 	}
 	cohort := eval.CohortOptions{Trials: trials, Seed: seed, Lambda: lambda, Cl: 1, Cu: 0.2, Workers: workers}
+	var reg *obs.Registry
+	if o.metricsJSON != "" {
+		reg = obs.NewRegistry()
+		parallel.SetMetrics(reg.PoolMetrics())
+		defer parallel.SetMetrics(nil)
+		cohort.Obs = reg
+	}
 
 	body := eval.BodyOptions{CohortOptions: cohort}
 	harOpt := eval.HAROptions{CohortOptions: cohort}
@@ -161,6 +184,17 @@ func run(fig string, full bool, trials int, seed int64, lambda float64, workers 
 				fmt.Println(f.Format())
 			}
 		}
+	}
+	if reg != nil {
+		f, err := os.Create(o.metricsJSON)
+		if err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "metrics written to", o.metricsJSON)
 	}
 	return nil
 }

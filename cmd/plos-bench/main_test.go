@@ -1,28 +1,61 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"plos/internal/obs"
+)
+
+func bench(fig, format string) benchOptions {
+	return benchOptions{fig: fig, full: false, trials: 1, seed: 1, lambda: 100, format: format}
+}
 
 func TestRunUnknownFormat(t *testing.T) {
-	if err := run("9", false, 1, 1, 100, 0, "xml"); err == nil {
+	if err := run(bench("9", "xml")); err == nil {
 		t.Error("unknown format should error")
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("99", false, 1, 1, 100, 0, "table"); err == nil {
+	if err := run(bench("99", "table")); err == nil {
 		t.Error("unknown figure should error")
 	}
 }
 
 func TestRunSingleFigureReduced(t *testing.T) {
 	// Smoke: regenerate one cheap figure end to end through the CLI path.
-	if err := run("9", false, 1, 1, 100, 0, "csv"); err != nil {
+	if err := run(bench("9", "csv")); err != nil {
 		t.Fatalf("run fig 9: %v", err)
 	}
 }
 
 func TestRunAblationsReduced(t *testing.T) {
-	if err := run("ablations", false, 1, 1, 100, 0, "table"); err != nil {
+	if err := run(bench("ablations", "table")); err != nil {
 		t.Fatalf("run ablations: %v", err)
+	}
+}
+
+func TestRunMetricsJSON(t *testing.T) {
+	path := t.TempDir() + "/metrics.json"
+	o := bench("9", "csv")
+	o.metricsJSON = path
+	if err := run(o); err != nil {
+		t.Fatalf("run with -metrics-json: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file missing: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file not JSON: %v", err)
+	}
+	for _, name := range []string{obs.MetricTrainRuns, obs.MetricCCCPIterations, obs.MetricQPSolves} {
+		v, ok := snap[name].(float64)
+		if !ok || v == 0 {
+			t.Errorf("metrics JSON missing nonzero %s (got %v)", name, snap[name])
+		}
 	}
 }

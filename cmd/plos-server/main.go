@@ -4,42 +4,76 @@
 // traffic. Raw data never reaches this process.
 //
 //	plos-server -addr :7350 -devices 5 -lambda 100
+//
+// With -metrics-addr the server also exposes an operations endpoint:
+// /metrics (Prometheus text), /debug/vars (expvar JSON) and /debug/pprof/*
+// (live CPU/heap profiling) — see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"plos"
+	"plos/internal/cost"
+	"plos/internal/obs"
 )
 
 func main() {
-	var (
-		addr    = flag.String("addr", ":7350", "listen address")
-		devices = flag.Int("devices", 2, "number of devices to wait for")
-		lambda  = flag.Float64("lambda", 100, "personalization strength λ")
-		cl      = flag.Float64("cl", 1, "labeled-sample loss weight Cl")
-		cu      = flag.Float64("cu", 0.2, "unlabeled-sample loss weight Cu (0 disables)")
-		rho     = flag.Float64("rho", 1, "ADMM penalty ρ")
-		epsAbs  = flag.Float64("eps", 1e-3, "ADMM absolute stopping tolerance")
-		seed    = flag.Int64("seed", 1, "seed")
-		save    = flag.String("save", "", "write the trained model (JSON) to this path")
-	)
+	var o serverOptions
+	flag.StringVar(&o.addr, "addr", ":7350", "listen address")
+	flag.IntVar(&o.devices, "devices", 2, "number of devices to wait for")
+	flag.Float64Var(&o.lambda, "lambda", 100, "personalization strength λ")
+	flag.Float64Var(&o.cl, "cl", 1, "labeled-sample loss weight Cl")
+	flag.Float64Var(&o.cu, "cu", 0.2, "unlabeled-sample loss weight Cu (0 disables)")
+	flag.Float64Var(&o.rho, "rho", 1, "ADMM penalty ρ")
+	flag.Float64Var(&o.epsAbs, "eps", 1e-3, "ADMM absolute stopping tolerance")
+	flag.Int64Var(&o.seed, "seed", 1, "seed")
+	flag.StringVar(&o.save, "save", "", "write the trained model (JSON) to this path")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
 	flag.Parse()
-	if err := run(*addr, *devices, *lambda, *cl, *cu, *rho, *epsAbs, *seed, *save); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, devices int, lambda, cl, cu, rho, epsAbs float64, seed int64, save string) error {
-	res, err := plos.Serve(addr, devices,
-		func(bound string) { fmt.Println("listening on", bound, "— waiting for", devices, "devices") },
-		plos.WithLambda(lambda),
-		plos.WithLossWeights(cl, cu),
-		plos.WithADMM(rho, epsAbs),
-		plos.WithSeed(seed),
+type serverOptions struct {
+	addr                        string
+	devices                     int
+	lambda, cl, cu, rho, epsAbs float64
+	seed                        int64
+	save                        string
+	metricsAddr                 string
+}
+
+func run(o serverOptions) error {
+	opts := []plos.Option{
+		plos.WithLambda(o.lambda),
+		plos.WithLossWeights(o.cl, o.cu),
+		plos.WithADMM(o.rho, o.epsAbs),
+		plos.WithSeed(o.seed),
+	}
+	var ob *plos.Observer
+	if o.metricsAddr != "" {
+		ob = plos.NewObserver()
+		bound, stop, err := startMetrics(o.metricsAddr, ob)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		opts = append(opts, plos.WithObserver(ob))
+	}
+	res, err := plos.Serve(o.addr, o.devices,
+		func(bound string) { fmt.Println("listening on", bound, "— waiting for", o.devices, "devices") },
+		opts...,
 	)
 	if err != nil {
 		return err
@@ -47,6 +81,8 @@ func run(addr string, devices int, lambda, cl, cu, rho, epsAbs float64, seed int
 	st := res.Model.Stats()
 	fmt.Printf("\ntraining done: %d CCCP rounds, %d ADMM iterations, objective %.6g\n",
 		st.CCCPIterations, st.ADMMIterations, st.Objective)
+	fmt.Printf("final ADMM residuals: primal %.3g, dual %.3g\n",
+		st.ADMMPrimalResidual, st.ADMMDualResidual)
 	fmt.Printf("global hyperplane (%d dims): %.4g…\n",
 		len(res.Model.Global()), head(res.Model.Global(), 6))
 	fmt.Println("\ndevice   dropped   traffic        messages")
@@ -54,8 +90,8 @@ func run(addr string, devices int, lambda, cl, cu, rho, epsAbs float64, seed int
 		fmt.Printf("%6d %9v %9.1f KB %11d\n",
 			t, res.Dropped[t], float64(res.TrafficBytes[t])/1024, res.TrafficMessages[t])
 	}
-	if save != "" {
-		f, err := os.Create(save)
+	if o.save != "" {
+		f, err := os.Create(o.save)
 		if err != nil {
 			return fmt.Errorf("saving model: %w", err)
 		}
@@ -63,9 +99,40 @@ func run(addr string, devices int, lambda, cl, cu, rho, epsAbs float64, seed int
 		if err := res.Model.Save(f); err != nil {
 			return err
 		}
-		fmt.Println("model written to", save)
+		fmt.Println("model written to", o.save)
 	}
 	return nil
+}
+
+// startMetrics serves the observability endpoints on addr and returns the
+// bound address plus a shutdown func. The mux is built per call (no
+// http.DefaultServeMux) so tests can start several servers in one process.
+func startMetrics(addr string, ob *plos.Observer) (string, func(), error) {
+	phone := cost.DefaultPhone()
+	ob.GaugeFunc(obs.MetricDeviceCommEnergyJoules,
+		"Estimated device radio energy for the observed traffic (cost.DeviceProfile model).",
+		func() float64 {
+			msgs := ob.CounterValue(obs.MetricMessagesSent) + ob.CounterValue(obs.MetricMessagesReceived)
+			bytes := ob.CounterValue(obs.MetricBytesSent) + ob.CounterValue(obs.MetricBytesReceived)
+			return phone.CommEnergyFromCounts(msgs, bytes)
+		})
+	ob.PublishExpvar()
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", ob.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
 func head(v []float64, n int) []float64 {

@@ -1,6 +1,7 @@
 package plos
 
 import (
+	"reflect"
 	"runtime"
 	"testing"
 )
@@ -37,7 +38,7 @@ func compareModels(t *testing.T, label string, a, b *Model) {
 	if a.Stats().Objective != b.Stats().Objective {
 		t.Fatalf("%s: objective %v vs %v", label, a.Stats().Objective, b.Stats().Objective)
 	}
-	if a.Stats() != b.Stats() {
+	if !reflect.DeepEqual(a.Stats(), b.Stats()) {
 		t.Fatalf("%s: stats %+v vs %+v", label, a.Stats(), b.Stats())
 	}
 }

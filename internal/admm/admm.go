@@ -1,24 +1,13 @@
-// Package admm implements the consensus form of the alternating direction
-// method of multipliers (Boyd et al. 2011, §7) that distributed PLOS is
-// built on (paper §V):
-//
-//	minimize  Σ_t f_t(x_t) + g(z)   subject to  x_t = z, t = 1..T
-//
-// Each round: every worker minimizes its augmented local objective at the
-// current (z, u_t) and reports x_t; the server applies the proximal update
-// of g to the average of (x_t + u_t); the scaled duals are updated as
-// u_t += x_t − z. The Consensus type holds exactly the server-side state so
-// that both the in-process driver (Run) and the wire-protocol server
-// (internal/transport + internal/core) share one implementation of the
-// update algebra and the residual-based stopping rule.
 package admm
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/parallel"
 )
 
@@ -150,6 +139,10 @@ type Options struct {
 	// by Workers (which already defaults to a full pool); it is kept so
 	// existing callers compile and has no additional effect.
 	Parallel bool
+	// Obs, when non-nil, receives per-round counters, residual gauges, a
+	// round-duration histogram and one SpanADMMRound per round. Purely
+	// observational — iterates are bit-identical with or without it.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -188,6 +181,10 @@ func Run(dim, workers int, update XUpdater, prox ZProx, opts Options) (*Consensu
 	xs := make([]mat.Vector, workers)
 	for iter := 0; iter < o.MaxIter; iter++ {
 		info.Iterations = iter + 1
+		var roundStart time.Time
+		if o.Obs != nil {
+			roundStart = time.Now()
+		}
 		// Jacobi fan-out: every worker's x-update depends only on the
 		// frozen (z, u_t) of this round, so the solves run on the bounded
 		// pool; xs is gathered by worker index and Step folds it in index
@@ -207,6 +204,9 @@ func Run(dim, workers int, update XUpdater, prox ZProx, opts Options) (*Consensu
 			return cons, info, err
 		}
 		info.Final = res
+		if r := o.Obs; r != nil {
+			ObserveRound(r, iter, roundStart, res)
+		}
 		if res.Converged(workers, o.EpsAbs) {
 			info.Converged = true
 			return cons, info, nil
@@ -214,4 +214,20 @@ func Run(dim, workers int, update XUpdater, prox ZProx, opts Options) (*Consensu
 	}
 	return cons, info, fmt.Errorf("%w after %d rounds (dual %.3g, primal %.3g)",
 		ErrMaxIterations, info.Iterations, info.Final.Dual, info.Final.Primal)
+}
+
+// ObserveRound records one consensus round into r: the round counter, the
+// Eq. (24) residual gauges, the round-duration histogram and one
+// SpanADMMRound. Shared by Run and the wire-protocol server (internal/
+// protocol), which drives Consensus.Step directly.
+func ObserveRound(r *obs.Registry, round int, start time.Time, res Residuals) {
+	if r == nil {
+		return
+	}
+	r.Counter(obs.MetricADMMRounds, "").Inc()
+	r.Gauge(obs.MetricADMMPrimalResidual, "").Set(res.Primal)
+	r.Gauge(obs.MetricADMMDualResidual, "").Set(res.Dual)
+	r.Histogram(obs.MetricADMMRoundSeconds, "").Observe(time.Since(start).Seconds())
+	r.Span(obs.Span{Kind: obs.SpanADMMRound, Start: start, Dur: time.Since(start),
+		Round: round, User: -1, Primal: res.Primal, Dual: res.Dual})
 }

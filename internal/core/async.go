@@ -9,6 +9,7 @@ import (
 
 	"plos/internal/admm"
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/optimize"
 )
 
@@ -86,17 +87,30 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 	}
 	w0 := initialW0(users, dim, cfg)
 
+	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
 	info := TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		var start time.Time
+		if cfg.Obs != nil {
+			start = time.Now()
+		}
 		for _, wk := range workers {
 			wk.RefreshSigns(w0)
 		}
-		z, obj, updates, err := asyncRound(workers, w0, cfg, acfg, dim)
+		z, obj, updates, res, err := asyncRound(workers, w0, cfg, acfg, dim)
 		info.ADMMIterations += updates
+		info.ADMMPrimal = res.Primal
+		info.ADMMDual = res.Dual
 		if err != nil {
 			return 0, err
 		}
 		w0 = z
+		if r := cfg.Obs; r != nil {
+			r.Counter(obs.MetricCCCPIterations, "").Inc()
+			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
+				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+		}
 		return obj, nil
 	}, cfg.CCCPTol, cfg.MaxCCCPIter)
 	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
@@ -111,6 +125,15 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 	for t, wk := range workers {
 		model.W[t] = wk.Hyperplane()
 		info.Constraints += wk.set.Len()
+		info.CutRounds += wk.cutRounds
+	}
+	if r := cfg.Obs; r != nil {
+		converged := 0.0
+		if info.CCCPConverged {
+			converged = 1
+		}
+		r.Gauge(obs.MetricCCCPConverged, "").Set(converged)
+		r.Gauge(obs.MetricConstraintsActive, "").Set(float64(info.Constraints))
 	}
 	return model, info, nil
 }
@@ -132,8 +155,9 @@ type asyncUpdate struct {
 }
 
 // asyncRound runs one CCCP round of asynchronous ADMM and returns the
-// final consensus, the objective L of Eq. (23), and the update count.
-func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, dim int) (mat.Vector, float64, int, error) {
+// final consensus, the objective L of Eq. (23), the update count, and the
+// residuals of the last barrier fold (the async analogue of Eq. 24).
+func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, dim int) (mat.Vector, float64, int, admm.Residuals, error) {
 	tCount := len(workers)
 	st := &asyncState{z: w0.Clone(), us: make([]mat.Vector, tCount)}
 	for t := range st.us {
@@ -191,6 +215,10 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 	everyoneReported := false
 	fresh := make(map[int]asyncUpdate, tCount)
 	var loopErr error
+	var lastRes admm.Residuals
+	barrier := 0
+	barrierStart := time.Now()
+	asyncUpdates := cfg.Obs.Counter(obs.MetricAsyncUpdates, "")
 	for totalUpdates < acfg.MaxUpdatesPerRound {
 		up := <-updatesCh
 		if up.err != nil {
@@ -198,6 +226,7 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 			break
 		}
 		totalUpdates++
+		asyncUpdates.Inc()
 		// Keep only the newest solution per device between barriers: a
 		// fast device re-solving against an unchanged consensus refines,
 		// not multiplies, its contribution (this is what keeps the
@@ -245,6 +274,12 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 		dual := acfg.Rho * mat.Dist2(st.z, zPrev)
 		st.mu.Unlock()
 		fresh = make(map[int]asyncUpdate, tCount)
+		lastRes = admm.Residuals{Primal: math.Sqrt(primalSq), Dual: dual}
+		if r := cfg.Obs; r != nil {
+			admm.ObserveRound(r, barrier, barrierStart, lastRes)
+			barrier++
+			barrierStart = time.Now()
+		}
 
 		if everyoneReported &&
 			math.Sqrt(primalSq) <= math.Sqrt(float64(tCount))*acfg.EpsAbs &&
@@ -261,7 +296,7 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 	wg.Wait()
 	close(updatesCh)
 	if loopErr != nil {
-		return nil, 0, totalUpdates, loopErr
+		return nil, 0, totalUpdates, lastRes, loopErr
 	}
 
 	st.mu.Lock()
@@ -277,14 +312,15 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 	for t, wk := range workers {
 		_, v, xi, err := wk.Solve(z, us[t], acfg.Rho)
 		if err != nil {
-			return nil, 0, totalUpdates, fmt.Errorf("core: TrainAsync: final sweep user %d: %w", t, err)
+			return nil, 0, totalUpdates, lastRes, fmt.Errorf("core: TrainAsync: final sweep user %d: %w", t, err)
 		}
 		latestV[t], latestXi[t] = v, xi
 		obj += lambdaOverT*v.SquaredNorm() + xi
 		totalUpdates++
+		asyncUpdates.Inc()
 	}
 	if math.IsNaN(obj) {
-		return nil, 0, totalUpdates, errors.New("core: TrainAsync: objective diverged")
+		return nil, 0, totalUpdates, lastRes, errors.New("core: TrainAsync: objective diverged")
 	}
-	return z, obj, totalUpdates, nil
+	return z, obj, totalUpdates, lastRes, nil
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/optimize"
 	"plos/internal/parallel"
 	"plos/internal/qp"
@@ -56,8 +58,13 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 		state.weights[t] = weights
 	}
 
+	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
 	info := TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		var start time.Time
+		if cfg.Obs != nil {
+			start = time.Now()
+		}
 		state.refreshSigns()
 		if !cfg.WarmWorkingSets {
 			for t := range state.sets {
@@ -70,6 +77,12 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 		info.QPIterations += qpIters
 		if err != nil {
 			return 0, err
+		}
+		if r := cfg.Obs; r != nil {
+			r.Counter(obs.MetricCCCPIterations, "").Inc()
+			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
+				Dur: time.Since(start), Round: round, User: -1, Value: obj})
 		}
 		return obj, nil
 	}, cfg.CCCPTol, cfg.MaxCCCPIter)
@@ -84,6 +97,14 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 	info.ObjectiveHistory = cccpInfo.History
 	for t := range state.sets {
 		info.Constraints += state.sets[t].Len()
+	}
+	if r := cfg.Obs; r != nil {
+		converged := 0.0
+		if info.CCCPConverged {
+			converged = 1
+		}
+		r.Gauge(obs.MetricCCCPConverged, "").Set(converged)
+		r.Gauge(obs.MetricConstraintsActive, "").Set(float64(info.Constraints))
 	}
 	model := &Model{W0: state.w0, W: state.w}
 	return model, info, nil
@@ -181,6 +202,10 @@ func (s *centralState) solveConvexified() (float64, int, int, error) {
 	rounds := 0
 	for round := 0; round < cfg.MaxCutIter; round++ {
 		rounds = round + 1
+		var roundStart time.Time
+		if cfg.Obs != nil {
+			roundStart = time.Now()
+		}
 		// Solve the restricted dual over the current working sets. With
 		// empty sets the restricted optimum is w' = 0 (every margin is
 		// then violated, seeding the first constraints); the CCCP signs
@@ -228,6 +253,13 @@ func (s *centralState) solveConvexified() (float64, int, int, error) {
 			if cands[t].ok && s.sets[t].Add(cands[t].c) {
 				added++
 			}
+		}
+		if r := cfg.Obs; r != nil {
+			r.Counter(obs.MetricCutRounds, "").Inc()
+			r.Counter(obs.MetricConstraintsAdded, "").Add(int64(added))
+			r.Span(obs.Span{Kind: obs.SpanCutRound, Start: roundStart,
+				Dur: time.Since(roundStart), Round: round, User: -1,
+				Value: float64(added)})
 		}
 		if added == 0 {
 			break
@@ -297,7 +329,7 @@ func (s *centralState) solveRestrictedQP() (int, error) {
 			}
 		}
 	}
-	gamma, qinfo, err := qp.Solve(prob, qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9, X0: warm})
+	gamma, qinfo, err := qp.Solve(prob, qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9, X0: warm, Obs: s.cfg.Obs})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return qinfo.Iterations, fmt.Errorf("core: restricted QP: %w", err)
 	}

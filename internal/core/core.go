@@ -1,14 +1,3 @@
-// Package core implements the paper's primary contribution: the PLOS
-// personalized learning framework, in both its centralized form
-// (Algorithm 1: CCCP + cutting plane + QP dual) and its distributed form
-// (Algorithm 2: CCCP + ADMM consensus with local cutting-plane solves).
-//
-// The model jointly learns a global hyperplane w0 capturing the commonness
-// across users and per-user hyperplanes w_t = w0 + v_t capturing their
-// uniqueness; unlabeled samples participate through maximum-margin
-// clustering terms |w_t·x|. See DESIGN.md §1 for the full derivation and
-// the mapping from the paper's stacked feature space Φ back to the
-// per-user representation used here.
 package core
 
 import (
@@ -16,6 +5,7 @@ import (
 	"fmt"
 
 	"plos/internal/mat"
+	"plos/internal/obs"
 )
 
 // UserData is one user's dataset: the rows of X are the samples x_it, and
@@ -74,6 +64,10 @@ type Config struct {
 	Workers int
 	// Seed drives the deterministic internal randomness.
 	Seed int64
+	// Obs, when non-nil, receives solver metrics and phase spans
+	// (internal/obs). Strictly observational: the trained model is
+	// bit-identical with observation on or off.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -138,14 +132,17 @@ func (m *Model) NumUsers() int { return len(m.W) }
 
 // TrainInfo reports solver diagnostics common to both training modes.
 type TrainInfo struct {
-	CCCPIterations   int
-	CCCPConverged    bool
-	Objective        float64
-	CutRounds        int // total cutting-plane rounds across CCCP rounds
-	Constraints      int // final total working-set size across users
-	QPIterations     int // cumulative inner QP iterations (centralized)
-	ADMMIterations   int // cumulative ADMM iterations (distributed)
-	ObjectiveHistory []float64
+	CCCPIterations int
+	CCCPConverged  bool
+	Objective      float64
+	CutRounds      int // total cutting-plane rounds across CCCP rounds
+	Constraints    int // final total working-set size across users
+	QPIterations   int // cumulative inner QP iterations (centralized)
+	ADMMIterations int // cumulative ADMM iterations (distributed)
+	// ADMMPrimal and ADMMDual are the residuals of the final ADMM round
+	// (paper Eq. 24); zero for the centralized trainer.
+	ADMMPrimal, ADMMDual float64
+	ObjectiveHistory     []float64
 }
 
 // Validation errors.

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"plos/internal/admm"
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/optimize"
 	"plos/internal/qp"
 )
@@ -53,6 +55,9 @@ type Worker struct {
 	signs   []float64
 	weights []float64
 	alpha   []float64 // warm-start duals aligned with set
+	// cutRounds accumulates local cutting-plane rounds across Solve calls
+	// (folded into TrainInfo.CutRounds by the trainers).
+	cutRounds int
 
 	w, v mat.Vector
 	xi   float64
@@ -135,6 +140,8 @@ func (wk *Worker) Solve(w0, u mat.Vector, rho float64) (mat.Vector, mat.Vector, 
 
 	var w mat.Vector
 	for round := 0; round < wk.cfg.MaxCutIter; round++ {
+		wk.cutRounds++
+		wk.cfg.Obs.Counter(obs.MetricCutRounds, "").Inc()
 		var p mat.Vector
 		if wk.set.Len() > 0 {
 			var err error
@@ -154,6 +161,7 @@ func (wk *Worker) Solve(w0, u mat.Vector, rho float64) (mat.Vector, mat.Vector, 
 		if optimize.Violation(c, w, xi) <= wk.cfg.Epsilon || !wk.set.Add(c) {
 			break
 		}
+		wk.cfg.Obs.Counter(obs.MetricConstraintsAdded, "").Inc()
 	}
 	p := mat.SubVec(w, b)
 	v := mat.ScaleVec(rho/(a+rho), p)
@@ -187,7 +195,7 @@ func (wk *Worker) solveLocalDual(b mat.Vector, rhoEff float64) (mat.Vector, erro
 		Groups: qp.GroupSpec{Groups: [][]int{idx}, Budgets: []float64{1}}}
 	warm := make(mat.Vector, n)
 	copy(warm, wk.alpha) // zero-padded for constraints added since last solve
-	alpha, _, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10, X0: warm})
+	alpha, _, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10, X0: warm, Obs: wk.cfg.Obs})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return nil, fmt.Errorf("core: local dual QP: %w", err)
 	}
@@ -234,8 +242,13 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 	}
 	w0 := initialW0(users, dim, cfg)
 
+	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
 	info := TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
+		var start time.Time
+		if cfg.Obs != nil {
+			start = time.Now()
+		}
 		for _, wk := range workers {
 			wk.RefreshSigns(w0)
 		}
@@ -253,8 +266,11 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 			EpsAbs:  dcfg.EpsAbs,
 			MaxIter: dcfg.MaxADMMIter,
 			Workers: dcfg.Workers,
+			Obs:     cfg.Obs,
 		})
 		info.ADMMIterations += runInfo.Iterations
+		info.ADMMPrimal = runInfo.Final.Primal
+		info.ADMMDual = runInfo.Final.Dual
 		if err != nil && !errors.Is(err, admm.ErrMaxIterations) {
 			return 0, err
 		}
@@ -263,6 +279,12 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 		obj := w0.SquaredNorm()
 		for _, wk := range workers {
 			obj += wk.objectiveTerm()
+		}
+		if r := cfg.Obs; r != nil {
+			r.Counter(obs.MetricCCCPIterations, "").Inc()
+			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
+				Dur: time.Since(start), Round: round, User: -1, Value: obj})
 		}
 		return obj, nil
 	}, cfg.CCCPTol, cfg.MaxCCCPIter)
@@ -278,6 +300,15 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 	for t, wk := range workers {
 		model.W[t] = wk.Hyperplane()
 		info.Constraints += wk.set.Len()
+		info.CutRounds += wk.cutRounds
+	}
+	if r := cfg.Obs; r != nil {
+		converged := 0.0
+		if info.CCCPConverged {
+			converged = 1
+		}
+		r.Gauge(obs.MetricCCCPConverged, "").Set(converged)
+		r.Gauge(obs.MetricConstraintsActive, "").Set(float64(info.Constraints))
 	}
 	return model, info, nil
 }

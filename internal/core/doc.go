@@ -1,0 +1,32 @@
+// Package core implements the paper's primary contribution: the PLOS
+// personalized learning framework, in both its centralized form
+// (Algorithm 1: CCCP + cutting plane + QP dual) and its distributed form
+// (Algorithm 2: CCCP + ADMM consensus with local cutting-plane solves).
+//
+// The model jointly learns a global hyperplane w0 capturing the commonness
+// across users and per-user hyperplanes w_t = w0 + v_t capturing their
+// uniqueness; unlabeled samples participate through maximum-margin
+// clustering terms |w_t·x|. See DESIGN.md §1 for the full derivation and
+// the mapping from the paper's stacked feature space Φ back to the
+// per-user representation used here.
+//
+// Paper mapping:
+//
+//   - TrainCentralized — Algorithm 1: the CCCP outer loop (§IV-B) linearizes
+//     the concave clustering terms, the cutting-plane loop (§IV-C) grows a
+//     working set of aggregated constraints, and each restricted master is
+//     solved through the structured QP dual of Eq. (16) (internal/qp).
+//   - Worker / TrainDistributed — Algorithm 2: consensus ADMM (§V) where
+//     each device minimizes local subproblem (22) with its own cutting-plane
+//     loop, only parameter vectors travel, and the server runs the z/u
+//     updates of internal/admm with the Eq. (24) stopping rule.
+//   - TrainAsync — the §VII "future work" variant: devices solve
+//     continuously and the server folds updates at a partial barrier,
+//     trading the synchronous round structure for straggler tolerance.
+//
+// All three trainers honor one determinism contract: for a fixed seed the
+// trained model is bit-identical for any worker count (parallel sections
+// gather into index-addressed slots; floating-point folds run in index
+// order) and with observation on or off (Config.Obs instrumentation is
+// strictly passive).
+package core

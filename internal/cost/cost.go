@@ -1,9 +1,3 @@
-// Package cost models the mobile-device resource costs the paper's
-// evaluation reports (energy, computation, communication — §VI-E). The real
-// study measured Nexus 5 phones against a 3.4 GHz server; this model is the
-// documented substitution (DESIGN.md §3): a phone-class CPU slowdown factor
-// applied to measured solve times, and a radio energy model applied to the
-// transport layer's byte/message accounting.
 package cost
 
 import (
@@ -64,10 +58,17 @@ func (p DeviceProfile) DeviceTime(serverTime time.Duration) time.Duration {
 // CommEnergyJ estimates the radio energy (joules) a device spends on the
 // given traffic.
 func (p DeviceProfile) CommEnergyJ(s transport.Stats) float64 {
+	return p.CommEnergyFromCounts(
+		int64(s.MessagesSent+s.MessagesReceived),
+		s.BytesSent+s.BytesReceived)
+}
+
+// CommEnergyFromCounts is CommEnergyJ over raw totals instead of a Stats
+// struct — the form the observability layer's scrape-time energy gauge uses,
+// fed from the registry's transport counters.
+func (p DeviceProfile) CommEnergyFromCounts(msgs, bytes int64) float64 {
 	p = p.withDefaults()
-	msgs := float64(s.MessagesSent + s.MessagesReceived)
-	bytes := float64(s.BytesSent + s.BytesReceived)
-	return msgs*p.RadioJPerMessage + bytes*p.RadioJPerByte
+	return float64(msgs)*p.RadioJPerMessage + float64(bytes)*p.RadioJPerByte
 }
 
 // ComputeEnergyJ estimates the SoC energy (joules) for the given on-device

@@ -1,0 +1,12 @@
+// Package cost models the mobile-device resource costs the paper's
+// evaluation reports (energy, computation, communication — §VI-E). The real
+// study measured Nexus 5 phones against a 3.4 GHz server; this model is the
+// documented substitution (DESIGN.md §3): a phone-class CPU slowdown factor
+// applied to measured solve times, and a radio energy model applied to the
+// transport layer's byte/message accounting.
+//
+// DeviceProfile.CommEnergyFromCounts is the bridge to the observability
+// layer: plos-server registers the device_comm_energy_joules gauge as this
+// model applied to the live transport_* counters, reproducing the paper's
+// Fig. 12 energy estimate at scrape time.
+package cost

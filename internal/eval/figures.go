@@ -12,6 +12,7 @@ import (
 	"plos/internal/dataset"
 	"plos/internal/har"
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/parallel"
 	"plos/internal/protocol"
 	"plos/internal/rng"
@@ -36,6 +37,9 @@ type CohortOptions struct {
 	// timing figures (Fig12, EnergyComparison) keep their trials sequential
 	// regardless so wall-clock measurements stay undisturbed.
 	Workers int
+	// Obs, when non-nil, receives the solver metrics of every training run
+	// in the figure (internal/obs); figure outputs are unchanged by it.
+	Obs *obs.Registry
 }
 
 func (o CohortOptions) withDefaults() CohortOptions {
@@ -55,7 +59,7 @@ func (o CohortOptions) withDefaults() CohortOptions {
 }
 
 func (o CohortOptions) coreConfig() core.Config {
-	return core.Config{Lambda: o.Lambda, Cl: o.Cl, Cu: o.Cu, Seed: o.Seed, Workers: o.Workers}
+	return core.Config{Lambda: o.Lambda, Cl: o.Cl, Cu: o.Cu, Seed: o.Seed, Workers: o.Workers, Obs: o.Obs}
 }
 
 // sweep is the shared engine behind the accuracy figures: at every x it

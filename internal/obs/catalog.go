@@ -1,0 +1,104 @@
+package obs
+
+// Kind is the export type of a metric.
+type Kind int
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindGaugeFunc
+	KindHistogram
+)
+
+// String returns the Prometheus type keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindGaugeFunc:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// Canonical metric names. Instrumentation sites reference these constants —
+// never string literals — so the catalog below is complete by construction
+// and scripts/checkmetrics can hold docs/OBSERVABILITY.md to it.
+const (
+	MetricTrainRuns         = "train_runs_total"
+	MetricTrainObjective    = "train_objective"
+	MetricCCCPIterations    = "cccp_iterations_total"
+	MetricCCCPConverged     = "cccp_converged"
+	MetricCutRounds         = "cutplane_rounds_total"
+	MetricConstraintsAdded  = "constraints_added_total"
+	MetricConstraintsActive = "constraints_active"
+
+	MetricQPSolves       = "qp_solves_total"
+	MetricQPIterations   = "qp_iterations_total"
+	MetricQPSolveSeconds = "qp_solve_seconds"
+
+	MetricADMMRounds         = "admm_rounds_total"
+	MetricADMMPrimalResidual = "admm_primal_residual"
+	MetricADMMDualResidual   = "admm_dual_residual"
+	MetricADMMRoundSeconds   = "admm_round_seconds"
+	MetricAsyncUpdates       = "async_updates_total"
+
+	MetricMessagesSent     = "transport_messages_sent_total"
+	MetricMessagesReceived = "transport_messages_received_total"
+	MetricBytesSent        = "transport_bytes_sent_total"
+	MetricBytesReceived    = "transport_bytes_received_total"
+
+	MetricParallelBatches           = "parallel_batches_total"
+	MetricParallelTasks             = "parallel_tasks_total"
+	MetricParallelQueueDepth        = "parallel_queue_depth"
+	MetricParallelWorkerBusySeconds = "parallel_worker_busy_seconds"
+
+	MetricDeviceCommEnergyJoules = "device_comm_energy_joules"
+)
+
+// MetricDef describes one catalog entry.
+type MetricDef struct {
+	Name string
+	Kind Kind
+	// Unit is the measurement unit ("1" for dimensionless counts).
+	Unit string
+	Help string
+}
+
+// Catalog is the complete metric set of the observability layer. NewRegistry
+// pre-registers every non-func entry; scripts/checkmetrics fails the build
+// when a name here is missing from docs/OBSERVABILITY.md.
+var Catalog = []MetricDef{
+	{MetricTrainRuns, KindCounter, "1", "Training runs started (any trainer)."},
+	{MetricTrainObjective, KindGauge, "1", "Objective value after the most recent CCCP round."},
+	{MetricCCCPIterations, KindCounter, "1", "Outer CCCP iterations completed."},
+	{MetricCCCPConverged, KindGauge, "1", "1 if the most recent training run's CCCP loop converged, else 0."},
+	{MetricCutRounds, KindCounter, "1", "Cutting-plane rounds completed (centralized restricted solves and device-local solves)."},
+	{MetricConstraintsAdded, KindCounter, "1", "Constraints appended to working sets."},
+	{MetricConstraintsActive, KindGauge, "1", "Total working-set size across users after the most recent cut loop."},
+
+	{MetricQPSolves, KindCounter, "1", "Inner QP dual solves."},
+	{MetricQPIterations, KindCounter, "1", "Cumulative projected-gradient (FISTA) iterations across QP solves."},
+	{MetricQPSolveSeconds, KindHistogram, "seconds", "Wall-clock duration of one QP solve."},
+
+	{MetricADMMRounds, KindCounter, "1", "Consensus ADMM rounds completed."},
+	{MetricADMMPrimalResidual, KindGauge, "1", "Primal residual of the most recent ADMM round (paper Eq. 24)."},
+	{MetricADMMDualResidual, KindGauge, "1", "Dual residual of the most recent ADMM round (paper Eq. 24)."},
+	{MetricADMMRoundSeconds, KindHistogram, "seconds", "Wall-clock duration of one ADMM round."},
+	{MetricAsyncUpdates, KindCounter, "1", "Device solutions folded in by the asynchronous trainer."},
+
+	{MetricMessagesSent, KindCounter, "1", "Protocol messages sent on observed connections."},
+	{MetricMessagesReceived, KindCounter, "1", "Protocol messages received on observed connections."},
+	{MetricBytesSent, KindCounter, "bytes", "Bytes sent on observed connections (real encoded bytes on TCP, WireSize on pipes)."},
+	{MetricBytesReceived, KindCounter, "bytes", "Bytes received on observed connections."},
+
+	{MetricParallelBatches, KindCounter, "1", "Worker-pool batches (For/Do/Map calls) started."},
+	{MetricParallelTasks, KindCounter, "1", "Task indexes submitted to the worker pool."},
+	{MetricParallelQueueDepth, KindGauge, "1", "Task count of the most recent batch (0 once drained)."},
+	{MetricParallelWorkerBusySeconds, KindHistogram, "seconds", "Time one worker goroutine spent on one batch."},
+
+	{MetricDeviceCommEnergyJoules, KindGaugeFunc, "joules", "Estimated device radio energy for the observed traffic (cost.DeviceProfile model; registered by plos-server)."},
+}

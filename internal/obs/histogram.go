@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log-linear (exponential octaves, each split into
+// histSubBuckets linear sub-buckets), the same shape HDR histograms and
+// OpenTelemetry exponential histograms use. Observations are one atomic add
+// into the owning bucket plus count/sum/max updates — no locks, no
+// allocation — and quantile estimates carry a bounded relative error of
+// 1/histSubBuckets (6.25%).
+const (
+	histSubBuckets = 16
+	// histMinExp..histMaxExp is the covered base-2 exponent range:
+	// ~9.3e-10 .. ~2.1e9, comfortably spanning nanosecond-scale durations
+	// (in seconds) through byte counts. Values below go to a dedicated
+	// underflow bucket; values above clamp into the top bucket.
+	histMinExp = -30
+	histMaxExp = 31
+	histOctave = histMaxExp - histMinExp + 1
+	histLen    = histOctave * histSubBuckets
+)
+
+// Histogram is a streaming, lock-free histogram with p50/p95/max readout.
+// A nil *Histogram is a valid no-op receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+	under   atomic.Int64 // observations <= 0 or below the covered range
+	buckets [histLen]atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a positive value into [0, histLen), or -1 for underflow.
+func bucketIndex(v float64) int {
+	f, exp := math.Frexp(v) // v = f * 2^exp, f in [0.5, 1)
+	if exp < histMinExp {
+		return -1
+	}
+	if exp > histMaxExp {
+		return histLen - 1
+	}
+	sub := int((f*2 - 1) * histSubBuckets) // linear split of [0.5, 1)
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	return (exp-histMinExp)*histSubBuckets + sub
+}
+
+// bucketUpper is the exclusive upper bound of bucket i.
+func bucketUpper(i int) float64 {
+	exp := i/histSubBuckets + histMinExp
+	sub := i % histSubBuckets
+	// Bucket (exp, sub) holds f in [0.5+sub/32·2, …): upper fraction is
+	// (histSubBuckets + sub + 1) / (2·histSubBuckets).
+	return math.Ldexp(float64(histSubBuckets+sub+1)/(2*histSubBuckets), exp)
+}
+
+// Observe records one value (no-op on a nil receiver).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	maxFloat(&h.maxBits, v)
+	if v <= 0 {
+		h.under.Add(1)
+		return
+	}
+	i := bucketIndex(v)
+	if i < 0 {
+		h.under.Add(1)
+		return
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Max returns the largest observed value (zero when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed stream:
+// the upper bound of the bucket holding the rank-⌈q·count⌉ observation,
+// clamped to the observed maximum, so the estimate's relative error is
+// bounded by the sub-bucket width (1/16). Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.under.Load()
+	if rank <= cum {
+		return 0
+	}
+	for i := 0; i < histLen; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			u := bucketUpper(i)
+			m := h.Max()
+			// The top bucket also holds clamped overflow values, so its
+			// only honest estimate is the observed maximum.
+			if i == histLen-1 || m < u {
+				return m
+			}
+			return u
+		}
+	}
+	return h.Max()
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanKind enumerates the typed phase events the solvers emit.
+type SpanKind uint8
+
+const (
+	// SpanCCCPIteration is one outer CCCP round (centralized, distributed
+	// or async); Value carries the round's objective.
+	SpanCCCPIteration SpanKind = iota + 1
+	// SpanCutRound is one cutting-plane round; Value carries the number of
+	// constraints added.
+	SpanCutRound
+	// SpanQPSolve is one inner QP solve; Iterations carries the
+	// projected-gradient iteration count.
+	SpanQPSolve
+	// SpanADMMRound is one consensus ADMM round; Primal/Dual carry the
+	// residuals of paper Eq. (24).
+	SpanADMMRound
+	// SpanWireSend and SpanWireRecv are single protocol messages; Bytes
+	// carries the on-the-wire size.
+	SpanWireSend
+	SpanWireRecv
+)
+
+// String implements fmt.Stringer; the names are stable and appear in the
+// JSONL export.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanCCCPIteration:
+		return "cccp-iteration"
+	case SpanCutRound:
+		return "cut-round"
+	case SpanQPSolve:
+		return "qp-solve"
+	case SpanADMMRound:
+		return "admm-round"
+	case SpanWireSend:
+		return "wire-send"
+	case SpanWireRecv:
+		return "wire-recv"
+	default:
+		return fmt.Sprintf("span(%d)", uint8(k))
+	}
+}
+
+// Span is one phase event. Only the fields relevant to Kind are set; User
+// is -1 when the event is not scoped to one user.
+type Span struct {
+	Kind  SpanKind
+	Start time.Time
+	Dur   time.Duration
+	// Round is the CCCP round or ADMM iteration the event belongs to.
+	Round int
+	// User is the user/device index, or -1.
+	User int
+	// Iterations is the inner-solver iteration count (QP solves).
+	Iterations int
+	// Primal and Dual are the ADMM residuals of Eq. (24).
+	Primal, Dual float64
+	// Bytes is the wire size of a transport event.
+	Bytes int
+	// Value is a kind-specific payload (objective, constraints added).
+	Value float64
+}
+
+// spanJSON is the export schema of one span line.
+type spanJSON struct {
+	Kind       string  `json:"kind"`
+	Start      string  `json:"start"`
+	DurNS      int64   `json:"dur_ns"`
+	Round      int     `json:"round"`
+	User       int     `json:"user"`
+	Iterations int     `json:"iters,omitempty"`
+	Primal     float64 `json:"primal,omitempty"`
+	Dual       float64 `json:"dual,omitempty"`
+	Bytes      int     `json:"bytes,omitempty"`
+	Value      float64 `json:"value,omitempty"`
+}
+
+// Trace is a bounded in-memory ring of spans: recording never allocates
+// past the ring and never blocks training for long (one short mutex hold);
+// when full, the oldest spans are overwritten.
+type Trace struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int   // next write position
+	total int64 // spans ever recorded
+}
+
+func newTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Trace{ring: make([]Span, 0, capacity)}
+}
+
+func (t *Trace) record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// snapshot returns the retained spans oldest-first.
+func (t *Trace) snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Span records one phase event into the registry's trace ring (no-op on a
+// nil registry).
+func (r *Registry) Span(s Span) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	r.trace.record(s)
+}
+
+// Spans returns the retained spans, oldest first (nil on a nil registry).
+func (r *Registry) Spans() []Span {
+	if r == nil || r.trace == nil {
+		return nil
+	}
+	return r.trace.snapshot()
+}
+
+// SpansRecorded returns the count of spans ever recorded, including those
+// already overwritten in the ring.
+func (r *Registry) SpansRecorded() int64 {
+	if r == nil || r.trace == nil {
+		return 0
+	}
+	r.trace.mu.Lock()
+	defer r.trace.mu.Unlock()
+	return r.trace.total
+}
+
+// WriteSpansJSONL writes the retained spans as one JSON object per line —
+// the machine-readable phase trace of a run.
+func (r *Registry) WriteSpansJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range r.Spans() {
+		line := spanJSON{
+			Kind:       s.Kind.String(),
+			Start:      s.Start.Format(time.RFC3339Nano),
+			DurNS:      s.Dur.Nanoseconds(),
+			Round:      s.Round,
+			User:       s.User,
+			Iterations: s.Iterations,
+			Primal:     s.Primal,
+			Dual:       s.Dual,
+			Bytes:      s.Bytes,
+			Value:      s.Value,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

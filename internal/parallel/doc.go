@@ -1,0 +1,18 @@
+// Package parallel is the shared concurrency substrate for the training
+// hot paths: a bounded worker pool over an index space with deterministic,
+// index-ordered result collection.
+//
+// Every helper takes a worker count where 0 (or any non-positive value)
+// means runtime.GOMAXPROCS(0) and 1 means a plain sequential loop with no
+// goroutines at all. Callers that must produce bit-identical results for
+// any worker count follow one rule: goroutines only ever write to disjoint
+// index-addressed slots (gather), and all floating-point folds happen
+// afterwards on the gathered slice in index order. Map enforces the gather
+// half of that contract; the fold stays with the caller.
+//
+// The pool is instrumented through a process-global hook (SetMetrics)
+// rather than per-call options, because For/Do/Map are called from dozens
+// of hot paths whose signatures must stay pure. plos.NewObserver installs
+// the hook; the most recently installed observer owns the parallel_*
+// metrics.
+package parallel

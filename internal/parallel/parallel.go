@@ -1,21 +1,26 @@
-// Package parallel is the shared concurrency substrate for the training
-// hot paths: a bounded worker pool over an index space with deterministic,
-// index-ordered result collection.
-//
-// Every helper takes a worker count where 0 (or any non-positive value)
-// means runtime.GOMAXPROCS(0) and 1 means a plain sequential loop with no
-// goroutines at all. Callers that must produce bit-identical results for
-// any worker count follow one rule: goroutines only ever write to disjoint
-// index-addressed slots (gather), and all floating-point folds happen
-// afterwards on the gathered slice in index order. Map enforces the gather
-// half of that contract; the fold stays with the caller.
 package parallel
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"plos/internal/obs"
 )
+
+// poolMetrics is the package's observation hook. For/Do/Map signatures are
+// pure (workers, n, fn) at dozens of call sites across the solvers, so the
+// pool is the one place where instrumentation rides on process-global state
+// rather than a threaded registry; SetMetrics installs the bundle (typically
+// once, by whoever owns the obs.Registry) and nil uninstalls it. The default
+// is nil — an unobserved pool pays one atomic pointer load per batch.
+var poolMetrics atomic.Pointer[obs.PoolMetrics]
+
+// SetMetrics installs (or, with nil, removes) the pool's metric bundle.
+// Safe to call concurrently with running batches: a batch uses the bundle it
+// loaded at start.
+func SetMetrics(m *obs.PoolMetrics) { poolMetrics.Store(m) }
 
 // Workers resolves a configured worker count: non-positive values select
 // runtime.GOMAXPROCS(0).
@@ -37,15 +42,29 @@ func For(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	m := poolMetrics.Load()
+	if m != nil {
+		m.Batches.Inc()
+		m.Tasks.Add(int64(n))
+		m.QueueDepth.Set(float64(n))
+		defer m.QueueDepth.Set(0)
+	}
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w == 1 {
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
 			}
+		}
+		if m != nil {
+			m.WorkerBusy.Observe(time.Since(start).Seconds())
 		}
 		return nil
 	}
@@ -78,6 +97,11 @@ func For(workers, n int, fn func(i int) error) error {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			var start time.Time
+			if m != nil {
+				start = time.Now()
+				defer func() { m.WorkerBusy.Observe(time.Since(start).Seconds()) }()
+			}
 			for !stopped.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {

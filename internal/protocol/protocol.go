@@ -24,10 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"plos/internal/admm"
 	"plos/internal/core"
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/optimize"
 	"plos/internal/transport"
 )
@@ -189,9 +191,23 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 	}
 
 	st := &serverState{cfg: cfg, users: users, dim: dim, w0: w0}
+	cfg.Core.Obs.Counter(obs.MetricTrainRuns, "").Inc()
 	info := core.TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
-		return st.cccpRound(round, &info)
+		var start time.Time
+		if cfg.Core.Obs != nil {
+			start = time.Now()
+		}
+		obj, err := st.cccpRound(round, &info)
+		if err == nil {
+			if r := cfg.Core.Obs; r != nil {
+				r.Counter(obs.MetricCCCPIterations, "").Inc()
+				r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+				r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
+					Dur: time.Since(start), Round: round, User: -1, Value: obj})
+			}
+		}
+		return obj, err
 	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter)
 	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
 		abort(users, err.Error())
@@ -295,6 +311,10 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 	}
 
 	for iter := 0; iter < cfg.Dist.MaxADMMIter; iter++ {
+		var roundStart time.Time
+		if cfg.Core.Obs != nil {
+			roundStart = time.Now()
+		}
 		activeIdx := st.active()
 		// Parallel param/update exchange with every active device.
 		type outcome struct {
@@ -355,6 +375,11 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 			return 0, err
 		}
 		info.ADMMIterations++
+		info.ADMMPrimal = res.Primal
+		info.ADMMDual = res.Dual
+		if r := cfg.Core.Obs; r != nil {
+			admm.ObserveRound(r, iter, roundStart, res)
+		}
 		// Persist duals by user id for the next CCCP round.
 		for i, t := range kept {
 			st.us[t] = cons.U[i]

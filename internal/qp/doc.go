@@ -1,0 +1,19 @@
+// Package qp provides hand-rolled quadratic-programming solvers for the
+// structured duals that arise in PLOS:
+//
+//   - the centralized dual (paper Eq. 16): min ½γᵀGγ − cᵀγ over γ ≥ 0 with a
+//     per-user budget Σ_{k∈user t} γ_k ≤ T/(2λ);
+//   - the local ADMM dual of subproblem (22): the same shape with a single
+//     group and budget 1.
+//
+// Go has no numerical ecosystem, so the solver is built from scratch: an
+// accelerated projected-gradient method (FISTA with adaptive restart) whose
+// projection step — onto the intersection of the nonnegative orthant and
+// per-group budget caps — is computed exactly by the sort-based simplex
+// projection of Held, Wolfe & Crowder. The projection factorizes over
+// groups, so exactness is cheap.
+//
+// When Options.Obs is set, each Solve reports qp_solves_total,
+// qp_iterations_total, a qp_solve_seconds observation and a qp-solve trace
+// span; the solve itself is unaffected (same iterates, same stopping test).
+package qp

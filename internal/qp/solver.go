@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"plos/internal/mat"
+	"plos/internal/obs"
 )
 
 // Problem is the structured QP
@@ -34,6 +36,10 @@ type Options struct {
 	// X0 optionally warm-starts the solve; it is projected to feasibility
 	// first. If nil the solver starts from the origin.
 	X0 mat.Vector
+	// Obs, when non-nil, receives solve counts, cumulative iteration
+	// counts, a duration histogram and one SpanQPSolve per call. Purely
+	// observational: it never changes an iterate or the iteration order.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +73,10 @@ var ErrMaxIterations = errors.New("qp: maximum iterations reached")
 // feasible, so even an early stop yields a usable dual point.
 func Solve(p *Problem, opts Options) (mat.Vector, Info, error) {
 	o := opts.withDefaults()
+	var start time.Time
+	if o.Obs != nil {
+		start = time.Now()
+	}
 	n := len(p.C)
 	if p.G.Rows != n || p.G.Cols != n {
 		return nil, Info{}, fmt.Errorf("qp: Solve: G is %dx%d but c has length %d", p.G.Rows, p.G.Cols, n)
@@ -140,6 +150,14 @@ func Solve(p *Problem, opts Options) (mat.Vector, Info, error) {
 			info.Converged = true
 			break
 		}
+	}
+	if r := o.Obs; r != nil {
+		dur := time.Since(start)
+		r.Counter(obs.MetricQPSolves, "").Inc()
+		r.Counter(obs.MetricQPIterations, "").Add(int64(info.Iterations))
+		r.Histogram(obs.MetricQPSolveSeconds, "").Observe(dur.Seconds())
+		r.Span(obs.Span{Kind: obs.SpanQPSolve, Start: start, Dur: dur,
+			User: -1, Iterations: info.Iterations, Value: info.Residual})
 	}
 	info.Objective = Objective(p, x)
 	if !info.Converged {

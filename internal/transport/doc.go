@@ -1,0 +1,17 @@
+// Package transport provides the message-passing substrate for distributed
+// PLOS: a Message vocabulary shared by the server and the user devices, a
+// Conn abstraction with per-connection traffic accounting (paper Fig. 13
+// reports per-user message overhead in KB), an in-process channel
+// implementation for simulation-scale experiments, and a TCP implementation
+// speaking a canonical length-prefixed binary codec (codec.go) for real
+// deployments (cmd/plos-server, cmd/plos-client).
+//
+// Only model parameters ever appear in a Message — raw user data has no
+// representation in the protocol, which is the privacy property the paper's
+// distributed design is built around.
+//
+// Observe wraps any Conn so that every Send/Recv also feeds the
+// transport_* counters and wire-send/wire-recv trace spans of an
+// obs.Registry; byte figures come from the connection's own Stats deltas,
+// so the observed numbers equal the Fig. 11–13 traffic accounting exactly.
+package transport

@@ -1,0 +1,126 @@
+package plos
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"plos/internal/obs"
+	"plos/internal/parallel"
+)
+
+// Observer collects training metrics and phase traces. Create one with
+// NewObserver, attach it to any trainer with WithObserver, and read it out
+// through Handler (Prometheus text), Snapshot/WriteJSON (JSON), or
+// WriteTraceJSONL (the phase trace). One observer may watch any number of
+// training runs, concurrently or in sequence; counters accumulate across
+// them.
+//
+// Observation is strictly passive: a trained model is bit-identical with or
+// without an observer attached (the determinism contract of WithWorkers is
+// unaffected), and the instrumentation cost is a handful of atomic adds per
+// solver phase — see docs/OBSERVABILITY.md for the full metric catalog.
+type Observer struct {
+	reg *obs.Registry
+}
+
+// NewObserver creates an observer with every documented metric
+// pre-registered. It also becomes the process-global observer of the
+// internal worker pool (queue depth, per-worker busy time) — the pool is
+// shared by all trainers in the process, so the most recently created
+// observer owns its metrics.
+func NewObserver() *Observer {
+	r := obs.NewRegistry()
+	parallel.SetMetrics(r.PoolMetrics())
+	return &Observer{reg: r}
+}
+
+// WithObserver attaches ob to the training run. A nil observer is valid and
+// equivalent to not passing the option.
+func WithObserver(ob *Observer) Option {
+	return func(o *options) {
+		if ob != nil {
+			o.core.Obs = ob.reg
+		}
+	}
+}
+
+// registry is the internal accessor used by Serve and the cmd/ binaries.
+// It is nil-safe so call sites can thread a possibly-nil observer through.
+func (ob *Observer) registry() *obs.Registry {
+	if ob == nil {
+		return nil
+	}
+	return ob.reg
+}
+
+// WritePrometheus writes all metrics in the Prometheus text exposition
+// format (histograms appear as summaries with p50/p95/max companions).
+func (ob *Observer) WritePrometheus(w io.Writer) error {
+	return ob.registry().WritePrometheus(w)
+}
+
+// Handler returns an http.Handler serving the Prometheus text exposition —
+// mount it on /metrics.
+func (ob *Observer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = ob.WritePrometheus(w)
+	})
+}
+
+// Snapshot returns all metric values keyed by name; histogram entries are
+// objects carrying count/sum/quantiles. The result marshals cleanly to JSON.
+func (ob *Observer) Snapshot() map[string]any {
+	return ob.registry().Snapshot()
+}
+
+// WriteJSON writes the Snapshot as one indented JSON object — the payload
+// behind plos-bench -metrics-json.
+func (ob *Observer) WriteJSON(w io.Writer) error {
+	return ob.registry().WriteJSON(w)
+}
+
+// WriteTraceJSONL writes the retained phase spans (CCCP iterations,
+// cutting-plane rounds, QP solves, ADMM rounds, wire messages) as one JSON
+// object per line, oldest first. The trace ring is bounded: only the most
+// recent obs.DefaultTraceCapacity spans are retained.
+func (ob *Observer) WriteTraceJSONL(w io.Writer) error {
+	return ob.registry().WriteSpansJSONL(w)
+}
+
+// CounterValue reads one counter by its documented name (zero when the
+// counter has not been touched).
+func (ob *Observer) CounterValue(name string) int64 {
+	return ob.registry().CounterValue(name)
+}
+
+// GaugeFunc registers a derived gauge evaluated at scrape time — e.g. an
+// energy model applied to the traffic counters.
+func (ob *Observer) GaugeFunc(name, help string, fn func() float64) {
+	ob.registry().GaugeFunc(name, help, fn)
+}
+
+// expvar.Publish panics on duplicate names, so the "plos" var is published
+// once per process and reads whichever observer most recently asked for it.
+var (
+	expvarOnce   sync.Once
+	expvarTarget atomic.Pointer[obs.Registry]
+)
+
+// PublishExpvar exposes the observer's snapshot as the expvar variable
+// "plos" (served on /debug/vars by any mux with expvar.Handler mounted).
+// Publishing again from a different observer redirects the variable to it.
+func (ob *Observer) PublishExpvar() {
+	if ob == nil {
+		return
+	}
+	expvarTarget.Store(ob.reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("plos", expvar.Func(func() any {
+			return expvarTarget.Load().Snapshot()
+		}))
+	})
+}

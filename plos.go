@@ -273,17 +273,33 @@ type Stats struct {
 	CCCPConverged  bool
 	Objective      float64
 	Constraints    int
-	ADMMIterations int
+	// CutRounds is the total number of cutting-plane rounds and
+	// QPIterations the cumulative inner QP iterations (centralized solver).
+	CutRounds    int
+	QPIterations int
+	// ADMMIterations counts consensus rounds; the residuals are those of
+	// the final round (paper Eq. 24), zero for centralized training.
+	ADMMIterations     int
+	ADMMPrimalResidual float64
+	ADMMDualResidual   float64
+	// ObjectiveHistory is the objective after each CCCP iteration.
+	ObjectiveHistory []float64
 }
 
-// Stats returns the training diagnostics.
+// Stats returns the training diagnostics. Slice fields are copies — mutating
+// them does not affect the model.
 func (m *Model) Stats() Stats {
 	return Stats{
-		CCCPIterations: m.info.CCCPIterations,
-		CCCPConverged:  m.info.CCCPConverged,
-		Objective:      m.info.Objective,
-		Constraints:    m.info.Constraints,
-		ADMMIterations: m.info.ADMMIterations,
+		CCCPIterations:     m.info.CCCPIterations,
+		CCCPConverged:      m.info.CCCPConverged,
+		Objective:          m.info.Objective,
+		Constraints:        m.info.Constraints,
+		CutRounds:          m.info.CutRounds,
+		QPIterations:       m.info.QPIterations,
+		ADMMIterations:     m.info.ADMMIterations,
+		ADMMPrimalResidual: m.info.ADMMPrimal,
+		ADMMDualResidual:   m.info.ADMMDual,
+		ObjectiveHistory:   append([]float64(nil), m.info.ObjectiveHistory...),
 	}
 }
 

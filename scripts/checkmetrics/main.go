@@ -1,0 +1,78 @@
+// checkmetrics is the docs-freshness gate for the observability layer,
+// run by scripts/ci.sh as `go run ./scripts/checkmetrics` from the repo
+// root. It holds docs/OBSERVABILITY.md to internal/obs.Catalog in both
+// directions:
+//
+//   - every cataloged metric must appear backticked in the handbook;
+//   - every backticked snake_case token in the handbook must be a cataloged
+//     metric (or a known non-metric field), so renamed or deleted metrics
+//     cannot leave stale documentation behind.
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+
+	"plos/internal/obs"
+)
+
+const docPath = "docs/OBSERVABILITY.md"
+
+// tickToken matches inline-code snake_case identifiers: lowercase
+// alphanumerics with at least one underscore-separated segment. Paths,
+// flags, Go identifiers and prose never match; metric names always do.
+var tickToken = regexp.MustCompile("`([a-z][a-z0-9]*(?:_[a-z0-9]+)+)`")
+
+// notMetrics are backticked snake_case tokens the handbook legitimately
+// uses that are not metric names (trace span fields, JSON keys).
+var notMetrics = map[string]bool{
+	"dur_ms": true,
+}
+
+func main() {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %v (run from the repo root)\n", err)
+		os.Exit(1)
+	}
+	doc := string(raw)
+
+	fail := false
+	catalog := make(map[string]bool, len(obs.Catalog))
+	for _, d := range obs.Catalog {
+		catalog[d.Name] = true
+		if !strings.Contains(doc, "`"+d.Name+"`") {
+			fmt.Fprintf(os.Stderr,
+				"checkmetrics: metric %q (%s) is registered but missing from %s\n",
+				d.Name, d.Help, docPath)
+			fail = true
+		}
+	}
+
+	stale := map[string]bool{}
+	for _, m := range tickToken.FindAllStringSubmatch(doc, -1) {
+		if name := m[1]; !catalog[name] && !notMetrics[name] {
+			stale[name] = true
+		}
+	}
+	names := make([]string, 0, len(stale))
+	for n := range stale {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr,
+			"checkmetrics: %s documents %q, which is not in the obs catalog (stale or typo)\n",
+			docPath, n)
+		fail = true
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("checkmetrics: %d metrics documented, %s in sync with the catalog\n",
+		len(obs.Catalog), docPath)
+}

@@ -16,6 +16,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== checkmetrics (docs/OBSERVABILITY.md vs obs catalog) =="
+go run ./scripts/checkmetrics
+
 echo "== go build =="
 go build ./...
 

@@ -57,7 +57,17 @@ func Serve(addr string, devices int, onListen func(addr string), opts ...Option)
 			_ = c.Close()
 		}
 	}()
-	res, err := protocol.RunServer(conns, protocol.ServerConfig{Core: o.core, Dist: o.dist})
+	// With an observer attached, every device connection feeds the
+	// transport counters and wire spans; accounting via Stats() deltas is
+	// unchanged either way.
+	wired := conns
+	if o.core.Obs != nil {
+		wired = make([]transport.Conn, len(conns))
+		for t, c := range conns {
+			wired[t] = transport.Observe(c, o.core.Obs, t)
+		}
+	}
+	res, err := protocol.RunServer(wired, protocol.ServerConfig{Core: o.core, Dist: o.dist})
 	if err != nil {
 		return nil, fmt.Errorf("plos: Serve: %w", err)
 	}
@@ -125,7 +135,8 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 		return nil, fmt.Errorf("plos: Join: %w", err)
 	}
 	defer conn.Close()
-	res, err := protocol.RunClient(conn, core.UserData{X: x, Y: append([]float64(nil), user.Labels...)},
+	wired := transport.Observe(conn, o.core.Obs, -1)
+	res, err := protocol.RunClient(wired, core.UserData{X: x, Y: append([]float64(nil), user.Labels...)},
 		protocol.ClientOptions{Seed: o.core.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("plos: Join: %w", err)
