@@ -8,6 +8,13 @@
 // who labels nothing runs with -labels 0.
 //
 //	plos-client -addr localhost:7350 -csv data/synth/user03.csv -labels 8
+//
+// Fault tolerance (pair with a -resume/-checkpoint plos-server; see
+// docs/FAULT_TOLERANCE.md): -redials N survives connection failures by
+// redialing with seeded backoff and resuming the session; -session-file
+// persists the coordinator-issued session token so a restarted client
+// process can reclaim its slot; -op-timeout and -retries harden the
+// connection itself.
 package main
 
 import (
@@ -17,36 +24,78 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"plos"
 )
 
+type clientOptions struct {
+	addr        string
+	csvPath     string
+	labels      int
+	seed        int64
+	redials     int
+	opTimeout   time.Duration
+	retries     int
+	sessionFile string
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", "localhost:7350", "coordinator address")
-		csvPath = flag.String("csv", "", "local dataset CSV (label,f1,f2,…)")
-		labels  = flag.Int("labels", 0, "number of leading rows whose labels are provided")
-		seed    = flag.Int64("seed", 1, "device seed")
-	)
+	var o clientOptions
+	flag.StringVar(&o.addr, "addr", "localhost:7350", "coordinator address")
+	flag.StringVar(&o.csvPath, "csv", "", "local dataset CSV (label,f1,f2,…)")
+	flag.IntVar(&o.labels, "labels", 0, "number of leading rows whose labels are provided")
+	flag.Int64Var(&o.seed, "seed", 1, "device seed")
+	flag.IntVar(&o.redials, "redials", 0,
+		"redial and resume the session up to this many times after a connection failure (0 disables)")
+	flag.DurationVar(&o.opTimeout, "op-timeout", 0,
+		"per-message send/receive deadline (0 waits forever)")
+	flag.IntVar(&o.retries, "retries", 0,
+		"retry transient transport failures up to this many attempts per operation (0 or 1 disables)")
+	flag.StringVar(&o.sessionFile, "session-file", "",
+		"persist the session token to this file and resume from it when it exists")
 	flag.Parse()
-	if err := run(*addr, *csvPath, *labels, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, csvPath string, labels int, seed int64) error {
-	if csvPath == "" {
+func run(o clientOptions) error {
+	if o.csvPath == "" {
 		return fmt.Errorf("-csv is required (generate one with plos-datagen)")
 	}
-	user, truth, err := loadCSV(csvPath, labels)
+	user, truth, err := loadCSV(o.csvPath, o.labels)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("loaded %d samples × %d features (%d labeled); joining %s\n",
-		len(user.Features), len(user.Features[0]), len(user.Labels), addr)
+		len(user.Features), len(user.Features[0]), len(user.Labels), o.addr)
 
-	device, err := plos.Join(addr, user, plos.WithSeed(seed))
+	opts := []plos.Option{plos.WithSeed(o.seed)}
+	if o.redials > 0 {
+		opts = append(opts, plos.WithSessionResume(o.redials))
+	}
+	if o.opTimeout > 0 {
+		opts = append(opts, plos.WithOpTimeout(o.opTimeout))
+	}
+	if o.retries > 1 {
+		opts = append(opts, plos.WithRetries(o.retries))
+	}
+	if o.sessionFile != "" {
+		if tok, err := readSessionFile(o.sessionFile); err != nil {
+			return err
+		} else if tok != 0 {
+			fmt.Println("resuming session from", o.sessionFile)
+			opts = append(opts, plos.WithSessionToken(tok))
+		}
+		opts = append(opts, plos.WithSessionNotify(func(tok int64) {
+			if err := writeSessionFile(o.sessionFile, tok); err != nil {
+				fmt.Fprintln(os.Stderr, "plos-client: session file:", err)
+			}
+		}))
+	}
+	device, err := plos.Join(o.addr, user, opts...)
 	if err != nil {
 		return err
 	}
@@ -61,7 +110,33 @@ func run(addr, csvPath string, labels int, seed int64) error {
 	fmt.Printf("traffic: %.1f KB in %d messages (raw upload would have been %.1f KB)\n",
 		float64(device.Bytes)/1024, device.Messages,
 		float64(len(user.Features)*len(user.Features[0])*8)/1024)
+	if o.sessionFile != "" {
+		// The run is over; the token is useless now and would confuse the
+		// next fresh run if left behind.
+		_ = os.Remove(o.sessionFile)
+	}
 	return nil
+}
+
+// readSessionFile loads a previously persisted session token; a missing
+// file means no session (fresh join).
+func readSessionFile(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("session file: %w", err)
+	}
+	tok, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("session file %s: %w", path, err)
+	}
+	return tok, nil
+}
+
+func writeSessionFile(path string, tok int64) error {
+	return os.WriteFile(path, []byte(strconv.FormatInt(tok, 10)+"\n"), 0o644)
 }
 
 // loadCSV parses the dataset and applies the labeling budget. It returns

@@ -62,7 +62,7 @@ func TestLoadCSVErrors(t *testing.T) {
 }
 
 func TestRunRequiresCSV(t *testing.T) {
-	if err := run("localhost:1", "", 0, 1); err == nil {
+	if err := run(clientOptions{addr: "localhost:1", seed: 1}); err == nil {
 		t.Error("missing -csv should error")
 	}
 }

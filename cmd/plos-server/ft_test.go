@@ -1,0 +1,98 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"plos/internal/protocol"
+	"plos/internal/transport"
+)
+
+// startServer runs the server under test in the background and returns its
+// bound address plus the channel its exit error arrives on.
+func startServer(t *testing.T, devices int) (string, <-chan error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	o := serverOptions{
+		addr: "127.0.0.1:0", devices: devices,
+		lambda: 100, cl: 1, cu: 0.2, rho: 1, epsAbs: 1e-3, seed: 1,
+		onListen: func(a string) { addrCh <- a },
+	}
+	go func() { errCh <- run(o) }()
+	select {
+	case addr := <-addrCh:
+		return addr, errCh
+	case err := <-errCh:
+		t.Fatalf("server exited before listening: %v", err)
+		return "", nil
+	}
+}
+
+// waitErr fails the test if the server does not exit promptly — a hang on
+// vanished clients is exactly the bug this test exists to catch.
+func waitErr(t *testing.T, errCh <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after all clients vanished")
+		return nil
+	}
+}
+
+// TestServerAllClientsVanish: a plos-server whose entire device fleet
+// disappears must exit non-zero with a message naming the failure, never
+// hang or report success.
+func TestServerAllClientsVanish(t *testing.T) {
+	t.Run("during handshake", func(t *testing.T) {
+		addr, errCh := startServer(t, 2)
+		for i := 0; i < 2; i++ {
+			c, err := transport.Dial(addr)
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			_ = c.Close() // vanish before sending the hello
+		}
+		err := waitErr(t, errCh)
+		if err == nil {
+			t.Fatal("server reported success with zero surviving devices")
+		}
+		if !strings.Contains(err.Error(), "hello") {
+			t.Errorf("error %q does not name the handshake failure", err)
+		}
+	})
+
+	t.Run("after handshake", func(t *testing.T) {
+		addr, errCh := startServer(t, 2)
+		conns := make([]transport.Conn, 2)
+		for i := range conns {
+			c, err := transport.Dial(addr)
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			conns[i] = c
+			hello := transport.Message{Type: transport.MsgHello,
+				Dim: 2, Samples: 4, Labeled: 2, W: []float64{1, 0}}
+			if err := c.Send(hello); err != nil {
+				t.Fatalf("hello %d: %v", i, err)
+			}
+		}
+		for i, c := range conns {
+			if m, err := c.Recv(); err != nil || m.Type != transport.MsgHello {
+				t.Fatalf("hello reply %d: %v %v", i, m.Type, err)
+			}
+			_ = c.Close() // vanish right as training starts
+		}
+		err := waitErr(t, errCh)
+		if err == nil {
+			t.Fatal("server reported success with zero surviving devices")
+		}
+		if !errors.Is(err, protocol.ErrTooFewActive) {
+			t.Errorf("err = %v, want ErrTooFewActive in the chain", err)
+		}
+	})
+}

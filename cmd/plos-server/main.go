@@ -8,6 +8,15 @@
 // With -metrics-addr the server also exposes an operations endpoint:
 // /metrics (Prometheus text), /debug/vars (expvar JSON) and /debug/pprof/*
 // (live CPU/heap profiling) — see docs/OBSERVABILITY.md.
+//
+// Fault tolerance (see docs/FAULT_TOLERANCE.md): -op-timeout and -retries
+// harden individual connections; -round-timeout, -quorum and -max-stale set
+// the straggler policy; -resume lets disconnected devices redial and pick
+// up their session; -checkpoint FILE snapshots trainer state after each
+// CCCP round and resumes from the file when it already exists:
+//
+//	plos-server -devices 5 -round-timeout 30s -quorum 0.5 -resume \
+//	    -checkpoint run.ckpt
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
 	"plos"
 	"plos/internal/cost"
@@ -37,6 +47,22 @@ func main() {
 	flag.StringVar(&o.save, "save", "", "write the trained model (JSON) to this path")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
 		"serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
+	flag.DurationVar(&o.opTimeout, "op-timeout", 0,
+		"per-message send/receive deadline on device connections (0 waits forever)")
+	flag.IntVar(&o.retries, "retries", 0,
+		"retry transient transport failures up to this many attempts per operation (0 or 1 disables)")
+	flag.DurationVar(&o.roundTimeout, "round-timeout", 0,
+		"per-ADMM-iteration deadline; devices that miss it are carried stale, then dropped (0 waits forever)")
+	flag.Float64Var(&o.quorum, "quorum", 0,
+		"abort when fewer than this fraction of devices remain active (0 disables)")
+	flag.IntVar(&o.maxStale, "max-stale", 0,
+		"rounds a straggler's last update may be reused before it is dropped (0 = default 3)")
+	flag.BoolVar(&o.resume, "resume", false,
+		"issue session tokens and let disconnected devices redial and resume mid-training")
+	flag.StringVar(&o.checkpoint, "checkpoint", "",
+		"snapshot trainer state to this file after CCCP rounds; if the file exists, resume from it")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1,
+		"checkpoint after every N-th CCCP round (with -checkpoint)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-server:", err)
@@ -51,6 +77,14 @@ type serverOptions struct {
 	seed                        int64
 	save                        string
 	metricsAddr                 string
+	opTimeout, roundTimeout     time.Duration
+	retries, maxStale           int
+	quorum                      float64
+	resume                      bool
+	checkpoint                  string
+	checkpointEvery             int
+	// onListen, when non-nil, receives the bound address (tests).
+	onListen func(addr string)
 }
 
 func run(o serverOptions) error {
@@ -59,6 +93,27 @@ func run(o serverOptions) error {
 		plos.WithLossWeights(o.cl, o.cu),
 		plos.WithADMM(o.rho, o.epsAbs),
 		plos.WithSeed(o.seed),
+	}
+	if o.opTimeout > 0 {
+		opts = append(opts, plos.WithOpTimeout(o.opTimeout))
+	}
+	if o.retries > 1 {
+		opts = append(opts, plos.WithRetries(o.retries))
+	}
+	if o.roundTimeout > 0 {
+		opts = append(opts, plos.WithRoundTimeout(o.roundTimeout))
+	}
+	if o.quorum > 0 {
+		opts = append(opts, plos.WithQuorum(o.quorum))
+	}
+	if o.maxStale > 0 {
+		opts = append(opts, plos.WithMaxStale(o.maxStale))
+	}
+	if o.resume {
+		opts = append(opts, plos.WithSessionResume(0))
+	}
+	if o.checkpoint != "" {
+		opts = append(opts, plos.WithCheckpoint(o.checkpoint, o.checkpointEvery))
 	}
 	var ob *plos.Observer
 	if o.metricsAddr != "" {
@@ -72,7 +127,12 @@ func run(o serverOptions) error {
 		opts = append(opts, plos.WithObserver(ob))
 	}
 	res, err := plos.Serve(o.addr, o.devices,
-		func(bound string) { fmt.Println("listening on", bound, "— waiting for", o.devices, "devices") },
+		func(bound string) {
+			fmt.Println("listening on", bound, "— waiting for", o.devices, "devices")
+			if o.onListen != nil {
+				o.onListen(bound)
+			}
+		},
 		opts...,
 	)
 	if err != nil {
@@ -89,6 +149,9 @@ func run(o serverOptions) error {
 	for t := range res.TrafficBytes {
 		fmt.Printf("%6d %9v %9.1f KB %11d\n",
 			t, res.Dropped[t], float64(res.TrafficBytes[t])/1024, res.TrafficMessages[t])
+		if res.Dropped[t] && res.DropCause[t] != nil {
+			fmt.Printf("         cause: %v\n", res.DropCause[t])
+		}
 	}
 	if o.save != "" {
 		f, err := os.Create(o.save)

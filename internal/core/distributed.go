@@ -122,6 +122,12 @@ func (wk *Worker) RefreshSigns(w0 mat.Vector) {
 	}
 }
 
+// Ready reports whether the worker has CCCP-frozen effective labels — i.e.
+// RefreshSigns has run and Solve may be called. A client resuming a dropped
+// session mid-round uses it to tell a warm worker (skip the redundant sign
+// refresh, keeping the working set) from a fresh one after a crash.
+func (wk *Worker) Ready() bool { return wk.signs != nil }
+
 // Solve performs the device-side x-update of one ADMM round: it minimizes
 // subproblem (22) with a local cutting-plane loop. v_t is eliminated in
 // closed form (v_t = ρ·p/(a+ρ) with a = 2λ/T and p = w_t − (w0 − u_t)),

@@ -51,6 +51,16 @@ const (
 	MetricBytesSent        = "transport_bytes_sent_total"
 	MetricBytesReceived    = "transport_bytes_received_total"
 
+	MetricTransportRetries     = "transport_retries_total"
+	MetricTransportOpTimeouts  = "transport_op_timeouts_total"
+	MetricTransportDupsDropped = "transport_duplicates_dropped_total"
+	MetricChaosFaults          = "chaos_faults_injected_total"
+
+	MetricProtocolReconnects     = "protocol_reconnects_total"
+	MetricProtocolStaleReuses    = "protocol_stale_reuses_total"
+	MetricProtocolDroppedDevices = "protocol_devices_dropped_total"
+	MetricCheckpointsWritten     = "checkpoints_written_total"
+
 	MetricParallelBatches           = "parallel_batches_total"
 	MetricParallelTasks             = "parallel_tasks_total"
 	MetricParallelQueueDepth        = "parallel_queue_depth"
@@ -94,6 +104,16 @@ var Catalog = []MetricDef{
 	{MetricMessagesReceived, KindCounter, "1", "Protocol messages received on observed connections."},
 	{MetricBytesSent, KindCounter, "bytes", "Bytes sent on observed connections (real encoded bytes on TCP, WireSize on pipes)."},
 	{MetricBytesReceived, KindCounter, "bytes", "Bytes received on observed connections."},
+
+	{MetricTransportRetries, KindCounter, "1", "Transient Send/Recv failures retried by the transport.Retry wrapper."},
+	{MetricTransportOpTimeouts, KindCounter, "1", "Send/Recv operations that hit their per-operation deadline."},
+	{MetricTransportDupsDropped, KindCounter, "1", "Duplicate deliveries discarded by sequence-number dedup."},
+	{MetricChaosFaults, KindCounter, "1", "Faults injected by the deterministic chaos connection (drops, delays, duplicates, corruptions, partitions)."},
+
+	{MetricProtocolReconnects, KindCounter, "1", "Devices re-attached to their server slot after a session-resume handshake."},
+	{MetricProtocolStaleReuses, KindCounter, "1", "ADMM rounds that reused a straggler's previous local solution."},
+	{MetricProtocolDroppedDevices, KindCounter, "1", "Devices permanently dropped from a training run."},
+	{MetricCheckpointsWritten, KindCounter, "1", "Server trainer-state checkpoints written to disk."},
 
 	{MetricParallelBatches, KindCounter, "1", "Worker-pool batches (For/Do/Map calls) started."},
 	{MetricParallelTasks, KindCounter, "1", "Task indexes submitted to the worker pool."},

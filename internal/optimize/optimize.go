@@ -140,15 +140,33 @@ var ErrNotDescending = errors.New("optimize: CCCP objective increased")
 // rounds elapse. On non-monotone steps it returns the iterate anyway with
 // an ErrNotDescending-wrapped error so callers can decide.
 func CCCP(step func(iter int) (float64, error), tol float64, maxIter int) (CCCPInfo, error) {
+	return CCCPResume(step, tol, maxIter, nil)
+}
+
+// CCCPResume is CCCP continuing from a prior objective history (one entry
+// per already-completed round, oldest first): the round counter starts at
+// len(prior), the first new round's monotonicity and convergence checks
+// compare against the last prior objective, and prior is carried into the
+// returned History. It powers checkpoint restore — a resumed run makes the
+// same decisions the uninterrupted run would have. A nil prior is a fresh
+// run.
+func CCCPResume(step func(iter int) (float64, error), tol float64, maxIter int, prior []float64) (CCCPInfo, error) {
 	if tol <= 0 {
 		tol = 1e-4
 	}
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	info := CCCPInfo{}
+	info := CCCPInfo{
+		Iterations: len(prior),
+		History:    append([]float64(nil), prior...),
+	}
 	prev := 0.0
-	for k := 0; k < maxIter; k++ {
+	if len(prior) > 0 {
+		prev = prior[len(prior)-1]
+		info.Objective = prev
+	}
+	for k := len(prior); k < maxIter; k++ {
 		obj, err := step(k)
 		if err != nil {
 			return info, fmt.Errorf("optimize: CCCP round %d: %w", k, err)

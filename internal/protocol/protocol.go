@@ -7,7 +7,7 @@
 // Message flow (one connection per user):
 //
 //	client → server  hello {dim, samples, labeled, local-init hyperplane}
-//	server → client  hello {T, hyperparameters}
+//	server → client  hello {T, hyperparameters, session token}
 //	per CCCP round:
 //	  server → client  start-round {w0}          (device freezes CCCP signs)
 //	  per ADMM iteration:
@@ -15,15 +15,25 @@
 //	    client → server  update {w_t, v_t, ξ_t}
 //	server → client  done {w0}
 //
-// The server tolerates device dropouts: a connection that fails mid-round
-// is removed from the consensus (admm.Consensus.DropWorker) and training
-// continues with the survivors, down to a configurable minimum.
+// The server tolerates unreliable devices in three escalating ways
+// (configured by FTConfig; see docs/FAULT_TOLERANCE.md):
+//
+//   - Stale reuse: a device that misses the per-round deadline keeps its
+//     place — the server reuses its last reported (w_t, v_t, ξ_t) for up to
+//     MaxStale consecutive rounds.
+//   - Session resume: the hello reply carries a session token; a device
+//     whose connection died can redial, echo the token, and be re-attached
+//     to its slot mid-training (RunClientLoop drives the device side).
+//   - Permanent drop: a device out of stale budget (or, without resume, any
+//     device whose connection fails) is removed from the consensus
+//     (admm.Consensus.DropWorker) and training continues while the active
+//     count stays at or above both MinActive and ceil(Quorum·T).
 package protocol
 
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"math"
 	"time"
 
 	"plos/internal/admm"
@@ -31,6 +41,7 @@ import (
 	"plos/internal/mat"
 	"plos/internal/obs"
 	"plos/internal/optimize"
+	"plos/internal/rng"
 	"plos/internal/transport"
 )
 
@@ -43,6 +54,51 @@ var (
 	ErrAborted       = errors.New("protocol: aborted by peer")
 )
 
+// Rejoin is a reconnection attempt handed to the server: an accepted
+// connection whose first message was a hello carrying a session token. The
+// server validates the token against its user slots at the next iteration
+// boundary and either re-attaches the device or rejects the connection.
+type Rejoin struct {
+	Conn  transport.Conn
+	Hello transport.Message
+}
+
+// FTConfig holds the fault-tolerance knobs. The zero value disables every
+// mechanism and reproduces the strict fail-fast protocol bit-for-bit.
+type FTConfig struct {
+	// RoundTimeout bounds how long one ADMM iteration waits for device
+	// replies; devices that miss it are handled by the stale-reuse policy.
+	// 0 waits forever (strict lockstep).
+	RoundTimeout time.Duration
+	// Quorum is the fraction of the original T devices that must remain
+	// active; training aborts with ErrTooFewActive below ceil(Quorum·T).
+	// Combined with MinActive via max. 0 disables the fractional bound.
+	Quorum float64
+	// MaxStale is how many consecutive rounds a straggler's last local
+	// solution may be reused before the device is dropped (default 3).
+	MaxStale int
+	// Resume grants disconnected devices the stale-reuse grace period and
+	// accepts re-attachments from the Rejoin channel. Without it, a failed
+	// connection drops the device immediately (the pre-FT behavior).
+	Resume bool
+	// Rejoin delivers reconnection attempts (see Rejoin); typically fed by
+	// an accept loop that reads the first hello off new connections. Drained
+	// at iteration boundaries. May be nil.
+	Rejoin <-chan Rejoin
+	// SessionSeed keys the session-token stream; 0 falls back to Core.Seed.
+	// Tokens are generated only when Resume or checkpointing is on.
+	SessionSeed int64
+	// CheckpointPath, when set, makes the server atomically snapshot its
+	// trainer state (w0, duals, round epoch, per-user last solutions) after
+	// every CheckpointEvery-th CCCP round (default every round).
+	CheckpointPath  string
+	CheckpointEvery int
+	// Restore, when non-nil, resumes training from a loaded checkpoint:
+	// the handshake matches clients to their slots by session token and the
+	// CCCP loop continues from the recorded epoch.
+	Restore *Checkpoint
+}
+
 // ServerConfig configures a training run.
 type ServerConfig struct {
 	Core core.Config
@@ -50,15 +106,21 @@ type ServerConfig struct {
 	// MinActive is the number of live devices below which the run aborts
 	// (default 1).
 	MinActive int
+	// FT configures the fault-tolerance layer; the zero value disables it.
+	FT FTConfig
 }
 
 // ServerResult is the trained model plus per-user traffic accounting.
 type ServerResult struct {
 	Model *core.Model // W[t] is nil for users that dropped out
 	Info  core.TrainInfo
-	// Dropped[t] reports whether user t's device died during training.
+	// Dropped[t] reports whether user t's device was permanently dropped.
 	Dropped []bool
-	// PerUser[t] is the server-side traffic on user t's connection;
+	// DropCause[t] is the first fatal failure recorded for user t (non-nil
+	// for dropped users; may be non-nil for users that recovered via stale
+	// reuse or resume).
+	DropCause []error
+	// PerUser[t] is the server-side traffic on user t's connection(s);
 	// Total aggregates them.
 	PerUser []transport.Stats
 	Total   transport.Stats
@@ -96,6 +158,20 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.MinActive <= 0 {
 		c.MinActive = 1
+	}
+	if c.FT.MaxStale <= 0 {
+		c.FT.MaxStale = 3
+	}
+	if c.FT.CheckpointEvery <= 0 {
+		c.FT.CheckpointEvery = 1
+	}
+	if c.FT.Quorum < 0 {
+		c.FT.Quorum = 0
+	} else if c.FT.Quorum > 1 {
+		c.FT.Quorum = 1
+	}
+	if c.FT.SessionSeed == 0 {
+		c.FT.SessionSeed = c.Core.Seed
 	}
 	return c
 }
@@ -135,29 +211,143 @@ func fillCoreDefaults(c core.Config) core.Config {
 // serverUser is the server's view of one device.
 type serverUser struct {
 	conn    transport.Conn
-	dropped bool
-	lastW   mat.Vector
-	lastV   mat.Vector
-	lastXi  float64
+	session int64
+	// dropped: permanently removed from the run. detached: connection lost
+	// but (with Resume) still inside the stale-reuse grace period. pending:
+	// an exchange goroutine owns the connection right now. needSync: the
+	// device must be sent the current round's start-round before its next
+	// params. fresh: the device delivered an update this ADMM iteration.
+	dropped  bool
+	detached bool
+	pending  bool
+	needSync bool
+	fresh    bool
+	// stale counts consecutive rounds served from the last solution.
+	stale int
+	// cause is the first fatal failure observed on this user's connections.
+	cause error
+	// prevStats accumulates traffic of connections replaced by a resume.
+	prevStats transport.Stats
+	lastW     mat.Vector
+	lastV     mat.Vector
+	lastXi    float64
+}
+
+// stats returns the user's total server-side traffic across all of its
+// connections.
+func (u *serverUser) stats() transport.Stats {
+	s := u.prevStats
+	if u.conn != nil {
+		s = s.Add(u.conn.Stats())
+	}
+	return s
+}
+
+// sessionToken derives the reproducible, non-zero session token of user t.
+func sessionToken(seed int64, t int) int64 {
+	tok := rng.New(seed).SplitN("session", t).Int63()
+	if tok == 0 {
+		tok = 1
+	}
+	return tok
 }
 
 // RunServer drives a full training run over the given client connections
 // (one per user) and returns the trained model. It blocks until training
-// finishes or fails.
+// finishes or fails. With cfg.FT.Restore set, conns must hold one connection
+// per non-dropped user of the checkpoint, in any order — they are matched to
+// their slots by session token.
 func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) {
 	if len(conns) == 0 {
 		return nil, ErrNoConns
 	}
 	cfg = cfg.withDefaults()
-	tCount := len(conns)
 
+	var st *serverState
+	var prior []float64
+	if ck := cfg.FT.Restore; ck != nil {
+		var err error
+		if st, err = restoreHandshake(conns, cfg); err != nil {
+			return nil, err
+		}
+		prior = ck.Objective
+	} else {
+		var err error
+		if st, err = freshHandshake(conns, cfg); err != nil {
+			return nil, err
+		}
+	}
+	tCount := len(st.users)
+
+	cfg.Core.Obs.Counter(obs.MetricTrainRuns, "").Inc()
+	info := core.TrainInfo{}
+	cccpInfo, err := optimize.CCCPResume(func(round int) (float64, error) {
+		var start time.Time
+		if cfg.Core.Obs != nil {
+			start = time.Now()
+		}
+		obj, err := st.cccpRound(round, &info)
+		if err != nil {
+			return obj, err
+		}
+		if r := cfg.Core.Obs; r != nil {
+			r.Counter(obs.MetricCCCPIterations, "").Inc()
+			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
+				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+		}
+		st.objHistory = append(st.objHistory, obj)
+		if cfg.FT.CheckpointPath != "" && (round+1)%cfg.FT.CheckpointEvery == 0 {
+			if err := SaveCheckpoint(cfg.FT.CheckpointPath, st.checkpoint(round+1)); err != nil {
+				return obj, fmt.Errorf("protocol: checkpoint after round %d: %w", round, err)
+			}
+			st.mCheckpoints.Inc()
+		}
+		return obj, nil
+	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter, prior)
+	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
+		st.abort(err.Error())
+		return nil, fmt.Errorf("protocol: RunServer: %w", err)
+	}
+	info.CCCPIterations = cccpInfo.Iterations
+	info.CCCPConverged = cccpInfo.Converged
+	info.Objective = cccpInfo.Objective
+	info.ObjectiveHistory = cccpInfo.History
+
+	// Finish: broadcast the final w0.
+	done := transport.Message{Type: transport.MsgDone, W0: st.w0}
+	st.broadcast(done)
+
+	res := &ServerResult{
+		Model:     &core.Model{W0: st.w0, W: make([]mat.Vector, tCount)},
+		Info:      info,
+		Dropped:   make([]bool, tCount),
+		DropCause: make([]error, tCount),
+		PerUser:   make([]transport.Stats, tCount),
+	}
+	for t, u := range st.users {
+		res.Dropped[t] = u.dropped
+		res.DropCause[t] = u.cause
+		if !u.dropped {
+			res.Model.W[t] = u.lastW
+		}
+		res.PerUser[t] = u.stats()
+		res.Total = res.Total.Add(res.PerUser[t])
+	}
+	return res, nil
+}
+
+// freshHandshake gathers hellos, validates dimensions, aggregates the
+// federated initialization, and replies with T, hyperparameters, and (when
+// the fault-tolerance layer needs them) session tokens.
+func freshHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, error) {
+	tCount := len(conns)
 	users := make([]*serverUser, tCount)
 	for t, c := range conns {
 		users[t] = &serverUser{conn: c}
 	}
+	needSessions := cfg.FT.Resume || cfg.FT.CheckpointPath != ""
 
-	// Handshake: gather hellos, validate dimensions, aggregate the
-	// federated initialization, reply with T and hyperparameters.
 	dim := -1
 	initWs := make([]mat.Vector, 0, tCount)
 	initWeights := make([]float64, 0, tCount)
@@ -172,15 +362,19 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 		if dim == -1 {
 			dim = m.Dim
 		} else if m.Dim != dim {
-			abort(users, fmt.Sprintf("dimension mismatch: %d vs %d", m.Dim, dim))
+			abortUsers(users, fmt.Sprintf("dimension mismatch: %d vs %d", m.Dim, dim))
 			return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, m.Dim, dim)
 		}
 		initWs = append(initWs, mat.Vector(m.W))
 		initWeights = append(initWeights, float64(m.Labeled))
 	}
-	reply := transport.Message{Type: transport.MsgHello, Users: tCount, Dim: dim,
-		Config: wireConfig(cfg.Core, cfg.Dist)}
 	for t, u := range users {
+		reply := transport.Message{Type: transport.MsgHello, Users: tCount, Dim: dim,
+			Config: wireConfig(cfg.Core, cfg.Dist)}
+		if needSessions {
+			u.session = sessionToken(cfg.FT.SessionSeed, t)
+			reply.Session = u.session
+		}
 		if err := u.conn.Send(reply); err != nil {
 			return nil, fmt.Errorf("protocol: hello reply to user %d: %w", t, err)
 		}
@@ -189,54 +383,90 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 	if w0 == nil || len(w0) != dim {
 		w0 = mat.NewVector(dim)
 	}
+	return newServerState(cfg, users, dim, w0), nil
+}
 
-	st := &serverState{cfg: cfg, users: users, dim: dim, w0: w0}
-	cfg.Core.Obs.Counter(obs.MetricTrainRuns, "").Inc()
-	info := core.TrainInfo{}
-	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
-		var start time.Time
-		if cfg.Core.Obs != nil {
-			start = time.Now()
-		}
-		obj, err := st.cccpRound(round, &info)
-		if err == nil {
-			if r := cfg.Core.Obs; r != nil {
-				r.Counter(obs.MetricCCCPIterations, "").Inc()
-				r.Gauge(obs.MetricTrainObjective, "").Set(obj)
-				r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
-					Dur: time.Since(start), Round: round, User: -1, Value: obj})
-			}
-		}
-		return obj, err
-	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter)
-	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
-		abort(users, err.Error())
-		return nil, fmt.Errorf("protocol: RunServer: %w", err)
+// restoreHandshake rebuilds the server state from a checkpoint: every
+// non-dropped slot of the checkpoint must be claimed by exactly one
+// connection whose hello echoes that slot's session token. The reply carries
+// the recorded epoch so clients know which round they are rejoining.
+func restoreHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, error) {
+	ck := cfg.FT.Restore
+	if err := ck.validateForRestore(); err != nil {
+		return nil, err
 	}
-	info.CCCPIterations = cccpInfo.Iterations
-	info.CCCPConverged = cccpInfo.Converged
-	info.Objective = cccpInfo.Objective
-	info.ObjectiveHistory = cccpInfo.History
-
-	// Finish: broadcast the final w0.
-	done := transport.Message{Type: transport.MsgDone, W0: st.w0}
-	st.broadcast(done)
-
-	res := &ServerResult{
-		Model:   &core.Model{W0: st.w0, W: make([]mat.Vector, tCount)},
-		Info:    info,
-		Dropped: make([]bool, tCount),
-		PerUser: make([]transport.Stats, tCount),
+	tCount := len(ck.Sessions)
+	users := make([]*serverUser, tCount)
+	bySession := make(map[int64]int, tCount)
+	live := 0
+	for t := range users {
+		users[t] = &serverUser{
+			session: ck.Sessions[t],
+			dropped: ck.Dropped[t],
+			stale:   ck.Stale[t],
+			lastW:   ck.LastW[t],
+			lastV:   ck.LastV[t],
+			lastXi:  ck.LastXi[t],
+		}
+		if !ck.Dropped[t] {
+			bySession[ck.Sessions[t]] = t
+			live++
+		}
+	}
+	if len(conns) != live {
+		return nil, fmt.Errorf("protocol: restore: checkpoint has %d live users, got %d connections", live, len(conns))
+	}
+	for i, c := range conns {
+		m, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("protocol: restore hello on connection %d: %w", i, err)
+		}
+		if m.Type != transport.MsgHello {
+			return nil, fmt.Errorf("%w: got %v during restore handshake", ErrUnexpectedMsg, m.Type)
+		}
+		t, ok := bySession[m.Session]
+		if !ok {
+			abortConn(c, "unknown or duplicate session token")
+			return nil, fmt.Errorf("protocol: restore: connection %d presented unknown session token", i)
+		}
+		if m.Dim != ck.Dim {
+			abortConn(c, fmt.Sprintf("dimension mismatch: %d vs checkpoint %d", m.Dim, ck.Dim))
+			return nil, fmt.Errorf("%w: %d vs checkpoint %d", ErrDimMismatch, m.Dim, ck.Dim)
+		}
+		delete(bySession, m.Session) // each token claims exactly one slot
+		users[t].conn = c
 	}
 	for t, u := range users {
-		res.Dropped[t] = u.dropped
-		if !u.dropped {
-			res.Model.W[t] = u.lastW
+		if u.dropped {
+			continue
 		}
-		res.PerUser[t] = u.conn.Stats()
-		res.Total = res.Total.Add(res.PerUser[t])
+		reply := transport.Message{Type: transport.MsgHello, Users: tCount, Dim: ck.Dim,
+			Round: ck.Epoch, Session: u.session,
+			Config: wireConfig(cfg.Core, cfg.Dist)}
+		if err := u.conn.Send(reply); err != nil {
+			return nil, fmt.Errorf("protocol: restore hello reply to user %d: %w", t, err)
+		}
 	}
-	return res, nil
+	// Continue the token stream from the checkpoint's seed so re-saved
+	// checkpoints keep the same identities.
+	cfg.FT.SessionSeed = ck.Seed
+	st := newServerState(cfg, users, ck.Dim, ck.W0.Clone())
+	st.objHistory = append([]float64(nil), ck.Objective...)
+	for t, u := range ck.Us {
+		if u != nil {
+			st.us[t] = u
+		}
+	}
+	return st, nil
+}
+
+// exchangeReply is one exchange goroutine's report back to the round loop.
+type exchangeReply struct {
+	user int
+	iter int
+	conn transport.Conn
+	msg  transport.Message
+	err  error
 }
 
 // serverState carries the consensus across CCCP rounds.
@@ -248,6 +478,29 @@ type serverState struct {
 	// us holds the scaled duals of the *active* users, persisted across
 	// CCCP rounds (consistent with ADMM warm-starting).
 	us map[int]mat.Vector
+	// epoch is the CCCP round currently in progress (for resume replies).
+	epoch int
+	// objHistory is the objective after each completed round (prior rounds
+	// included on restore); snapshot into checkpoints.
+	objHistory []float64
+	// replies receives exchange outcomes; buffered to len(users) so a late
+	// goroutine never blocks (at most one exchange is in flight per user).
+	replies chan exchangeReply
+
+	mStale, mReconnects, mDropped, mCheckpoints *obs.Counter
+}
+
+func newServerState(cfg ServerConfig, users []*serverUser, dim int, w0 mat.Vector) *serverState {
+	r := cfg.Core.Obs
+	return &serverState{
+		cfg: cfg, users: users, dim: dim, w0: w0,
+		us:           make(map[int]mat.Vector),
+		replies:      make(chan exchangeReply, len(users)),
+		mStale:       r.Counter(obs.MetricProtocolStaleReuses, ""),
+		mReconnects:  r.Counter(obs.MetricProtocolReconnects, ""),
+		mDropped:     r.Counter(obs.MetricProtocolDroppedDevices, ""),
+		mCheckpoints: r.Counter(obs.MetricCheckpointsWritten, ""),
+	}
 }
 
 func (st *serverState) active() []int {
@@ -260,25 +513,223 @@ func (st *serverState) active() []int {
 	return idx
 }
 
-// drop marks user t dead and checks the minimum-active invariant.
-func (st *serverState) drop(t int, cause error) error {
-	st.users[t].dropped = true
-	if len(st.active()) < st.cfg.MinActive {
+// minActive is the permanent-drop abort threshold: the configured MinActive
+// floor or the quorum fraction of the original device count, whichever is
+// larger.
+func (st *serverState) minActive() int {
+	min := st.cfg.MinActive
+	if q := st.cfg.FT.Quorum; q > 0 {
+		if qn := int(math.Ceil(q * float64(len(st.users)))); qn > min {
+			min = qn
+		}
+	}
+	return min
+}
+
+// checkpoint snapshots the trainer state after `epoch` completed rounds.
+func (st *serverState) checkpoint(epoch int) *Checkpoint {
+	tCount := len(st.users)
+	ck := &Checkpoint{
+		Epoch:     epoch,
+		Dim:       st.dim,
+		Seed:      st.cfg.FT.SessionSeed,
+		W0:        st.w0.Clone(),
+		Objective: append([]float64(nil), st.objHistory...),
+		Sessions:  make([]int64, tCount),
+		Dropped:   make([]bool, tCount),
+		Stale:     make([]int, tCount),
+		Us:        make([]mat.Vector, tCount),
+		LastW:     make([]mat.Vector, tCount),
+		LastV:     make([]mat.Vector, tCount),
+		LastXi:    make([]float64, tCount),
+	}
+	for t, u := range st.users {
+		sess := u.session
+		if sess == 0 {
+			sess = sessionToken(st.cfg.FT.SessionSeed, t)
+		}
+		ck.Sessions[t] = sess
+		ck.Dropped[t] = u.dropped
+		ck.Stale[t] = u.stale
+		if d, ok := st.us[t]; ok {
+			ck.Us[t] = d.Clone()
+		}
+		if u.lastW != nil {
+			ck.LastW[t] = u.lastW.Clone()
+		}
+		if u.lastV != nil {
+			ck.LastV[t] = u.lastV.Clone()
+		}
+		ck.LastXi[t] = u.lastXi
+	}
+	return ck
+}
+
+// noteConnFailure records a connection failure for user t: the connection is
+// closed (satisfying the no-leak invariant), its traffic folded into the
+// user's total, and the user marked detached. conn identifies which
+// connection failed — a report about a connection that was already replaced
+// by a resume is ignored.
+func (st *serverState) noteConnFailure(t int, conn transport.Conn, err error) {
+	u := st.users[t]
+	if u.conn != conn || conn == nil {
+		return
+	}
+	u.prevStats = u.prevStats.Add(u.conn.Stats())
+	_ = u.conn.Close()
+	u.conn = nil
+	u.detached = true
+	if u.cause == nil {
+		u.cause = err
+	}
+}
+
+// drop permanently removes user t from the run. pos is the user's position
+// in the current consensus; cons may be nil when no consensus is live (the
+// caller then owns the index bookkeeping). Returns ErrTooFewActive when the
+// survivors fall below the quorum threshold.
+func (st *serverState) drop(t, pos int, cons *admm.Consensus, cause error) error {
+	u := st.users[t]
+	if u.dropped {
+		return nil
+	}
+	u.dropped = true
+	u.detached = false
+	if u.cause == nil {
+		u.cause = cause
+	}
+	if u.conn != nil {
+		u.prevStats = u.prevStats.Add(u.conn.Stats())
+		_ = u.conn.Close() // also unblocks a pending exchange goroutine
+		u.conn = nil
+	}
+	delete(st.us, t)
+	st.mDropped.Inc()
+	if cons != nil {
+		if err := cons.DropWorker(pos); err != nil {
+			return err
+		}
+	}
+	if n := len(st.active()); n < st.minActive() {
 		return fmt.Errorf("%w: %d < %d (last failure: user %d: %v)",
-			ErrTooFewActive, len(st.active()), st.cfg.MinActive, t, cause)
+			ErrTooFewActive, n, st.minActive(), t, u.cause)
 	}
 	return nil
 }
 
-// broadcast sends m to all active users, dropping the ones that fail.
-// Errors from the minimum-active check are ignored here because broadcast
-// is only used for the final MsgDone.
-func (st *serverState) broadcast(m transport.Message) {
-	for _, t := range st.active() {
-		if err := st.users[t].conn.Send(m); err != nil {
-			st.users[t].dropped = true
+// drainRejoins attaches any queued reconnections. Called at iteration
+// boundaries, never mid-exchange.
+func (st *serverState) drainRejoins() {
+	if st.cfg.FT.Rejoin == nil {
+		return
+	}
+	for {
+		select {
+		case rj := <-st.cfg.FT.Rejoin:
+			st.attach(rj)
+		default:
+			return
 		}
 	}
+}
+
+// attach validates one rejoin attempt and swaps the new connection into the
+// matching user slot.
+func (st *serverState) attach(rj Rejoin) {
+	if rj.Conn == nil {
+		return
+	}
+	tok := rj.Hello.Session
+	slot := -1
+	if tok != 0 && rj.Hello.Type == transport.MsgHello {
+		for t, u := range st.users {
+			if u.session == tok && !u.dropped {
+				slot = t
+				break
+			}
+		}
+	}
+	if slot == -1 {
+		abortConn(rj.Conn, "unknown session token")
+		return
+	}
+	u := st.users[slot]
+	if rj.Hello.Dim != st.dim {
+		abortConn(rj.Conn, fmt.Sprintf("dimension mismatch: %d vs %d", rj.Hello.Dim, st.dim))
+		return
+	}
+	if old := u.conn; old != nil {
+		// The server may not have noticed the failure the client redialed
+		// over; retire the old connection (unblocking any pending exchange).
+		u.prevStats = u.prevStats.Add(old.Stats())
+		_ = old.Close()
+	}
+	reply := transport.Message{Type: transport.MsgHello, Users: len(st.users), Dim: st.dim,
+		Round: st.epoch, Session: u.session,
+		Config: wireConfig(st.cfg.Core, st.cfg.Dist)}
+	if err := rj.Conn.Send(reply); err != nil {
+		_ = rj.Conn.Close()
+		u.conn = nil
+		u.detached = true
+		return
+	}
+	u.conn = rj.Conn
+	u.detached = false
+	u.needSync = true
+	st.mReconnects.Inc()
+}
+
+// broadcast sends m to all active users with an idle connection.
+func (st *serverState) broadcast(m transport.Message) {
+	for _, t := range st.active() {
+		u := st.users[t]
+		if u.conn == nil || u.pending {
+			continue // a pending exchange owns the connection
+		}
+		if err := u.conn.Send(m); err != nil {
+			st.noteConnFailure(t, u.conn, err)
+			if !st.cfg.FT.Resume {
+				// Without resume there is no way back: record the drop
+				// (quorum no longer matters — broadcast only carries the
+				// final done).
+				u.dropped = true
+				u.detached = false
+				st.mDropped.Inc()
+			}
+		}
+	}
+}
+
+// abort tells every reachable device the run failed.
+func (st *serverState) abort(reason string) {
+	for _, t := range st.active() {
+		u := st.users[t]
+		if u.conn == nil || u.pending {
+			continue
+		}
+		_ = u.conn.Send(transport.Message{Type: transport.MsgError, Reason: reason})
+	}
+}
+
+// exchange runs one device exchange on its own goroutine: optionally the
+// round's start-round, then params, then the update reply. It owns conn for
+// its whole duration and reports exactly once on st.replies.
+func (st *serverState) exchange(t, iter int, conn transport.Conn, start *transport.Message, params transport.Message) {
+	if start != nil {
+		if err := conn.Send(*start); err != nil {
+			st.replies <- exchangeReply{user: t, iter: iter, conn: conn, err: err}
+			return
+		}
+	}
+	if err := conn.Send(params); err != nil {
+		st.replies <- exchangeReply{user: t, iter: iter, conn: conn, err: err}
+		return
+	}
+	rep, err := conn.Recv()
+	if err == nil && rep.Type != transport.MsgUpdate {
+		err = fmt.Errorf("%w: got %v, want update", ErrUnexpectedMsg, rep.Type)
+	}
+	st.replies <- exchangeReply{user: t, iter: iter, conn: conn, msg: rep, err: err}
 }
 
 // cccpRound runs one CCCP round: announce the linearization point, then
@@ -286,25 +737,21 @@ func (st *serverState) broadcast(m transport.Message) {
 // Eq. (23).
 func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, error) {
 	cfg := st.cfg
-	// Start-round announcement.
-	for _, t := range st.active() {
-		msg := transport.Message{Type: transport.MsgStartRound, Round: round, W0: st.w0}
-		if err := st.users[t].conn.Send(msg); err != nil {
-			if derr := st.drop(t, err); derr != nil {
-				return 0, derr
-			}
-		}
-	}
-	if st.us == nil {
-		st.us = make(map[int]mat.Vector)
+	st.epoch = round
+	st.drainRejoins()
+
+	parts := st.active()
+	roundW0 := st.w0.Clone()
+	for _, t := range parts {
+		st.users[t].needSync = true
 	}
 
-	cons, err := admm.NewConsensus(st.dim, len(st.active()), cfg.Dist.Rho, admm.SquaredNormZ)
+	cons, err := admm.NewConsensus(st.dim, len(parts), cfg.Dist.Rho, admm.SquaredNormZ)
 	if err != nil {
 		return 0, err
 	}
 	cons.Z = st.w0.Clone()
-	for i, t := range st.active() {
+	for i, t := range parts {
 		if u, ok := st.us[t]; ok {
 			cons.U[i] = u
 		}
@@ -315,58 +762,105 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 		if cfg.Core.Obs != nil {
 			roundStart = time.Now()
 		}
-		activeIdx := st.active()
-		// Parallel param/update exchange with every active device.
-		type outcome struct {
-			user int
-			msg  transport.Message
-			err  error
-		}
-		results := make([]outcome, len(activeIdx))
-		var wg sync.WaitGroup
-		for i, t := range activeIdx {
-			wg.Add(1)
-			go func(i, t, consIdx int) {
-				defer wg.Done()
-				u := st.users[t]
-				msg := transport.Message{Type: transport.MsgParams, Round: iter,
-					W0: cons.Z, U: cons.U[consIdx]}
-				if err := u.conn.Send(msg); err != nil {
-					results[i] = outcome{user: t, err: err}
-					return
-				}
-				rep, err := u.conn.Recv()
-				if err == nil && rep.Type != transport.MsgUpdate {
-					err = fmt.Errorf("%w: got %v, want update", ErrUnexpectedMsg, rep.Type)
-				}
-				results[i] = outcome{user: t, msg: rep, err: err}
-			}(i, t, i)
-		}
-		wg.Wait()
+		st.drainRejoins()
 
-		// Handle dropouts: rebuild the consensus without the dead users.
-		xs := make([]mat.Vector, 0, len(activeIdx))
-		kept := make([]int, 0, len(activeIdx))
-		for i, r := range results {
-			if r.err != nil {
-				st.users[r.user].dropped = true
-				if derr := st.drop(r.user, r.err); derr != nil {
-					return 0, derr
+		// Launch an exchange with every reachable, idle participant. The
+		// consensus vectors are cloned into the messages because a straggler
+		// goroutine may still hold them when the next Step mutates the
+		// originals.
+		launched := 0
+		for i, t := range parts {
+			u := st.users[t]
+			u.fresh = false
+			if u.pending || u.conn == nil {
+				continue
+			}
+			params := transport.Message{Type: transport.MsgParams, Round: iter,
+				W0: cons.Z.Clone(), U: cloneVec(cons.U[i])}
+			var start *transport.Message
+			if u.needSync {
+				start = &transport.Message{Type: transport.MsgStartRound, Round: round, W0: roundW0.Clone()}
+				u.needSync = false
+			}
+			u.pending = true
+			launched++
+			go st.exchange(t, iter, u.conn, start, params)
+		}
+
+		// Collect until every launched exchange reported or the round
+		// deadline fires; whoever is still pending becomes a straggler.
+		waiting := launched
+		var deadline <-chan time.Time
+		var timer *time.Timer
+		if cfg.FT.RoundTimeout > 0 && waiting > 0 {
+			timer = time.NewTimer(cfg.FT.RoundTimeout)
+			deadline = timer.C
+		}
+		for waiting > 0 {
+			select {
+			case r := <-st.replies:
+				u := st.users[r.user]
+				u.pending = false
+				if r.iter == iter {
+					waiting--
 				}
-				// Remove the dual of the dropped user, adjusting for the
-				// users already removed this iteration.
-				if err := cons.DropWorker(i - (len(activeIdx) - cons.Workers())); err != nil {
+				if u.dropped {
+					continue
+				}
+				if r.err != nil {
+					st.noteConnFailure(r.user, r.conn, r.err)
+					continue
+				}
+				if r.iter != iter {
+					continue // stale reply from a previous iteration
+				}
+				u.fresh = true
+				u.lastW = mat.Vector(r.msg.W)
+				u.lastV = mat.Vector(r.msg.V)
+				u.lastXi = r.msg.Xi
+			case <-deadline:
+				waiting = 0
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+
+		// Assemble the x-updates in deterministic slot order. A participant
+		// without a fresh reply is either carried on its last solution
+		// (within the stale budget) or permanently dropped.
+		xs := make([]mat.Vector, 0, len(parts))
+		keep := make([]int, 0, len(parts))
+		pos := 0
+		for _, t := range parts {
+			u := st.users[t]
+			ok := u.fresh
+			if ok {
+				u.stale = 0
+			} else if u.lastW != nil && u.stale < cfg.FT.MaxStale &&
+				(cfg.FT.RoundTimeout > 0 || cfg.FT.Resume) &&
+				(cfg.FT.Resume || !u.detached) {
+				// Stale reuse covers deadline stragglers always, and lost
+				// connections only when resume gives them a way back.
+				u.stale++
+				st.mStale.Inc()
+				ok = true
+			}
+			if !ok {
+				cause := u.cause
+				if cause == nil {
+					cause = fmt.Errorf("no update within the round deadline (stale budget %d exhausted)", cfg.FT.MaxStale)
+				}
+				if err := st.drop(t, pos, cons, cause); err != nil {
 					return 0, err
 				}
 				continue
 			}
-			u := st.users[r.user]
-			u.lastW = mat.Vector(r.msg.W)
-			u.lastV = mat.Vector(r.msg.V)
-			u.lastXi = r.msg.Xi
 			xs = append(xs, mat.SubVec(u.lastW, u.lastV))
-			kept = append(kept, r.user)
+			keep = append(keep, t)
+			pos++
 		}
+		parts = keep
 		if len(xs) == 0 {
 			return 0, fmt.Errorf("%w: all devices failed in the same round", ErrTooFewActive)
 		}
@@ -381,7 +875,7 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 			admm.ObserveRound(r, iter, roundStart, res)
 		}
 		// Persist duals by user id for the next CCCP round.
-		for i, t := range kept {
+		for i, t := range parts {
 			st.us[t] = cons.U[i]
 		}
 		if res.Converged(len(xs), cfg.Dist.EpsAbs) {
@@ -402,10 +896,25 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 	return obj, nil
 }
 
-func abort(users []*serverUser, reason string) {
+func cloneVec(v mat.Vector) mat.Vector {
+	if v == nil {
+		return nil
+	}
+	return v.Clone()
+}
+
+// abortUsers tells every user with a live connection the run failed
+// (handshake-time variant of serverState.abort).
+func abortUsers(users []*serverUser, reason string) {
 	for _, u := range users {
-		if !u.dropped {
+		if !u.dropped && u.conn != nil {
 			_ = u.conn.Send(transport.Message{Type: transport.MsgError, Reason: reason})
 		}
 	}
+}
+
+// abortConn rejects a single connection with a reason and closes it.
+func abortConn(c transport.Conn, reason string) {
+	_ = c.Send(transport.Message{Type: transport.MsgError, Reason: reason})
+	_ = c.Close()
 }

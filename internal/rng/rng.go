@@ -70,6 +70,10 @@ func (g *RNG) Float64() float64 { return g.r.Float64() }
 // Intn returns a uniform value in [0,n).
 func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
 
+// Int63 returns a uniform non-negative 63-bit value (used for session
+// tokens, which must be reproducible from the seed).
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
 // Norm returns a standard normal sample.
 func (g *RNG) Norm() float64 { return g.r.NormFloat64() }
 

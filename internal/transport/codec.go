@@ -23,15 +23,20 @@ import (
 // Layout (all integers little-endian):
 //
 //	magic 'P' | version | Type i64 | Round i64 | Dim i64 | Samples i64 |
-//	Labeled i64 | Users i64 | Xi f64bits | Reason u32+bytes |
-//	W0 vec | U vec | W vec | V vec | Config presence byte [+ config block]
+//	Labeled i64 | Users i64 | Seq i64 | Session i64 | Xi f64bits |
+//	Reason u32+bytes | W0 vec | U vec | W vec | V vec |
+//	Config presence byte [+ config block]
 //
 // where vec = u32 count + count f64bits, and the config block is
 // Lambda, Cl, Cu, Epsilon, Rho as f64bits, MaxCutIter, QPMaxIter as i64,
 // BalanceGuard, WarmWorkingSets as strict 0/1 bytes.
+//
+// Version history: v1 lacked the Seq and Session words (added with the
+// fault-tolerance layer). The decoder accepts only the current version —
+// server and clients are deployed from the same tree.
 const (
 	codecMagic   = byte('P')
-	codecVersion = byte(1)
+	codecVersion = byte(2)
 	// maxFrame bounds a frame (64 MiB): far above any real model exchange,
 	// far below anything that could hurt the host.
 	maxFrame = 1 << 26
@@ -42,10 +47,10 @@ var ErrCodec = errors.New("transport: malformed frame")
 
 // EncodeMessage serializes m into the canonical wire form.
 func EncodeMessage(m Message) []byte {
-	buf := make([]byte, 0, 2+7*8+4+len(m.Reason)+4*4+8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))+1)
+	buf := make([]byte, 0, 2+9*8+4+len(m.Reason)+4*4+8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))+1)
 	buf = append(buf, codecMagic, codecVersion)
 	for _, v := range []int64{int64(m.Type), int64(m.Round), int64(m.Dim),
-		int64(m.Samples), int64(m.Labeled), int64(m.Users)} {
+		int64(m.Samples), int64(m.Labeled), int64(m.Users), m.Seq, m.Session} {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Xi))
@@ -166,7 +171,7 @@ func DecodeMessage(data []byte) (Message, error) {
 		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
 	}
 	var m Message
-	ints := make([]int64, 6)
+	ints := make([]int64, 8)
 	for i := range ints {
 		if ints[i], err = d.takeI64(); err != nil {
 			return Message{}, err
@@ -178,6 +183,8 @@ func DecodeMessage(data []byte) (Message, error) {
 	m.Samples = int(ints[3])
 	m.Labeled = int(ints[4])
 	m.Users = int(ints[5])
+	m.Seq = ints[6]
+	m.Session = ints[7]
 	if m.Xi, err = d.takeF64(); err != nil {
 		return Message{}, err
 	}

@@ -23,6 +23,8 @@ func sampleMessages() []Message {
 			BalanceGuard: true, WarmWorkingSets: false,
 		}},
 		{Type: MsgType(-9), Round: -1, Dim: -2, Xi: math.NaN()},
+		{Type: MsgHello, Dim: 4, Samples: 9, Session: 0x1122334455667788},
+		{Type: MsgUpdate, Round: 2, Seq: 41, W: []float64{0.5}},
 	}
 }
 
@@ -45,6 +47,7 @@ func equalMessages(a, b Message) bool {
 	}
 	if a.Type != b.Type || a.Round != b.Round || a.Dim != b.Dim ||
 		a.Samples != b.Samples || a.Labeled != b.Labeled || a.Users != b.Users ||
+		a.Seq != b.Seq || a.Session != b.Session ||
 		!eqF(a.Xi, b.Xi) || a.Reason != b.Reason {
 		return false
 	}
@@ -95,12 +98,12 @@ func TestCodecRejectsCorruption(t *testing.T) {
 		"bad magic":         append([]byte{'Q'}, valid[1:]...),
 		"bad version":       append([]byte{'P', 99}, valid[2:]...),
 		"truncated header":  valid[:10],
-		"truncated mid-vec": EncodeMessage(Message{W0: []float64{1, 2, 3}})[:70],
+		"truncated mid-vec": EncodeMessage(Message{W0: []float64{1, 2, 3}})[:100],
 		"trailing byte":     append(append([]byte(nil), valid...), 0),
-		// Presence byte offset: magic+version (2) + six i64 (48) + Xi (8) +
-		// reason length (4) + four empty vector lengths (16) = 78.
-		"presence byte 2":    func() []byte { b := append([]byte(nil), valid...); b[78] = 2; return b }(),
-		"huge vector length": append(append([]byte(nil), valid[:2+6*8+8]...), 0xff, 0xff, 0xff, 0xff),
+		// Presence byte offset: magic+version (2) + eight i64 (64) + Xi (8) +
+		// reason length (4) + four empty vector lengths (16) = 94.
+		"presence byte 2":    func() []byte { b := append([]byte(nil), valid...); b[94] = 2; return b }(),
+		"huge vector length": append(append([]byte(nil), valid[:2+8*8+8]...), 0xff, 0xff, 0xff, 0xff),
 	}
 	for name, data := range cases {
 		if _, err := DecodeMessage(data); err == nil {

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout is wrapped into Send/Recv errors when a per-operation deadline
+// expires. Whether a timeout is also transient (safe to retry on the same
+// connection) depends on the transport: an in-process pipe times out without
+// consuming anything, so its timeouts are transient; a TCP deadline can fire
+// mid-frame and leave the byte stream torn, so TCP timeouts are permanent
+// and the caller must reconnect instead.
+var ErrTimeout = errors.New("transport: operation timed out")
+
+// ErrTransient marks failures that left the connection in a usable state:
+// the failed operation can be retried on the same Conn. Test with
+// IsTransient; produce with markTransient. Everything not marked transient
+// must be treated as fatal for the connection.
+var ErrTransient = errors.New("transient")
+
+// IsTransient reports whether err is safe to retry on the same connection.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// transientErr tags err as transient while preserving its message and its
+// whole Unwrap chain (so errors.Is still matches ErrTimeout, ErrInjected...).
+type transientErr struct{ err error }
+
+func markTransient(err error) error { return &transientErr{err: err} }
+
+func (e *transientErr) Error() string   { return e.err.Error() }
+func (e *transientErr) Unwrap() []error { return []error{ErrTransient, e.err} }
+
+// opTimeouter is implemented by connections that support per-operation
+// Send/Recv deadlines. Wrappers (Retry, Observe, Chaos, fault injectors)
+// forward the call to the connection they wrap.
+type opTimeouter interface {
+	SetOpTimeout(d time.Duration)
+}
+
+// SetOpTimeout applies a per-operation deadline to every subsequent Send and
+// Recv on c, when c supports it (TCP and pipe connections do; d <= 0 clears
+// the deadline). It reports whether the connection accepted the deadline.
+func SetOpTimeout(c Conn, d time.Duration) bool {
+	if t, ok := c.(opTimeouter); ok {
+		t.SetOpTimeout(d)
+		return true
+	}
+	return false
+}

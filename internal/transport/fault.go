@@ -4,19 +4,29 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrInjected marks a failure produced by a fault-injection wrapper.
 var ErrInjected = errors.New("transport: injected fault")
 
-// faultyConn wraps a Conn and fails permanently after a fixed number of
-// operations, simulating a device that dies mid-training. Used by the
-// robustness tests of the protocol's dropout handling.
+// faultyConn wraps a Conn with a deterministic operation-count fault model.
+// Send and Recv spend from one shared budget; what happens when the budget
+// runs out depends on the mode:
+//
+//   - permanent (every == 0): the conn dies — the inner connection is closed
+//     and every further operation fails with ErrInjected. This simulates a
+//     device that crashes mid-training (FailAfter, the original behavior).
+//   - transient (every > 0): the n-th operation fails with a transient
+//     ErrInjected and the budget refills, so every n-th operation hiccups
+//     forever. The connection stays usable — this is the fault the Retry
+//     wrapper is built to absorb (FailEvery).
 type faultyConn struct {
 	inner Conn
 
 	mu        sync.Mutex
 	remaining int
+	every     int
 	dead      bool
 }
 
@@ -27,6 +37,17 @@ func FailAfter(inner Conn, n int) Conn {
 	return &faultyConn{inner: inner, remaining: n}
 }
 
+// FailEvery returns a Conn whose every n-th combined Send/Recv operation
+// fails with a transient ErrInjected; the operation may be retried on the
+// same connection. n < 1 is clamped to 1, which fails every operation — use
+// n >= 2 for a connection a retry loop can make progress on.
+func FailEvery(inner Conn, n int) Conn {
+	if n < 1 {
+		n = 1
+	}
+	return &faultyConn{inner: inner, remaining: n - 1, every: n}
+}
+
 func (f *faultyConn) spend(op string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -34,6 +55,10 @@ func (f *faultyConn) spend(op string) error {
 		return fmt.Errorf("transport: %s: %w", op, ErrInjected)
 	}
 	if f.remaining <= 0 {
+		if f.every > 0 {
+			f.remaining = f.every - 1
+			return markTransient(fmt.Errorf("transport: %s: %w", op, ErrInjected))
+		}
 		f.dead = true
 		_ = f.inner.Close()
 		return fmt.Errorf("transport: %s: %w", op, ErrInjected)
@@ -59,3 +84,6 @@ func (f *faultyConn) Recv() (Message, error) {
 func (f *faultyConn) Close() error { return f.inner.Close() }
 
 func (f *faultyConn) Stats() Stats { return f.inner.Stats() }
+
+// SetOpTimeout forwards the per-op deadline to the wrapped connection.
+func (f *faultyConn) SetOpTimeout(d time.Duration) { SetOpTimeout(f.inner, d) }

@@ -1,0 +1,283 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"plos/internal/obs"
+)
+
+// noSleep replaces backoff/delay sleeps so fault tests stay fast.
+func noSleep(time.Duration) {}
+
+func TestPipeOpTimeout(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if !SetOpTimeout(a, 10*time.Millisecond) {
+		t.Fatal("pipe should accept an op timeout")
+	}
+	// No peer operation in flight: both directions must time out, and pipe
+	// timeouts are transient (nothing was consumed).
+	if _, err := a.Recv(); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Recv err = %v, want ErrTimeout", err)
+	} else if !IsTransient(err) {
+		t.Errorf("pipe Recv timeout should be transient: %v", err)
+	}
+	if err := a.Send(Message{Type: MsgHello}); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Send err = %v, want ErrTimeout", err)
+	} else if !IsTransient(err) {
+		t.Errorf("pipe Send timeout should be transient: %v", err)
+	}
+	// Clearing the deadline restores blocking semantics; a real exchange
+	// still works after timeouts.
+	SetOpTimeout(a, 0)
+	go func() { _ = b.Send(Message{Type: MsgParams, Round: 7}) }()
+	m, err := a.Recv()
+	if err != nil || m.Round != 7 {
+		t.Fatalf("post-timeout exchange: %v %+v", err, m)
+	}
+}
+
+func TestTCPOpTimeoutNotTransient(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			done <- c
+		}
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !SetOpTimeout(c, 20*time.Millisecond) {
+		t.Fatal("tcp should accept an op timeout")
+	}
+	_, err = c.Recv()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv err = %v, want ErrTimeout", err)
+	}
+	// A TCP deadline can fire mid-frame and tear the stream, so it must NOT
+	// be retried on the same connection.
+	if IsTransient(err) {
+		t.Errorf("tcp timeout must not be transient: %v", err)
+	}
+	if srv := <-done; srv != nil {
+		_ = srv.Close()
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	f := FailEvery(a, 3)
+	go func() {
+		for {
+			if _, err := b.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	// Every third operation hiccups transiently; the connection survives.
+	for op := 1; op <= 9; op++ {
+		err := f.Send(Message{Type: MsgHello})
+		if op%3 == 0 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: err = %v, want ErrInjected", op, err)
+			}
+			if !IsTransient(err) {
+				t.Fatalf("op %d: FailEvery fault must be transient", op)
+			}
+		} else if err != nil {
+			t.Fatalf("op %d: unexpected error %v", op, err)
+		}
+	}
+	_ = f.Close()
+}
+
+func TestFailEveryClamp(t *testing.T) {
+	a, _ := Pipe()
+	defer a.Close()
+	f := FailEvery(a, 0) // clamps to 1: every operation fails
+	for i := 0; i < 3; i++ {
+		err := f.Send(Message{})
+		if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+			t.Fatalf("op %d: err = %v, want transient ErrInjected", i, err)
+		}
+	}
+}
+
+func TestRetryResendsOnTransient(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	reg := obs.NewRegistry()
+	ra := Retry(FailEvery(a, 2), RetryPolicy{MaxAttempts: 3, Seed: 1, Sleep: noSleep}, reg)
+
+	got := make(chan int, 8)
+	go func() {
+		for {
+			m, err := b.Recv()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- m.Round
+		}
+	}()
+	// Every second physical op fails; the retry budget absorbs each fault,
+	// so all logical sends succeed.
+	for i := 1; i <= 3; i++ {
+		if err := ra.Send(Message{Type: MsgUpdate, Round: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if r := <-got; r != i {
+			t.Fatalf("received round %d, want %d", r, i)
+		}
+	}
+	if n := reg.CounterValue(obs.MetricTransportRetries); n == 0 {
+		t.Error("retries counter should have counted the absorbed faults")
+	}
+	_ = ra.Close()
+}
+
+func TestRetryGivesUpOnPermanent(t *testing.T) {
+	a, _ := Pipe()
+	reg := obs.NewRegistry()
+	ra := Retry(FailAfter(a, 0), RetryPolicy{MaxAttempts: 5, Sleep: noSleep}, reg)
+	if err := ra.Send(Message{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// A permanent failure must pass through on the first occurrence.
+	if n := reg.CounterValue(obs.MetricTransportRetries); n != 0 {
+		t.Errorf("permanent failure was retried %d times", n)
+	}
+}
+
+func TestRetryDedupe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	reg := obs.NewRegistry()
+	rb := Retry(b, RetryPolicy{Sleep: noSleep}, reg)
+	go func() {
+		// A retried send the peer actually received twice, then the next
+		// message in sequence.
+		_ = a.Send(Message{Type: MsgParams, Seq: 1, Round: 10})
+		_ = a.Send(Message{Type: MsgParams, Seq: 1, Round: 10})
+		_ = a.Send(Message{Type: MsgParams, Seq: 2, Round: 20})
+	}()
+	m1, err := rb.Recv()
+	if err != nil || m1.Round != 10 {
+		t.Fatalf("first recv: %v %+v", err, m1)
+	}
+	// The duplicate is invisible: the next Recv yields Seq 2 directly.
+	m2, err := rb.Recv()
+	if err != nil || m2.Round != 20 {
+		t.Fatalf("second recv: %v %+v", err, m2)
+	}
+	if n := reg.CounterValue(obs.MetricTransportDupsDropped); n != 1 {
+		t.Errorf("dups dropped = %d, want 1", n)
+	}
+}
+
+// chaosTrace runs a fixed operation schedule against a freshly seeded chaos
+// conn and returns the observable outcome: per-op error strings, the rounds
+// that actually arrived at the peer, and the fault count.
+func chaosTrace(t *testing.T, seed int64) (errs []string, delivered []int, faults int64) {
+	t.Helper()
+	a, b := Pipe()
+	reg := obs.NewRegistry()
+	ca := Chaos(a, ChaosConfig{
+		Seed:        seed,
+		DropProb:    0.3,
+		CorruptProb: 0.15,
+		DelayProb:   0.3,
+		MaxDelay:    time.Millisecond,
+		FlapProb:    0.1,
+		Sleep:       noSleep,
+	}, reg)
+	done := make(chan []int, 1)
+	go func() {
+		var got []int
+		for {
+			m, err := b.Recv()
+			if err != nil {
+				done <- got
+				return
+			}
+			got = append(got, m.Round)
+		}
+	}()
+	for i := 0; i < 40; i++ {
+		err := ca.Send(Message{Type: MsgUpdate, Round: i})
+		if err == nil {
+			errs = append(errs, "")
+		} else {
+			errs = append(errs, err.Error())
+		}
+	}
+	_ = ca.Close()
+	_ = b.Close()
+	return errs, <-done, reg.CounterValue(obs.MetricChaosFaults)
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	errs1, got1, faults1 := chaosTrace(t, 42)
+	errs2, got2, faults2 := chaosTrace(t, 42)
+	if faults1 == 0 {
+		t.Fatal("chaos config injected no faults at all")
+	}
+	if faults1 != faults2 {
+		t.Errorf("fault counts differ across identical runs: %d vs %d", faults1, faults2)
+	}
+	if fmt.Sprint(errs1) != fmt.Sprint(errs2) {
+		t.Errorf("error schedules differ across identical runs")
+	}
+	if fmt.Sprint(got1) != fmt.Sprint(got2) {
+		t.Errorf("delivered sequences differ: %v vs %v", got1, got2)
+	}
+	// A different seed must produce a different schedule (overwhelmingly).
+	errs3, _, _ := chaosTrace(t, 43)
+	if fmt.Sprint(errs1) == fmt.Sprint(errs3) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestChaosDuplicatesAreDeduped(t *testing.T) {
+	a, b := Pipe()
+	regS, regR := obs.NewRegistry(), obs.NewRegistry()
+	// Every send is duplicated; the receiving Retry layer must hide that.
+	sa := Retry(Chaos(a, ChaosConfig{Seed: 5, DupProb: 1, Sleep: noSleep}, regS),
+		RetryPolicy{Sleep: noSleep}, regS)
+	rb := Retry(b, RetryPolicy{Sleep: noSleep}, regR)
+	go func() {
+		for i := 1; i <= 3; i++ {
+			_ = sa.Send(Message{Type: MsgUpdate, Round: i})
+		}
+	}()
+	for i := 1; i <= 3; i++ {
+		m, err := rb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Round != i {
+			t.Fatalf("recv %d: round = %d (duplicate leaked?)", i, m.Round)
+		}
+	}
+	if n := regS.CounterValue(obs.MetricChaosFaults); n != 3 {
+		t.Errorf("chaos faults = %d, want 3 duplications", n)
+	}
+	// Unblock any straggling async duplicate delivery.
+	_ = sa.Close()
+	_ = rb.Close()
+}

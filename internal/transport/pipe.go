@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // pipeConn is one endpoint of an in-process connection. Messages flow over
@@ -16,6 +18,25 @@ type pipeConn struct {
 	closeOnce sync.Once
 	closed    chan struct{}   // this endpoint closed
 	peer      <-chan struct{} // peer endpoint closed
+
+	// opTimeout, when positive, bounds each Send/Recv. A timed-out pipe op
+	// consumes nothing — the message was never handed over — so pipe
+	// timeouts are transient and may be retried on the same conn.
+	opTimeout atomic.Int64
+}
+
+// SetOpTimeout bounds every subsequent Send/Recv to d (d <= 0 clears it).
+func (p *pipeConn) SetOpTimeout(d time.Duration) { p.opTimeout.Store(int64(d)) }
+
+// opDeadline returns a channel that fires when the op timeout expires, plus
+// its stop function; both are nil when no timeout is configured.
+func (p *pipeConn) opDeadline() (<-chan time.Time, func() bool) {
+	d := time.Duration(p.opTimeout.Load())
+	if d <= 0 {
+		return nil, nil
+	}
+	tm := time.NewTimer(d)
+	return tm.C, tm.Stop
 }
 
 // Pipe returns two connected in-process endpoints. Traffic is accounted
@@ -31,11 +52,17 @@ func Pipe() (Conn, Conn) {
 }
 
 func (p *pipeConn) Send(m Message) error {
+	deadline, stop := p.opDeadline()
+	if stop != nil {
+		defer stop()
+	}
 	select {
 	case <-p.closed:
 		return fmt.Errorf("transport: Send: %w", ErrClosed)
 	case <-p.peer:
 		return fmt.Errorf("transport: Send: peer %w", ErrClosed)
+	case <-deadline:
+		return markTransient(fmt.Errorf("transport: Send: %w", ErrTimeout))
 	case p.send <- m:
 		p.addSent(m.WireSize())
 		return nil
@@ -43,12 +70,18 @@ func (p *pipeConn) Send(m Message) error {
 }
 
 func (p *pipeConn) Recv() (Message, error) {
+	deadline, stop := p.opDeadline()
+	if stop != nil {
+		defer stop()
+	}
 	select {
 	case <-p.closed:
 		return Message{}, fmt.Errorf("transport: Recv: %w", ErrClosed)
 	case m := <-p.recv:
 		p.addReceived(m.WireSize())
 		return m, nil
+	case <-deadline:
+		return Message{}, markTransient(fmt.Errorf("transport: Recv: %w", ErrTimeout))
 	case <-p.peer:
 		// Drain any message raced with the close.
 		select {

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // tcpConn adapts a net.Conn to the Conn interface with the canonical binary
@@ -20,6 +23,27 @@ type tcpConn struct {
 	recvMu    sync.Mutex
 	closeOnce sync.Once
 	closeErr  error
+	// opTimeout, when positive, bounds each Send/Recv via net deadlines.
+	// A TCP deadline can expire mid-frame, leaving the stream torn, so
+	// timeouts here are fatal (wrapped ErrTimeout, NOT transient): the
+	// caller must reconnect rather than retry on the same conn.
+	opTimeout atomic.Int64
+}
+
+// SetOpTimeout bounds every subsequent Send/Recv to d (d <= 0 clears it).
+func (t *tcpConn) SetOpTimeout(d time.Duration) { t.opTimeout.Store(int64(d)) }
+
+// mapIOErr normalizes the error of a raw read/write: peer hangups become
+// ErrClosed, expired deadlines become ErrTimeout, anything else passes
+// through.
+func mapIOErr(op string, err error) error {
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("transport: %s: %w", op, ErrClosed)
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("transport: %s: %w", op, ErrTimeout)
+	}
+	return fmt.Errorf("transport: %s: %w", op, err)
 }
 
 // NewTCPConn wraps an established net.Conn. The caller keeps ownership of
@@ -48,8 +72,13 @@ func (t *tcpConn) Send(m Message) error {
 	copy(frame[4:], payload)
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
+	if d := time.Duration(t.opTimeout.Load()); d > 0 {
+		_ = t.nc.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		_ = t.nc.SetWriteDeadline(time.Time{})
+	}
 	if _, err := t.nc.Write(frame); err != nil {
-		return fmt.Errorf("transport: Send: %w", err)
+		return mapIOErr("Send", err)
 	}
 	t.addSent(len(frame))
 	return nil
@@ -58,14 +87,16 @@ func (t *tcpConn) Send(m Message) error {
 func (t *tcpConn) Recv() (Message, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
+	if d := time.Duration(t.opTimeout.Load()); d > 0 {
+		_ = t.nc.SetReadDeadline(time.Now().Add(d))
+	} else {
+		_ = t.nc.SetReadDeadline(time.Time{})
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(t.nc, hdr[:]); err != nil {
 		// EOF cleanly between frames is the peer hanging up; inside a
 		// header it is a torn frame.
-		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
-			return Message{}, fmt.Errorf("transport: Recv: %w", ErrClosed)
-		}
-		return Message{}, fmt.Errorf("transport: Recv: %w", err)
+		return Message{}, mapIOErr("Recv", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
@@ -73,10 +104,7 @@ func (t *tcpConn) Recv() (Message, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(t.nc, payload); err != nil {
-		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
-			return Message{}, fmt.Errorf("transport: Recv: torn frame: %w", ErrClosed)
-		}
-		return Message{}, fmt.Errorf("transport: Recv: %w", err)
+		return Message{}, mapIOErr("Recv: torn frame", err)
 	}
 	m, err := DecodeMessage(payload)
 	if err != nil {

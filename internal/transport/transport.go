@@ -61,6 +61,15 @@ type Message struct {
 	W0, U, W, V []float64
 	// Xi is the device slack in MsgUpdate.
 	Xi float64
+	// Seq is a per-connection, per-direction sequence number stamped by the
+	// Retry wrapper (retry.go) so the receiving side can drop duplicate
+	// deliveries. 0 means the reliability layer is not in use.
+	Seq int64
+	// Session is the resume token of the fault-tolerance layer: assigned by
+	// the server in its hello reply and echoed by a reconnecting client's
+	// hello so the server can re-attach the device to its slot. 0 means no
+	// session was established.
+	Session int64
 	// Reason explains a MsgError.
 	Reason string
 	// Config distributes the training hyperparameters from the server to
@@ -82,7 +91,7 @@ type WireConfig struct {
 // communication volumes regardless of host encoding; the TCP transport
 // reports real encoded bytes instead.
 func (m Message) WireSize() int {
-	const header = 8 * 7 // type, round, dim, samples, labeled, users, xi
+	const header = 8 * 9 // type, round, dim, samples, labeled, users, seq, session, xi
 	size := header + len(m.Reason) + 8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))
 	if m.Config != nil {
 		size += 8 * 9

@@ -25,15 +25,15 @@ func TestMsgTypeString(t *testing.T) {
 
 func TestWireSize(t *testing.T) {
 	m := Message{Type: MsgParams, W0: make([]float64, 10), U: make([]float64, 10)}
-	if got := m.WireSize(); got != 56+160 {
-		t.Errorf("WireSize = %d, want 216", got)
+	if got := m.WireSize(); got != 72+160 {
+		t.Errorf("WireSize = %d, want 232", got)
 	}
 	empty := Message{Type: MsgDone}
-	if empty.WireSize() != 56 {
+	if empty.WireSize() != 72 {
 		t.Errorf("empty WireSize = %d", empty.WireSize())
 	}
 	withCfg := Message{Type: MsgHello, Config: &WireConfig{}}
-	if withCfg.WireSize() != 56+72 {
+	if withCfg.WireSize() != 72+72 {
 		t.Errorf("config WireSize = %d", withCfg.WireSize())
 	}
 }

@@ -31,6 +31,7 @@ package plos
 
 import (
 	"fmt"
+	"time"
 
 	"plos/internal/core"
 	"plos/internal/mat"
@@ -53,6 +54,24 @@ type options struct {
 	dist  core.DistConfig
 	async core.AsyncConfig
 	bias  bool
+	ft    ftOptions
+}
+
+// ftOptions collects the fault-tolerance knobs of Serve and Join (see
+// docs/FAULT_TOLERANCE.md). All zero values disable the corresponding
+// mechanism.
+type ftOptions struct {
+	opTimeout       time.Duration
+	retries         int
+	roundTimeout    time.Duration
+	quorum          float64
+	maxStale        int
+	resume          bool
+	maxRedials      int
+	session         int64
+	onSession       func(int64)
+	checkpointPath  string
+	checkpointEvery int
 }
 
 func defaultOptions() options {
@@ -149,6 +168,79 @@ func WithParallelWorkers() Option {
 // trainers.
 func WithAsyncBarrier(updates int) Option {
 	return func(o *options) { o.async.Barrier = updates }
+}
+
+// WithOpTimeout bounds every single network send and receive on Serve/Join
+// connections. A blocked peer then surfaces as a timeout error (handled by
+// the straggler policy) instead of hanging the round forever. 0 disables.
+func WithOpTimeout(d time.Duration) Option {
+	return func(o *options) { o.ft.opTimeout = d }
+}
+
+// WithRetries layers seeded retry/backoff over Serve/Join connections:
+// transient transport failures (timeouts on message-preserving transports,
+// injected chaos faults) are retried up to n attempts per operation with
+// capped exponential backoff and deterministic jitter. Duplicate deliveries
+// are suppressed by sequence numbers. n <= 1 disables the layer.
+func WithRetries(n int) Option {
+	return func(o *options) { o.ft.retries = n }
+}
+
+// WithRoundTimeout sets the coordinator's per-ADMM-iteration deadline:
+// devices that miss it are carried on their last reported solution for up
+// to WithMaxStale rounds, then dropped. 0 (the default) waits forever.
+func WithRoundTimeout(d time.Duration) Option {
+	return func(o *options) { o.ft.roundTimeout = d }
+}
+
+// WithQuorum aborts training when fewer than ceil(frac·T) of the original
+// T devices remain active (ErrTooFewActive from the protocol layer).
+func WithQuorum(frac float64) Option {
+	return func(o *options) { o.ft.quorum = frac }
+}
+
+// WithMaxStale sets how many consecutive rounds a straggler's last local
+// solution may be reused before the device is dropped (default 3).
+func WithMaxStale(k int) Option {
+	return func(o *options) { o.ft.maxStale = k }
+}
+
+// WithSessionResume enables session resume. On Serve, the coordinator
+// issues session tokens, keeps accepting connections during training, and
+// re-attaches devices that redial with their token. On Join, a failed
+// connection is redialed up to maxRedials times with seeded backoff,
+// resuming via the token. maxRedials only matters for Join.
+func WithSessionResume(maxRedials int) Option {
+	return func(o *options) {
+		o.ft.resume = true
+		o.ft.maxRedials = maxRedials
+	}
+}
+
+// WithSessionToken presents an existing session token on Join's first
+// hello — used by a restarted device process to reclaim its slot (pair with
+// a coordinator restored from a checkpoint).
+func WithSessionToken(token int64) Option {
+	return func(o *options) { o.ft.session = token }
+}
+
+// WithSessionNotify registers a callback invoked whenever the coordinator
+// issues or changes this device's session token — persist it so a crashed
+// device can resume with WithSessionToken.
+func WithSessionNotify(f func(token int64)) Option {
+	return func(o *options) { o.ft.onSession = f }
+}
+
+// WithCheckpoint makes Serve snapshot its trainer state to path atomically
+// after every `every`-th CCCP round (every <= 0 means every round). If the
+// file already exists when Serve starts, training resumes from it: devices
+// must reconnect with their session tokens (WithSessionToken) and the run
+// continues from the recorded round.
+func WithCheckpoint(path string, every int) Option {
+	return func(o *options) {
+		o.ft.checkpointPath = path
+		o.ft.checkpointEvery = every
+	}
 }
 
 // Model is a trained PLOS model.

@@ -25,8 +25,16 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== FT smoke: seeded chaos soak + checkpoint kill/resume (race) =="
+go test -race -count=1 -v \
+    -run 'TestChaosSoakTraining|TestCheckpointResumeBitIdentical' \
+    ./internal/protocol
+
 echo "== fuzz smoke: transport codec =="
 go test -run '^$' -fuzz 'FuzzMessageRoundTrip' -fuzztime 10s ./internal/transport
+
+echo "== fuzz smoke: checkpoint codec =="
+go test -run '^$' -fuzz 'FuzzCheckpointRoundTrip' -fuzztime 10s ./internal/protocol
 
 echo "== fuzz smoke: parallel map =="
 go test -run '^$' -fuzz 'FuzzMapMatchesSequential' -fuzztime 5s ./internal/parallel

@@ -3,10 +3,13 @@ package plos
 import (
 	"errors"
 	"fmt"
+	"io/fs"
+	"time"
 
 	"plos/internal/core"
 	"plos/internal/mat"
 	"plos/internal/protocol"
+	"plos/internal/rng"
 	"plos/internal/svm"
 	"plos/internal/transport"
 )
@@ -19,16 +22,62 @@ type ServeResult struct {
 	// Dropped[t] is true if device t died mid-training; its personalized
 	// hyperplane is then absent from the model.
 	Dropped []bool
+	// DropCause[t] is the first fatal failure recorded for device t (nil
+	// when the device never failed).
+	DropCause []error
 	// TrafficBytes[t] is the total bytes exchanged with device t;
 	// TrafficMessages[t] the message count.
 	TrafficBytes    []int64
 	TrafficMessages []int
 }
 
+// rejoinHelloTimeout bounds how long an accepted reconnection may take to
+// present its hello before the coordinator gives up on it.
+const rejoinHelloTimeout = 30 * time.Second
+
+// wrapConn layers the configured reliability stack over a raw connection:
+// per-operation timeouts on the base transport, observability counters, and
+// the seeded retry/backoff layer on top (so retried attempts are counted).
+func wrapConn(c transport.Conn, o *options, seedLabel string, idx int) transport.Conn {
+	if o.ft.opTimeout > 0 {
+		transport.SetOpTimeout(c, o.ft.opTimeout)
+	}
+	wired := c
+	if o.core.Obs != nil {
+		wired = transport.Observe(c, o.core.Obs, idx)
+	}
+	if o.ft.retries > 1 {
+		wired = transport.Retry(wired, transport.RetryPolicy{
+			MaxAttempts: o.ft.retries,
+			Seed:        rng.New(o.core.Seed).SplitN(seedLabel, idx).Int63(),
+		}, o.core.Obs)
+	}
+	return wired
+}
+
+func (o *options) serverFT(rejoin <-chan protocol.Rejoin, restore *protocol.Checkpoint) protocol.FTConfig {
+	return protocol.FTConfig{
+		RoundTimeout:    o.ft.roundTimeout,
+		Quorum:          o.ft.quorum,
+		MaxStale:        o.ft.maxStale,
+		Resume:          o.ft.resume,
+		Rejoin:          rejoin,
+		CheckpointPath:  o.ft.checkpointPath,
+		CheckpointEvery: o.ft.checkpointEvery,
+		Restore:         restore,
+	}
+}
+
 // Serve runs the PLOS coordinator on addr ("host:port"; ":0" picks a free
 // port) and trains with exactly `devices` connected Join peers. It blocks
 // until training completes. onListen, if non-nil, receives the bound
 // address before accepting starts (useful with ":0").
+//
+// With WithCheckpoint, an existing checkpoint file at the configured path
+// makes Serve resume the interrupted run instead of starting fresh: it then
+// waits for one connection per surviving device (the `devices` argument is
+// ignored in favor of the checkpoint's device count), each presenting its
+// session token.
 //
 // Raw data never reaches the coordinator: devices exchange only model
 // parameters (paper §V).
@@ -40,6 +89,26 @@ func Serve(addr string, devices int, onListen func(addr string), opts ...Option)
 	for _, opt := range opts {
 		opt(&o)
 	}
+
+	var restore *protocol.Checkpoint
+	if o.ft.checkpointPath != "" {
+		ck, err := protocol.LoadCheckpoint(o.ft.checkpointPath)
+		switch {
+		case err == nil:
+			restore = ck
+			devices = 0
+			for _, d := range ck.Dropped {
+				if !d {
+					devices++
+				}
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// No checkpoint yet: fresh run.
+		default:
+			return nil, fmt.Errorf("plos: Serve: %w", err)
+		}
+	}
+
 	l, err := transport.Listen(addr)
 	if err != nil {
 		return nil, fmt.Errorf("plos: Serve: %w", err)
@@ -57,29 +126,69 @@ func Serve(addr string, devices int, onListen func(addr string), opts ...Option)
 			_ = c.Close()
 		}
 	}()
-	// With an observer attached, every device connection feeds the
-	// transport counters and wire spans; accounting via Stats() deltas is
-	// unchanged either way.
-	wired := conns
-	if o.core.Obs != nil {
-		wired = make([]transport.Conn, len(conns))
-		for t, c := range conns {
-			wired[t] = transport.Observe(c, o.core.Obs, t)
-		}
+	wired := make([]transport.Conn, len(conns))
+	for t, c := range conns {
+		wired[t] = wrapConn(c, &o, "retry-server", t)
 	}
-	res, err := protocol.RunServer(wired, protocol.ServerConfig{Core: o.core, Dist: o.dist})
+
+	// With resume enabled the listener keeps accepting during training;
+	// each new connection's first hello is read off-thread and queued for
+	// the protocol loop to validate against its session table.
+	var rejoin chan protocol.Rejoin
+	if o.ft.resume {
+		rejoin = make(chan protocol.Rejoin, devices)
+		stop := make(chan struct{})
+		defer close(stop)
+		go acceptRejoins(l, &o, rejoin, stop)
+	}
+
+	res, err := protocol.RunServer(wired, protocol.ServerConfig{
+		Core: o.core, Dist: o.dist, FT: o.serverFT(rejoin, restore),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("plos: Serve: %w", err)
 	}
 	out := &ServeResult{
-		Model:   &Model{model: res.Model, info: res.Info, bias: o.bias},
-		Dropped: res.Dropped,
+		Model:     &Model{model: res.Model, info: res.Info, bias: o.bias},
+		Dropped:   res.Dropped,
+		DropCause: res.DropCause,
 	}
 	for _, s := range res.PerUser {
 		out.TrafficBytes = append(out.TrafficBytes, s.BytesSent+s.BytesReceived)
 		out.TrafficMessages = append(out.TrafficMessages, s.MessagesSent+s.MessagesReceived)
 	}
 	return out, nil
+}
+
+// acceptRejoins feeds reconnection attempts to the protocol loop until the
+// listener closes. Each connection gets the same reliability stack as the
+// originals and a bounded window to present its hello.
+func acceptRejoins(l *transport.Listener, o *options, rejoin chan<- protocol.Rejoin, stop <-chan struct{}) {
+	for i := 0; ; i++ {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed: training is over
+		}
+		conn := wrapConn(c, o, "retry-rejoin", i)
+		go func() {
+			if o.ft.opTimeout <= 0 {
+				transport.SetOpTimeout(c, rejoinHelloTimeout)
+			}
+			m, err := conn.Recv()
+			if o.ft.opTimeout <= 0 {
+				transport.SetOpTimeout(c, 0)
+			}
+			if err != nil {
+				_ = conn.Close()
+				return
+			}
+			select {
+			case rejoin <- protocol.Rejoin{Conn: conn, Hello: m}:
+			case <-stop:
+				_ = conn.Close()
+			}
+		}()
+	}
 }
 
 // DeviceModel is what a device holds after Join completes: the shared
@@ -90,6 +199,9 @@ type DeviceModel struct {
 	// Bytes and Messages account the device's total traffic.
 	Bytes    int64
 	Messages int
+	// Session is the coordinator-issued resume token (0 when the
+	// coordinator runs without session resume).
+	Session int64
 }
 
 // Predict classifies x with the device's personalized hyperplane.
@@ -117,7 +229,8 @@ func (d *DeviceModel) Personalized() []float64 { return append([]float64(nil), d
 // The training hyperparameters (λ, Cl, Cu, ρ, …) are decided by the
 // coordinator and pushed to devices; Join's options only cover
 // device-local choices (bias augmentation must match the coordinator's,
-// and the seed drives the local initialization).
+// and the seed drives the local initialization). With WithSessionResume,
+// Join survives connection failures by redialing and resuming its session.
 func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
@@ -130,14 +243,33 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 	if o.bias {
 		x = svm.AugmentBias(x)
 	}
-	conn, err := transport.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("plos: Join: %w", err)
+	data := core.UserData{X: x, Y: append([]float64(nil), user.Labels...)}
+	copts := protocol.ClientOptions{
+		Seed:       o.core.Seed,
+		Session:    o.ft.session,
+		OnSession:  o.ft.onSession,
+		MaxRedials: o.ft.maxRedials,
 	}
-	defer conn.Close()
-	wired := transport.Observe(conn, o.core.Obs, -1)
-	res, err := protocol.RunClient(wired, core.UserData{X: x, Y: append([]float64(nil), user.Labels...)},
-		protocol.ClientOptions{Seed: o.core.Seed})
+
+	var res *protocol.ClientResult
+	var err error
+	if o.ft.resume && o.ft.maxRedials > 0 {
+		dial := func() (transport.Conn, error) {
+			c, derr := transport.Dial(addr)
+			if derr != nil {
+				return nil, derr
+			}
+			return wrapConn(c, &o, "retry-client", 0), nil
+		}
+		res, err = protocol.RunClientLoop(dial, data, copts)
+	} else {
+		conn, derr := transport.Dial(addr)
+		if derr != nil {
+			return nil, fmt.Errorf("plos: Join: %w", derr)
+		}
+		defer conn.Close()
+		res, err = protocol.RunClient(wrapConn(conn, &o, "retry-client", 0), data, copts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("plos: Join: %w", err)
 	}
@@ -147,5 +279,6 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 		bias:     o.bias,
 		Bytes:    res.Traffic.BytesSent + res.Traffic.BytesReceived,
 		Messages: res.Traffic.MessagesSent + res.Traffic.MessagesReceived,
+		Session:  res.Session,
 	}, nil
 }
