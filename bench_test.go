@@ -143,6 +143,31 @@ func BenchmarkTrainParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCutRound measures the incremental restricted-QP cache
+// (DESIGN.md §11) against a from-scratch Gram rebuild on a Fig. 5-sized HAR
+// workload forced through a deep cutting-plane loop (eval.MinCutRounds+
+// rounds). The two arms produce bit-identical models (pinned by the
+// internal/core and internal/kplos cache tests), so the time delta is pure
+// restricted-QP setup cost. docs/PERFORMANCE.md records the numbers.
+func BenchmarkCutRound(b *testing.B) {
+	for _, arm := range []struct {
+		name    string
+		rebuild bool
+	}{{"incremental", false}, {"rebuild", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				info, err := eval.CutRound(eval.CutRoundOptions{Rebuild: arm.rebuild, Seed: 17})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = info.CutRounds
+			}
+			b.ReportMetric(float64(rounds), "cutrounds")
+		})
+	}
+}
+
 // BenchmarkTrainParallelObserved is BenchmarkTrainParallel with a live
 // observer attached — compare the two to measure the instrumentation
 // overhead (the acceptance bar is <2%).

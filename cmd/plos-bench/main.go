@@ -33,6 +33,8 @@ func main() {
 	flag.StringVar(&o.format, "format", "table", "output format: table | csv")
 	flag.StringVar(&o.metricsJSON, "metrics-json", "",
 		"write the aggregate solver/transport metrics of the whole run to this JSON file")
+	flag.StringVar(&o.benchJSON, "bench-json", "",
+		"run the perf-trajectory suite (CutRound, TrainParallel) instead of figures and write the snapshot to this JSON file")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-bench:", err)
@@ -49,9 +51,13 @@ type benchOptions struct {
 	workers     int
 	format      string
 	metricsJSON string
+	benchJSON   string
 }
 
 func run(o benchOptions) error {
+	if o.benchJSON != "" {
+		return runBenchJSON(o.benchJSON, o.workers)
+	}
 	fig, full, trials, seed, lambda, workers, format :=
 		o.fig, o.full, o.trials, o.seed, o.lambda, o.workers, o.format
 	if format != "table" && format != "csv" {

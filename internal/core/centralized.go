@@ -38,6 +38,13 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 		sets:    make([]optimize.WorkingSet, tCount),
 		signs:   make([][]float64, tCount),
 		weights: make([][]float64, tCount),
+		flatLen: make([]int, tCount),
+		gens:    make([]uint64, tCount),
+		groups:  make([][]int, tCount),
+		budgets: make([]float64, tCount),
+	}
+	for t := range state.budgets {
+		state.budgets[t] = state.budget
 	}
 	w0 := initialW0(users, dim, cfg)
 	state.w0 = w0
@@ -70,7 +77,7 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 			for t := range state.sets {
 				state.sets[t].Reset()
 			}
-			state.gamma = nil
+			state.invalidateGramCache()
 		}
 		obj, rounds, qpIters, err := state.solveConvexified()
 		info.CutRounds += rounds
@@ -125,9 +132,75 @@ type centralState struct {
 
 	w0 mat.Vector
 	w  []mat.Vector // personalized hyperplanes w_t
-	// gamma holds the dual variables aligned per user with the working
-	// sets (sets only append, so warm starts survive constraint growth).
-	gamma [][]float64
+
+	// Incremental restricted-QP cache (DESIGN.md §11). The canonical
+	// constraint order is *arrival order* — each cut round appends its new
+	// constraints in user order — so the flattened refs, the per-user
+	// group index lists, the linear term, the Gram matrix and its
+	// Gershgorin bound all grow by appending; a solve's setup cost is
+	// proportional to the constraints added since the last solve, not to
+	// everything seen so far. gamma holds the previous solve's duals in
+	// the same flat order (sets only append inside a generation, so the
+	// prefix stays a valid warm start). Reset working sets (cold CCCP
+	// rounds, or any out-of-band shrink) invalidate the whole cache.
+	flat    []gramRef
+	flatLen []int    // constraints of user t already flattened
+	gens    []uint64 // working-set generation the cache was built against
+	groups  [][]int
+	cvec    mat.Vector
+	budgets []float64
+	gram    qp.GramCache
+	gamma   mat.Vector
+	scratch qp.Scratch
+}
+
+// gramRef is one flattened constraint: user t's aggregate (A, C) of paper
+// Eq. (17)–(18) at its arrival position.
+type gramRef struct {
+	user int
+	a    mat.Vector
+	c    float64
+}
+
+// invalidateGramCache drops every cached artifact of the restricted dual;
+// the next solve rebuilds from the working sets alone.
+func (s *centralState) invalidateGramCache() {
+	s.flat = s.flat[:0]
+	for t := range s.flatLen {
+		s.flatLen[t] = 0
+		s.groups[t] = s.groups[t][:0]
+		s.gens[t] = s.sets[t].Generation()
+	}
+	s.cvec = s.cvec[:0]
+	s.gram.Reset()
+	s.gamma = nil
+}
+
+// syncGramCache reconciles the cache with the working sets: a shrunken or
+// regenerated set invalidates everything (counting a warm-start truncation
+// when live duals had to be dropped — the pre-cache solver silently
+// mis-mapped them instead); then the constraints added since the last solve
+// are appended in user order, which matches the order solveConvexified
+// inserted them this round.
+func (s *centralState) syncGramCache() {
+	for t := range s.sets {
+		if s.sets[t].Generation() != s.gens[t] || s.sets[t].Len() < s.flatLen[t] {
+			if s.gamma != nil {
+				s.cfg.Obs.Counter(obs.MetricWarmStartTruncations, "").Inc()
+			}
+			s.invalidateGramCache()
+			break
+		}
+	}
+	for t := range s.sets {
+		cons := s.sets[t].Constraints()
+		for k := s.flatLen[t]; k < len(cons); k++ {
+			s.groups[t] = append(s.groups[t], len(s.flat))
+			s.flat = append(s.flat, gramRef{user: t, a: cons[k].A, c: cons[k].C})
+			s.cvec = append(s.cvec, cons[k].C)
+		}
+		s.flatLen[t] = len(cons)
+	}
 }
 
 // refreshSigns fixes the effective labels for this CCCP round: true labels
@@ -277,69 +350,43 @@ func (s *centralState) totalConstraints() int {
 }
 
 // solveRestrictedQP solves the dual (16) restricted to the working sets and
-// refreshes w0, w_t from the dual solution.
+// refreshes w0, w_t from the dual solution. Setup is incremental: the
+// flattened order, Gram matrix, linear term and Lipschitz bound persist in
+// the state and only the rows/columns of newly arrived constraints are
+// computed (O(added·total·d) instead of O(total²·d) inner products per
+// round); with Config.RebuildGram everything is rematerialized from scratch
+// in the same canonical order, which the property tests pin bit-identical.
 func (s *centralState) solveRestrictedQP() (int, error) {
-	// Flatten constraints: order = user-major, insertion order inside.
-	type ref struct {
-		user int
-		a    mat.Vector
-		c    float64
-	}
-	var flat []ref
-	groups := make([][]int, s.t)
-	for t := range s.sets {
-		for _, c := range s.sets[t].Constraints() {
-			groups[t] = append(groups[t], len(flat))
-			flat = append(flat, ref{user: t, a: c.A, c: c.C})
-		}
-	}
-	n := len(flat)
-	g := mat.NewMatrix(n, n)
-	cvec := make(mat.Vector, n)
+	s.syncGramCache()
+	n := len(s.flat)
 	lot := s.scaleW0 // λ/T
-	// Row-parallel Gram build: row i owns cells (i, j>=i) and their
-	// mirrors, so goroutines write disjoint cells and the matrix is
-	// bit-identical for any worker count.
-	parallel.Do(s.cfg.Workers, n, func(i int) {
-		cvec[i] = flat[i].c
-		for j := i; j < n; j++ {
-			dot := flat[i].a.Dot(flat[j].a)
-			v := lot * dot
-			if flat[i].user == flat[j].user {
-				v += dot
-			}
-			g.Data[i*n+j] = v
-			g.Data[j*n+i] = v
+	if s.cfg.RebuildGram {
+		s.gram.Reset()
+	}
+	// Column-parallel growth: each new column is owned by one goroutine,
+	// so goroutines write disjoint cells and the matrix is bit-identical
+	// for any worker count.
+	flat := s.flat
+	g := s.gram.Grow(n, s.cfg.Workers, func(i, j int) float64 {
+		dot := flat[i].a.Dot(flat[j].a)
+		v := lot * dot
+		if flat[i].user == flat[j].user {
+			v += dot
 		}
+		return v
 	})
-	budgets := make([]float64, s.t)
-	for t := range budgets {
-		budgets[t] = s.budget
+	prob := &qp.Problem{G: g, C: s.cvec, Groups: qp.GroupSpec{Groups: s.groups, Budgets: s.budgets}}
+	// Warm start: the previous duals are a prefix of the current flat
+	// order; extend with zeros for the constraints added since.
+	for len(s.gamma) < n {
+		s.gamma = append(s.gamma, 0)
 	}
-	prob := &qp.Problem{G: g, C: cvec, Groups: qp.GroupSpec{Groups: groups, Budgets: budgets}}
-	// Warm start: previous per-user duals padded with zeros for the
-	// constraints added since the last solve.
-	warm := make(mat.Vector, n)
-	if s.gamma != nil {
-		for t, idx := range groups {
-			for k, flatIdx := range idx {
-				if t < len(s.gamma) && k < len(s.gamma[t]) {
-					warm[flatIdx] = s.gamma[t][k]
-				}
-			}
-		}
-	}
-	gamma, qinfo, err := qp.Solve(prob, qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9, X0: warm, Obs: s.cfg.Obs})
+	gamma, qinfo, err := qp.Solve(prob, qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9,
+		X0: s.gamma, LipschitzBound: s.gram.Bound(), Scratch: &s.scratch, Obs: s.cfg.Obs})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return qinfo.Iterations, fmt.Errorf("core: restricted QP: %w", err)
 	}
-	s.gamma = make([][]float64, s.t)
-	for t, idx := range groups {
-		s.gamma[t] = make([]float64, len(idx))
-		for k, flatIdx := range idx {
-			s.gamma[t][k] = gamma[flatIdx]
-		}
-	}
+	s.gamma = append(s.gamma[:0], gamma...)
 
 	// Recover hyperplanes: w0 = (λ/T) Σ γ_i A_i ; v_t = Σ_{i∈t} γ_i A_i.
 	w0 := mat.NewVector(s.dim)

@@ -62,6 +62,12 @@ type Config struct {
 	// sequential. Any value yields bit-identical models — all reductions
 	// are index-ordered (see internal/parallel).
 	Workers int
+	// RebuildGram disables the incremental restricted-QP cache (DESIGN.md
+	// §11): every cut round rebuilds the dual Gram, linear term and
+	// Gershgorin bound from scratch instead of growing the cached ones.
+	// Output is bit-identical either way (test-pinned); this knob exists
+	// for the property tests and the BenchmarkCutRound before/after.
+	RebuildGram bool
 	// Seed drives the deterministic internal randomness.
 	Seed int64
 	// Obs, when non-nil, receives solver metrics and phase spans

@@ -59,6 +59,19 @@ type Worker struct {
 	// (folded into TrainInfo.CutRounds by the trainers).
 	cutRounds int
 
+	// Incremental local-dual cache (DESIGN.md §11): the working set only
+	// appends between resets, so the Gram A·Aᵀ/ρ̃ and its Gershgorin bound
+	// persist across cut rounds AND across the ADMM rounds of one CCCP
+	// round, growing by the newly added constraints only. A set reset
+	// (generation change), a ρ̃ change, or Config.RebuildGram rebuilds it.
+	gram    qp.GramCache
+	gramGen uint64
+	gramRho float64
+	cvec    mat.Vector
+	warm    mat.Vector
+	idx     []int
+	scratch qp.Scratch
+
 	w, v mat.Vector
 	xi   float64
 }
@@ -179,29 +192,47 @@ func (wk *Worker) Solve(w0, u mat.Vector, rho float64) (mat.Vector, mat.Vector, 
 
 // solveLocalDual solves the restricted dual of the one-slack QP:
 // min ½αᵀGα − c̃ᵀα with G = (1/ρ̃)·A·A', α >= 0, Σα <= 1, and returns
-// p = (1/ρ̃)·Σ α_k A_k.
+// p = (1/ρ̃)·Σ α_k A_k. The Gram and its bound are served from the
+// worker's incremental cache; only the linear term depends on b and is
+// recomputed each solve.
 func (wk *Worker) solveLocalDual(b mat.Vector, rhoEff float64) (mat.Vector, error) {
 	cons := wk.set.Constraints()
 	n := len(cons)
-	g := mat.NewMatrix(n, n)
-	cvec := make(mat.Vector, n)
-	for i := 0; i < n; i++ {
-		cvec[i] = cons[i].C - b.Dot(cons[i].A)
-		for j := i; j < n; j++ {
-			v := cons[i].A.Dot(cons[j].A) / rhoEff
-			g.Data[i*n+j] = v
-			g.Data[j*n+i] = v
+	if gen := wk.set.Generation(); gen != wk.gramGen || n < wk.gram.Len() || rhoEff != wk.gramRho {
+		if wk.alpha != nil && (gen != wk.gramGen || n < wk.gram.Len()) && wk.gram.Len() > 0 {
+			// The set the cached duals were aligned with shrank or was
+			// rebuilt: the stale warm start is dropped, not mis-mapped.
+			wk.cfg.Obs.Counter(obs.MetricWarmStartTruncations, "").Inc()
+			wk.alpha = nil
 		}
+		wk.gram.Reset()
+		wk.gramGen = gen
+		wk.gramRho = rhoEff
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if wk.cfg.RebuildGram {
+		wk.gram.Reset()
 	}
-	prob := &qp.Problem{G: g, C: cvec,
-		Groups: qp.GroupSpec{Groups: [][]int{idx}, Budgets: []float64{1}}}
-	warm := make(mat.Vector, n)
-	copy(warm, wk.alpha) // zero-padded for constraints added since last solve
-	alpha, _, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10, X0: warm, Obs: wk.cfg.Obs})
+	// Sequential cell fill (workers=1): device-local solves already fan
+	// out across users, so nested parallelism would only thrash.
+	g := wk.gram.Grow(n, 1, func(i, j int) float64 {
+		return cons[i].A.Dot(cons[j].A) / rhoEff
+	})
+	wk.cvec = wk.cvec[:0]
+	for i := 0; i < n; i++ {
+		wk.cvec = append(wk.cvec, cons[i].C-b.Dot(cons[i].A))
+	}
+	for len(wk.idx) < n {
+		wk.idx = append(wk.idx, len(wk.idx))
+	}
+	prob := &qp.Problem{G: g, C: wk.cvec,
+		Groups: qp.GroupSpec{Groups: [][]int{wk.idx[:n]}, Budgets: []float64{1}}}
+	wk.warm = wk.warm[:0]
+	wk.warm = append(wk.warm, wk.alpha...)
+	for len(wk.warm) < n {
+		wk.warm = append(wk.warm, 0) // constraints added since last solve
+	}
+	alpha, _, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10,
+		X0: wk.warm, LipschitzBound: wk.gram.Bound(), Scratch: &wk.scratch, Obs: wk.cfg.Obs})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return nil, fmt.Errorf("core: local dual QP: %w", err)
 	}

@@ -1,0 +1,65 @@
+package kplos
+
+import (
+	"fmt"
+	"testing"
+
+	"plos/internal/core"
+	"plos/internal/kernel"
+	"plos/internal/rng"
+)
+
+func expansionsExact(a, b kernel.Expansion) bool {
+	if len(a.Idx) != len(b.Idx) {
+		return false
+	}
+	for p := range a.Idx {
+		if a.Idx[p] != b.Idx[p] || a.Coeff[p] != b.Coeff[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property (DESIGN.md §11, kernelized twin of the internal/core test): the
+// incremental restricted-QP cache changes no float — training with it is
+// bit-identical to rebuilding the dual Gram from scratch every cut round,
+// across seeds and worker counts.
+func TestPropertyCacheBitIdenticalKernelized(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				g := rng.New(seed)
+				var users []core.UserData
+				for i := 0; i < 3; i++ {
+					u, _ := linearUser(g.SplitN("u", i), 8, 5, float64(i)*0.3)
+					users = append(users, u)
+				}
+				cfg := core.Config{Lambda: 50, Seed: seed, Workers: workers, MaxCCCPIter: 4}
+				inc, incInfo, err := Train(users, cfg, kernel.RBF{Gamma: 0.25})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.RebuildGram = true
+				reb, rebInfo, err := Train(users, cfg, kernel.RBF{Gamma: 0.25})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !expansionsExact(inc.w0, reb.w0) {
+					t.Error("w0 expansions differ")
+				}
+				if len(inc.perUser) != len(reb.perUser) {
+					t.Fatal("user counts differ")
+				}
+				for u := range inc.perUser {
+					if !expansionsExact(inc.perUser[u], reb.perUser[u]) {
+						t.Errorf("perUser[%d] expansions differ", u)
+					}
+				}
+				if incInfo.CutRounds != rebInfo.CutRounds || incInfo.Constraints != rebInfo.Constraints {
+					t.Errorf("solver trajectory diverged: %+v vs %+v", incInfo, rebInfo)
+				}
+			})
+		}
+	}
+}

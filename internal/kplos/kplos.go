@@ -124,6 +124,7 @@ func Train(users []core.UserData, cfg core.Config, k kernel.Kernel) (*Model, cor
 			st.keys = make(map[string]struct{})
 			st.gamma = nil
 			st.margins.Zero()
+			st.invalidateGramCache()
 		}
 		obj, rounds, qpIters, err := st.solveConvexified()
 		info.CutRounds += rounds
@@ -159,6 +160,31 @@ type state struct {
 	gamma       mat.Vector // aligned with constraints
 	// margins[t*?]: current f_t(x_it) for every global sample index.
 	margins mat.Vector
+
+	// Incremental restricted-QP cache (DESIGN.md §11): constraints only
+	// append between CCCP resets, so the dual Gram, its Gershgorin bound,
+	// the linear term and the per-user group lists grow by the newly
+	// added constraints instead of being rebuilt each cut round. flatLen
+	// counts the constraints already folded into groups/cvec; the Gram
+	// materialization is tracked by gram itself (core.Config.RebuildGram
+	// resets it every solve for the bit-identity property test).
+	flatLen int
+	groups  [][]int
+	cvec    mat.Vector
+	budgets []float64
+	qpGram  qp.GramCache
+	scratch qp.Scratch
+}
+
+// invalidateGramCache drops the cached restricted dual; called when the
+// constraint pool is reset between CCCP rounds (cold working sets).
+func (s *state) invalidateGramCache() {
+	s.flatLen = 0
+	for t := range s.groups {
+		s.groups[t] = s.groups[t][:0]
+	}
+	s.cvec = s.cvec[:0]
+	s.qpGram.Reset()
 }
 
 func newState(users []core.UserData, cfg core.Config, k kernel.Kernel) (*state, error) {
@@ -197,6 +223,11 @@ func newState(users []core.UserData, cfg core.Config, k kernel.Kernel) (*state, 
 		weights: make([][]float64, len(users)),
 		keys:    make(map[string]struct{}),
 		margins: mat.NewVector(gram.Total()),
+		groups:  make([][]int, len(users)),
+		budgets: make([]float64, len(users)),
+	}
+	for t := range st.budgets {
+		st.budgets[t] = st.budget
 	}
 	for t, u := range users {
 		m := u.NumSamples()
@@ -428,42 +459,50 @@ func (s *state) solveConvexified() (float64, int, int, error) {
 	return s.objective(), rounds, qpIters, nil
 }
 
+// solveRestrictedQP solves the dual restricted to the current constraint
+// pool. The pool is arrival-ordered and append-only between CCCP resets, so
+// the Gram, its Gershgorin bound, the linear term and the group lists are
+// served from the incremental cache and only the new rows/columns are
+// computed each round.
 func (s *state) solveRestrictedQP() (int, error) {
 	n := len(s.constraints)
-	g := mat.NewMatrix(n, n)
-	cvec := make(mat.Vector, n)
-	groups := make([][]int, s.t)
-	for i, kc := range s.constraints {
-		cvec[i] = kc.c
-		groups[kc.user] = append(groups[kc.user], i)
-		for j := i; j < n; j++ {
-			other := s.constraints[j]
-			// ⟨A_i, A_j⟩ via the cached per-sample dots of constraint i.
-			var dot float64
-			for p, idx := range other.a.Idx {
-				dot += other.a.Coeff[p] * kc.dots[idx]
-			}
-			v := s.scaleW0 * dot
-			if kc.user == other.user {
-				v += dot
-			}
-			g.Data[i*n+j] = v
-			g.Data[j*n+i] = v
+	for i := s.flatLen; i < n; i++ {
+		kc := s.constraints[i]
+		s.groups[kc.user] = append(s.groups[kc.user], i)
+		s.cvec = append(s.cvec, kc.c)
+	}
+	s.flatLen = n
+	if s.cfg.RebuildGram {
+		s.qpGram.Reset()
+	}
+	// Cell (i, j): ⟨A_i, A_j⟩ via the cached per-sample dots of
+	// constraint i — the same formula for cached and fresh cells, so the
+	// incremental matrix is bit-identical to a from-scratch rebuild. New
+	// columns fan out across the worker pool (disjoint cells per owner).
+	g := s.qpGram.Grow(n, s.cfg.Workers, func(i, j int) float64 {
+		kc, other := s.constraints[i], s.constraints[j]
+		var dot float64
+		for p, idx := range other.a.Idx {
+			dot += other.a.Coeff[p] * kc.dots[idx]
 		}
+		v := s.scaleW0 * dot
+		if kc.user == other.user {
+			v += dot
+		}
+		return v
+	})
+	// Warm start: previous duals are a prefix of the arrival order.
+	for len(s.gamma) < n {
+		s.gamma = append(s.gamma, 0)
 	}
-	budgets := make([]float64, s.t)
-	for t := range budgets {
-		budgets[t] = s.budget
-	}
-	warm := make(mat.Vector, n)
-	copy(warm, s.gamma)
-	gamma, qinfo, err := qp.Solve(&qp.Problem{G: g, C: cvec,
-		Groups: qp.GroupSpec{Groups: groups, Budgets: budgets}},
-		qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9, X0: warm})
+	gamma, qinfo, err := qp.Solve(&qp.Problem{G: g, C: s.cvec,
+		Groups: qp.GroupSpec{Groups: s.groups, Budgets: s.budgets}},
+		qp.Options{MaxIter: s.cfg.QPMaxIter, Tol: 1e-9, X0: s.gamma,
+			LipschitzBound: s.qpGram.Bound(), Scratch: &s.scratch, Obs: s.cfg.Obs})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return qinfo.Iterations, fmt.Errorf("kplos: restricted QP: %w", err)
 	}
-	s.gamma = gamma
+	s.gamma = append(s.gamma[:0], gamma...)
 	return qinfo.Iterations, nil
 }
 

@@ -36,9 +36,10 @@ const (
 	MetricConstraintsAdded  = "constraints_added_total"
 	MetricConstraintsActive = "constraints_active"
 
-	MetricQPSolves       = "qp_solves_total"
-	MetricQPIterations   = "qp_iterations_total"
-	MetricQPSolveSeconds = "qp_solve_seconds"
+	MetricQPSolves             = "qp_solves_total"
+	MetricQPIterations         = "qp_iterations_total"
+	MetricQPSolveSeconds       = "qp_solve_seconds"
+	MetricWarmStartTruncations = "qp_warmstart_truncations_total"
 
 	MetricADMMRounds         = "admm_rounds_total"
 	MetricADMMPrimalResidual = "admm_primal_residual"
@@ -93,6 +94,7 @@ var Catalog = []MetricDef{
 	{MetricQPSolves, KindCounter, "1", "Inner QP dual solves."},
 	{MetricQPIterations, KindCounter, "1", "Cumulative projected-gradient (FISTA) iterations across QP solves."},
 	{MetricQPSolveSeconds, KindHistogram, "seconds", "Wall-clock duration of one QP solve."},
+	{MetricWarmStartTruncations, KindCounter, "1", "Warm-start duals dropped because a working set shrank between restricted solves (the stale mapping is discarded and the solve falls back to a cold start)."},
 
 	{MetricADMMRounds, KindCounter, "1", "Consensus ADMM rounds completed."},
 	{MetricADMMPrimalResidual, KindGauge, "1", "Primal residual of the most recent ADMM round (paper Eq. 24)."},

@@ -37,6 +37,10 @@ type Constraint struct {
 type WorkingSet struct {
 	constraints []Constraint
 	keys        map[string]struct{}
+	// gen increments every Reset, so solver-side caches keyed on the
+	// set's append-only growth (internal/qp.GramCache users) can detect
+	// that previously-flattened constraints vanished and must rebuild.
+	gen uint64
 }
 
 // Add appends c unless an identical subset is already present. It reports
@@ -61,11 +65,17 @@ func (ws *WorkingSet) Len() int { return len(ws.constraints) }
 func (ws *WorkingSet) Constraints() []Constraint { return ws.constraints }
 
 // Reset empties the working set (used between CCCP rounds when running
-// with cold working sets).
+// with cold working sets) and advances its generation.
 func (ws *WorkingSet) Reset() {
 	ws.constraints = ws.constraints[:0]
 	ws.keys = nil
+	ws.gen++
 }
+
+// Generation returns a counter that advances on every Reset. Between equal
+// generations the set only appends, so a cache built against a generation
+// stays a valid prefix view of the set for as long as the generation holds.
+func (ws *WorkingSet) Generation() uint64 { return ws.gen }
 
 // MostViolated constructs one user's most-violated constraint (Eq. 14)
 // given the hyperplane w. eff[i] is the sample's effective label: the true

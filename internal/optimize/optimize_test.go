@@ -36,6 +36,26 @@ func TestWorkingSetDedup(t *testing.T) {
 	}
 }
 
+func TestWorkingSetGeneration(t *testing.T) {
+	// Generation increments on every Reset and only on Reset — it is the
+	// invalidation key for solver-side caches (qp.GramCache holders).
+	var ws WorkingSet
+	g0 := ws.Generation()
+	ws.Add(Constraint{A: mat.Vector{1}, C: 1, Key: "\x01"})
+	ws.Add(Constraint{A: mat.Vector{2}, C: 2, Key: "\x02"})
+	if ws.Generation() != g0 {
+		t.Error("Add must not change the generation")
+	}
+	ws.Reset()
+	if ws.Generation() != g0+1 {
+		t.Errorf("Generation = %d after one Reset, want %d", ws.Generation(), g0+1)
+	}
+	ws.Reset()
+	if ws.Generation() != g0+2 {
+		t.Errorf("Generation = %d after two Resets, want %d", ws.Generation(), g0+2)
+	}
+}
+
 func TestMostViolatedSelectsLowMargin(t *testing.T) {
 	// Two samples: first has margin 5 (excluded), second margin -1 (included).
 	x := mat.FromRows([][]float64{{5, 0}, {-1, 0}})

@@ -1,0 +1,128 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+
+	"plos/internal/mat"
+
+	"plos/internal/parallel"
+)
+
+// GramCache incrementally maintains a symmetric Gram matrix and its
+// Gershgorin eigenvalue bound across a sequence of solves in which
+// constraints only accumulate — the cutting-plane pattern of every
+// restricted dual in this repository. Each round at most a handful of
+// constraints arrive, so Grow appends only the new rows/columns (computing
+// O(added · total) inner products instead of O(total²)) and extends the
+// per-row Gershgorin sums instead of re-scanning the O(total²) cells.
+//
+// Bit-identity contract: growing to size n over any number of Grow calls
+// yields the same matrix bytes and the same Bound() as a single Grow from
+// empty. Entries are computed by the same cell callback either way, the
+// old block is copied verbatim, and each row's absolute off-diagonal sum
+// is accumulated left-to-right exactly as mat.MaxEigenvalueUpperBound
+// scans it — appending columns continues the same running sum, so partial
+// and one-shot accumulations see the identical operand sequence.
+//
+// The zero value is an empty cache. Not safe for concurrent use.
+type GramCache struct {
+	n      int
+	g      *mat.Matrix
+	radius []float64 // Σ_{j≠i} |g_ij|, accumulated in ascending-j order
+	diag   []float64 // g_ii
+}
+
+// Reset empties the cache; the next Grow recomputes everything.
+func (c *GramCache) Reset() {
+	c.n = 0
+	c.g = nil
+	c.radius = c.radius[:0]
+	c.diag = c.diag[:0]
+}
+
+// Len returns the number of constraints currently materialized.
+func (c *GramCache) Len() int { return c.n }
+
+// Grow extends the cached Gram to total×total and returns it. cell(i, j)
+// must return entry (i, j) and is called once per new unordered pair —
+// every (i, j) with c.Len() <= j < total and i <= j; the mirror cell is
+// filled from symmetry. New columns fan out over at most workers
+// goroutines (each owns disjoint cells), so the matrix is bit-identical
+// for any worker count. Shrinking is a caller bug and panics; callers
+// detect shrunken working sets and Reset first.
+func (c *GramCache) Grow(total, workers int, cell func(i, j int) float64) *mat.Matrix {
+	n0 := c.n
+	if total < n0 {
+		panic(fmt.Sprintf("qp: GramCache.Grow: shrinking from %d to %d", n0, total))
+	}
+	if total == n0 {
+		if c.g == nil {
+			c.g = mat.NewMatrix(0, 0)
+		}
+		return c.g
+	}
+	g := mat.NewMatrix(total, total)
+	if n0 > 0 {
+		// Restride the old block into the wider matrix; values are copied
+		// verbatim, so no float changes.
+		for i := 0; i < n0; i++ {
+			copy(g.Data[i*total:i*total+n0], c.g.Data[i*n0:(i+1)*n0])
+		}
+	}
+	// New cells: column j >= n0 is owned by one goroutine, which writes
+	// (i, j) for i <= j plus the mirrored (j, i) — disjoint across owners.
+	parallel.Do(workers, total-n0, func(k int) {
+		j := n0 + k
+		for i := 0; i <= j; i++ {
+			v := cell(i, j)
+			g.Data[i*total+j] = v
+			g.Data[j*total+i] = v
+		}
+	})
+	// Gershgorin bookkeeping. Old rows continue their left-to-right
+	// absolute sum over the appended columns; new rows scan in full —
+	// both orders match mat.MaxEigenvalueUpperBound exactly.
+	for i := 0; i < n0; i++ {
+		row := g.Data[i*total : (i+1)*total]
+		r := c.radius[i]
+		for j := n0; j < total; j++ {
+			r += math.Abs(row[j])
+		}
+		c.radius[i] = r
+	}
+	for i := n0; i < total; i++ {
+		row := g.Data[i*total : (i+1)*total]
+		var r float64
+		for j := 0; j < total; j++ {
+			if j != i {
+				r += math.Abs(row[j])
+			}
+		}
+		c.radius = append(c.radius, r)
+		c.diag = append(c.diag, row[i])
+	}
+	c.g = g
+	c.n = total
+	return g
+}
+
+// Matrix returns the cached Gram (nil when empty). The cache retains
+// ownership; callers must not mutate it.
+func (c *GramCache) Matrix() *mat.Matrix { return c.g }
+
+// Bound returns the Gershgorin upper bound on the largest eigenvalue of
+// the cached matrix in O(n), bit-identical to calling
+// mat.MaxEigenvalueUpperBound on it (which re-scans all n² cells).
+func (c *GramCache) Bound() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	bound := math.Inf(-1)
+	for i := 0; i < c.n; i++ {
+		if v := c.diag[i] + c.radius[i]; v > bound {
+			bound = v
+		}
+	}
+	return bound
+}

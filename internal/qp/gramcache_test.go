@@ -1,0 +1,146 @@
+package qp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"plos/internal/mat"
+)
+
+// randCell returns a deterministic symmetric cell function backed by a
+// random PSD matrix, standing in for the constraint inner products the
+// trainers feed Grow.
+func randCell(seed int64, n int) (func(i, j int) float64, *mat.Matrix) {
+	r := rand.New(rand.NewSource(seed))
+	m := mat.NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	g := m.Gram()
+	return func(i, j int) float64 { return g.Data[i*n+j] }, g
+}
+
+func matrixBytes(t *testing.T, m *mat.Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, m.Data); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGramCacheIncrementalMatchesOneShot(t *testing.T) {
+	// Growing 0→3→7→7→12 must yield the same bytes and bound as 0→12,
+	// for every worker count (the bit-identity contract).
+	const n = 12
+	cell, full := randCell(7, n)
+	for _, workers := range []int{1, 3, 8} {
+		var inc GramCache
+		for _, size := range []int{3, 7, 7, 12} {
+			inc.Grow(size, workers, cell)
+		}
+		var one GramCache
+		oneG := one.Grow(n, 1, cell)
+		if !bytes.Equal(matrixBytes(t, inc.Matrix()), matrixBytes(t, oneG)) {
+			t.Fatalf("workers=%d: incremental matrix differs from one-shot", workers)
+		}
+		if !bytes.Equal(matrixBytes(t, inc.Matrix()), matrixBytes(t, full)) {
+			t.Fatalf("workers=%d: cached matrix differs from source", workers)
+		}
+		if ib, ob := inc.Bound(), one.Bound(); ib != ob {
+			t.Fatalf("workers=%d: incremental bound %v != one-shot %v", workers, ib, ob)
+		}
+	}
+}
+
+func TestGramCacheBoundMatchesGershgorinScan(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cell, _ := randCell(seed, 9)
+		var c GramCache
+		c.Grow(4, 2, cell)
+		c.Grow(9, 2, cell)
+		want := mat.MaxEigenvalueUpperBound(c.Matrix())
+		if got := c.Bound(); got != want {
+			t.Errorf("seed %d: Bound() = %v, want scan %v (diff %g)",
+				seed, got, want, math.Abs(got-want))
+		}
+	}
+}
+
+func TestGramCacheResetAndEmpty(t *testing.T) {
+	var c GramCache
+	if c.Bound() != 0 || c.Len() != 0 {
+		t.Fatalf("zero value: Len=%d Bound=%v", c.Len(), c.Bound())
+	}
+	g := c.Grow(0, 1, nil)
+	if g.Rows != 0 || g.Cols != 0 {
+		t.Fatalf("Grow(0) = %dx%d matrix", g.Rows, g.Cols)
+	}
+	cell, _ := randCell(3, 5)
+	c.Grow(5, 1, cell)
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d after Grow(5)", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Matrix() != nil {
+		t.Fatal("Reset did not empty the cache")
+	}
+	// Regrowing after Reset recomputes from scratch.
+	after := c.Grow(5, 1, cell)
+	var fresh GramCache
+	if !bytes.Equal(matrixBytes(t, after), matrixBytes(t, fresh.Grow(5, 1, cell))) {
+		t.Fatal("post-Reset regrow differs from fresh cache")
+	}
+}
+
+func TestGramCacheShrinkPanics(t *testing.T) {
+	cell, _ := randCell(1, 4)
+	var c GramCache
+	c.Grow(4, 1, cell)
+	defer func() {
+		if recover() == nil {
+			t.Error("Grow to a smaller size should panic")
+		}
+	}()
+	c.Grow(2, 1, cell)
+}
+
+func TestScratchReuseAcrossSolves(t *testing.T) {
+	// The same scratch serves problems of different sizes, solutions match
+	// scratchless solves exactly, and earlier results survive later solves
+	// (no aliasing of the returned vector).
+	var s Scratch
+	p3 := &Problem{
+		G:      mat.Identity(3),
+		C:      mat.Vector{0.1, 0.2, 0.3},
+		Groups: GroupSpec{Groups: [][]int{{0, 1, 2}}, Budgets: []float64{1}},
+	}
+	x3, _, err := Solve(p3, Options{Scratch: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := x3.Clone()
+	p5 := &Problem{
+		G:      mat.Identity(5),
+		C:      mat.Vector{1, 2, 3, 4, 5},
+		Groups: GroupSpec{Groups: [][]int{{0, 1, 2, 3, 4}}, Budgets: []float64{1}},
+	}
+	if _, _, err := Solve(p5, Options{Scratch: &s}); err != nil {
+		t.Fatal(err)
+	}
+	if !x3.Equal(keep, 0) {
+		t.Error("result from earlier scratch solve was clobbered by a later one")
+	}
+	plain, _, err := Solve(p3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != x3[i] {
+			t.Errorf("scratch solve differs from plain solve at %d: %v vs %v", i, x3[i], plain[i])
+		}
+	}
+}

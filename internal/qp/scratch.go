@@ -1,0 +1,29 @@
+package qp
+
+import "plos/internal/mat"
+
+// Scratch holds the solver's iterate buffers (x, y, grad, xNext) so callers
+// that solve a sequence of related problems — cutting-plane rounds, ADMM
+// x-updates — stop paying four allocations per Solve call. The zero value
+// is ready to use; buffers grow on demand and are reused across calls.
+//
+// A Scratch is owned by one solving goroutine at a time: it is not safe for
+// concurrent Solve calls. The vector returned by Solve never aliases the
+// scratch buffers (it is copied out), so results stay valid across later
+// solves that reuse the same scratch.
+type Scratch struct {
+	x, y, grad, xNext mat.Vector
+}
+
+// buffers returns the four iterate buffers re-sliced to length n, growing
+// the backing arrays when needed. Contents are undefined; Solve initializes
+// x (and copies it into y) before the first iteration.
+func (s *Scratch) buffers(n int) (x, y, grad, xNext mat.Vector) {
+	if cap(s.x) < n {
+		s.x = make(mat.Vector, n)
+		s.y = make(mat.Vector, n)
+		s.grad = make(mat.Vector, n)
+		s.xNext = make(mat.Vector, n)
+	}
+	return s.x[:n], s.y[:n], s.grad[:n], s.xNext[:n]
+}

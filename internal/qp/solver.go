@@ -34,8 +34,21 @@ type Options struct {
 	// ||x − Π(x − ∇f(x)/L)||∞ · L (default 1e-8).
 	Tol float64
 	// X0 optionally warm-starts the solve; it is projected to feasibility
-	// first. If nil the solver starts from the origin.
+	// first. If nil the solver starts from the origin. A mis-sized X0 is
+	// an input error (ErrWarmStartSize), like every other malformed input.
 	X0 mat.Vector
+	// LipschitzBound optionally supplies an upper bound on the largest
+	// eigenvalue of G (the gradient's Lipschitz constant). When positive
+	// it is used directly; otherwise the solver computes the Gershgorin
+	// bound itself with an O(n²) scan of G. Callers that maintain the
+	// bound incrementally across related solves (GramCache) pass it here
+	// to keep per-solve setup proportional to what changed.
+	LipschitzBound float64
+	// Scratch, when non-nil, provides reusable iterate buffers so the
+	// FISTA loop allocates nothing per call (the returned solution is
+	// still a fresh vector the caller owns). One scratch must not be
+	// shared between concurrent solves.
+	Scratch *Scratch
 	// Obs, when non-nil, receives solve counts, cumulative iteration
 	// counts, a duration histogram and one SpanQPSolve per call. Purely
 	// observational: it never changes an iterate or the iteration order.
@@ -66,6 +79,11 @@ type Info struct {
 // plane, ADMM) may choose to proceed with it.
 var ErrMaxIterations = errors.New("qp: maximum iterations reached")
 
+// ErrWarmStartSize is wrapped into the error returned when Options.X0 does
+// not match the problem dimension — a stale warm start (e.g. resumed from
+// an old checkpoint) fails the solve instead of crashing the process.
+var ErrWarmStartSize = errors.New("qp: warm start length mismatch")
+
 // Solve minimizes the problem with FISTA (accelerated projected gradient)
 // using the Gershgorin bound on G as the Lipschitz constant, with adaptive
 // restart on momentum reversal. For the PSD Gram matrices PLOS produces,
@@ -84,25 +102,37 @@ func Solve(p *Problem, opts Options) (mat.Vector, Info, error) {
 	if err := p.Groups.Validate(n); err != nil {
 		return nil, Info{}, err
 	}
+	if o.X0 != nil && len(o.X0) != n {
+		return nil, Info{}, fmt.Errorf("qp: Solve: %w: got %d, want %d", ErrWarmStartSize, len(o.X0), n)
+	}
 	if n == 0 {
 		return mat.Vector{}, Info{Converged: true}, nil
 	}
 
-	lip := mat.MaxEigenvalueUpperBound(p.G)
+	lip := o.LipschitzBound
+	if lip <= 0 {
+		lip = mat.MaxEigenvalueUpperBound(p.G)
+	}
 	if lip < 1e-12 {
 		lip = 1e-12 // G ≈ 0: objective is linear; step size is arbitrary but finite
 	}
 	step := 1 / lip
 
-	x := make(mat.Vector, n)
+	var x, y, grad, xNext mat.Vector
+	if o.Scratch != nil {
+		x, y, grad, xNext = o.Scratch.buffers(n)
+		x.Zero()
+	} else {
+		x = make(mat.Vector, n)
+		y = make(mat.Vector, n)
+		grad = make(mat.Vector, n)
+		xNext = make(mat.Vector, n)
+	}
 	if o.X0 != nil {
-		checkWarmStart(o.X0, n)
 		copy(x, o.X0)
 		p.Groups.Project(x)
 	}
-	y := x.Clone() // extrapolated point
-	grad := make(mat.Vector, n)
-	xNext := make(mat.Vector, n)
+	copy(y, x) // extrapolated point
 	tMom := 1.0
 
 	info := Info{}
@@ -159,12 +189,19 @@ func Solve(p *Problem, opts Options) (mat.Vector, Info, error) {
 		r.Span(obs.Span{Kind: obs.SpanQPSolve, Start: start, Dur: dur,
 			User: -1, Iterations: info.Iterations, Value: info.Residual})
 	}
-	info.Objective = Objective(p, x)
+	// f(x) via the grad buffer — the same arithmetic as Objective without
+	// its allocation.
+	p.G.MulVecTo(grad, x)
+	info.Objective = 0.5*x.Dot(grad) - p.C.Dot(x)
+	out := x
+	if o.Scratch != nil {
+		out = x.Clone() // the caller owns the result; scratch buffers are reused
+	}
 	if !info.Converged {
-		return x, info, fmt.Errorf("%w after %d iterations (residual %.3g > tol %.3g)",
+		return out, info, fmt.Errorf("%w after %d iterations (residual %.3g > tol %.3g)",
 			ErrMaxIterations, info.Iterations, info.Residual, o.Tol)
 	}
-	return x, info, nil
+	return out, info, nil
 }
 
 // Objective evaluates f(x) = ½xᵀGx − cᵀx.
@@ -189,10 +226,4 @@ func KKTResidual(p *Problem, x mat.Vector) float64 {
 		}
 	}
 	return res
-}
-
-func checkWarmStart(x0 mat.Vector, n int) {
-	if len(x0) != n {
-		panic(fmt.Sprintf("qp: warm start has length %d, want %d", len(x0), n))
-	}
 }

@@ -81,6 +81,29 @@ func TestSolveDimensionMismatch(t *testing.T) {
 	}
 }
 
+func TestSolveWarmStartSizeMismatch(t *testing.T) {
+	// Regression: a mis-sized warm start used to panic inside the solver
+	// (index out of range copying X0); it must instead fail like any other
+	// malformed input, wrapping ErrWarmStartSize.
+	p := &Problem{
+		G:      mat.Identity(3),
+		C:      mat.Vector{0.1, 0.2, 0.3},
+		Groups: GroupSpec{Groups: [][]int{{0, 1, 2}}, Budgets: []float64{1}},
+	}
+	for _, x0 := range []mat.Vector{{1}, {1, 2}, {1, 2, 3, 4}} {
+		_, _, err := Solve(p, Options{X0: x0})
+		if !errors.Is(err, ErrWarmStartSize) {
+			t.Errorf("X0 len %d: err = %v, want ErrWarmStartSize", len(x0), err)
+		}
+	}
+	// Zero-dimensional problems validate X0 too (the check precedes the
+	// n == 0 early return).
+	zp := &Problem{G: mat.NewMatrix(0, 0), C: mat.Vector{}}
+	if _, _, err := Solve(zp, Options{X0: mat.Vector{1}}); !errors.Is(err, ErrWarmStartSize) {
+		t.Errorf("zero-dim mis-sized X0: err = %v, want ErrWarmStartSize", err)
+	}
+}
+
 func TestSolveInvalidGroups(t *testing.T) {
 	p := &Problem{
 		G:      mat.Identity(2),

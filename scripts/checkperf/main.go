@@ -1,0 +1,142 @@
+// checkperf is the perf-doc freshness gate, run by scripts/ci.sh as
+// `go run ./scripts/checkperf` from the repo root. It mirrors
+// scripts/checkmetrics for the performance surface:
+//
+//   - every benchmark function in a *_test.go file must appear backticked
+//     in docs/PERFORMANCE.md, and every `BenchmarkX` token in the doc must
+//     name a benchmark that still exists (renames cannot leave stale docs);
+//   - every BENCH_*.json snapshot at the repo root must be referenced in
+//     the doc and vice versa, and each must be valid JSON carrying a
+//     non-empty "schema" field, so the perf trajectory stays readable by
+//     tooling.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+const docPath = "docs/PERFORMANCE.md"
+
+var (
+	benchDecl  = regexp.MustCompile(`(?m)^func (Benchmark[A-Za-z0-9_]+)\(b \*testing\.B\)`)
+	benchToken = regexp.MustCompile("`(Benchmark[A-Za-z0-9_]+)`")
+	snapToken  = regexp.MustCompile("`(BENCH_[A-Za-z0-9_.-]+\\.json)`")
+)
+
+func main() {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkperf: %v (run from the repo root)\n", err)
+		os.Exit(1)
+	}
+	doc := string(raw)
+	fail := false
+
+	// Benchmark inventory: declared in test files across the repo.
+	declared := map[string]bool{}
+	err = filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range benchDecl.FindAllSubmatch(src, -1) {
+			declared[string(m[1])] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkperf: scanning benchmarks: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, name := range sorted(declared) {
+		if !strings.Contains(doc, "`"+name+"`") {
+			fmt.Fprintf(os.Stderr, "checkperf: benchmark %s exists but is missing from %s\n", name, docPath)
+			fail = true
+		}
+	}
+	documented := map[string]bool{}
+	for _, m := range benchToken.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]] = true
+	}
+	for _, name := range sorted(documented) {
+		if !declared[name] {
+			fmt.Fprintf(os.Stderr, "checkperf: %s documents %s, which no longer exists (stale or typo)\n", docPath, name)
+			fail = true
+		}
+	}
+
+	// Snapshot trajectory: BENCH_*.json files at the repo root.
+	snaps, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkperf: %v\n", err)
+		os.Exit(1)
+	}
+	onDisk := map[string]bool{}
+	for _, s := range snaps {
+		onDisk[s] = true
+		if !strings.Contains(doc, "`"+s+"`") {
+			fmt.Fprintf(os.Stderr, "checkperf: snapshot %s exists but is missing from %s\n", s, docPath)
+			fail = true
+		}
+		srcRaw, err := os.ReadFile(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkperf: %v\n", err)
+			fail = true
+			continue
+		}
+		var snap struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(srcRaw, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "checkperf: %s is not valid JSON: %v\n", s, err)
+			fail = true
+		} else if snap.Schema == "" {
+			fmt.Fprintf(os.Stderr, "checkperf: %s has no \"schema\" field\n", s)
+			fail = true
+		}
+	}
+	referenced := map[string]bool{}
+	for _, m := range snapToken.FindAllStringSubmatch(doc, -1) {
+		referenced[m[1]] = true
+	}
+	for _, s := range sorted(referenced) {
+		if !onDisk[s] {
+			fmt.Fprintf(os.Stderr, "checkperf: %s references %s, which is not at the repo root\n", docPath, s)
+			fail = true
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("checkperf: %d benchmarks and %d snapshots documented, %s in sync\n",
+		len(declared), len(snaps), docPath)
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -19,11 +19,17 @@ go vet ./...
 echo "== checkmetrics (docs/OBSERVABILITY.md vs obs catalog) =="
 go run ./scripts/checkmetrics
 
+echo "== checkperf (docs/PERFORMANCE.md vs benchmarks + BENCH_*.json) =="
+go run ./scripts/checkperf
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== bench bit-rot smoke: every benchmark compiles and runs once =="
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "== FT smoke: seeded chaos soak + checkpoint kill/resume (race) =="
 go test -race -count=1 -v \
