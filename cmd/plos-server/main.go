@@ -63,6 +63,8 @@ func main() {
 		"snapshot trainer state to this file after CCCP rounds; if the file exists, resume from it")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1,
 		"checkpoint after every N-th CCCP round (with -checkpoint)")
+	flag.StringVar(&o.flight, "flight", "",
+		"stream convergence flight records (JSONL) to this file and request device telemetry; analyze with plos-trace")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-server:", err)
@@ -83,6 +85,7 @@ type serverOptions struct {
 	resume                      bool
 	checkpoint                  string
 	checkpointEvery             int
+	flight                      string
 	// onListen, when non-nil, receives the bound address (tests).
 	onListen func(addr string)
 }
@@ -116,14 +119,28 @@ func run(o serverOptions) error {
 		opts = append(opts, plos.WithCheckpoint(o.checkpoint, o.checkpointEvery))
 	}
 	var ob *plos.Observer
-	if o.metricsAddr != "" {
-		ob = plos.NewObserver()
-		bound, stop, err := startMetrics(o.metricsAddr, ob)
-		if err != nil {
-			return err
+	if o.metricsAddr != "" || o.flight != "" {
+		var obOpts []plos.ObserverOption
+		if o.flight != "" {
+			f, err := os.Create(o.flight)
+			if err != nil {
+				return fmt.Errorf("flight recorder: %w", err)
+			}
+			defer f.Close()
+			obOpts = append(obOpts, plos.WithFlightRecorder(f))
+		} else if o.metricsAddr != "" {
+			// /debug/trace still shows a live record tail without a file.
+			obOpts = append(obOpts, plos.WithFlightRecorder(nil))
 		}
-		defer stop()
-		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		ob = plos.NewObserver(obOpts...)
+		if o.metricsAddr != "" {
+			bound, stop, err := startMetrics(o.metricsAddr, ob)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/, live trace on /debug/trace)\n", bound)
+		}
 		opts = append(opts, plos.WithObserver(ob))
 	}
 	res, err := plos.Serve(o.addr, o.devices,
@@ -152,6 +169,12 @@ func run(o serverOptions) error {
 		if res.Dropped[t] && res.DropCause[t] != nil {
 			fmt.Printf("         cause: %v\n", res.DropCause[t])
 		}
+	}
+	if o.flight != "" {
+		if err := ob.FlightErr(); err != nil {
+			return fmt.Errorf("flight recorder: %w", err)
+		}
+		fmt.Println("flight records written to", o.flight, "— analyze with: go run ./cmd/plos-trace", o.flight)
 	}
 	if o.save != "" {
 		f, err := os.Create(o.save)
@@ -187,6 +210,7 @@ func startMetrics(addr string, ob *plos.Observer) (string, func(), error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", ob.Handler())
+	mux.Handle("/debug/trace", ob.TraceHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,444 @@
+// plos-trace analyzes a convergence flight-recorder stream (the JSONL file
+// written by plos.WithFlightRecorder, plos-server -flight, or plos-bench):
+// it reconstructs the fleet trace the server merged from device telemetry
+// piggybacks and prints
+//
+//   - a per-ADMM-round timeline with straggler attribution (who the round
+//     waited for, on the server's round clock),
+//   - a per-device compute/comm/energy breakdown keyed to the internal/cost
+//     device model,
+//   - a convergence summary (CCCP objective trajectory, cut activity, drops)
+//     compact enough to diff across runs.
+//
+// Usage:
+//
+//	plos-trace [-top k] [-timeline n] run.flight.jsonl
+//	plos-server -flight run.flight.jsonl ... && plos-trace run.flight.jsonl
+//
+// With no file argument the stream is read from stdin. All durations are
+// device-reported wall times or server round-clock offsets — no cross-host
+// clock synchronization is assumed (see docs/OBSERVABILITY.md).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"plos/internal/cost"
+)
+
+func main() {
+	top := flag.Int("top", 3, "devices listed per round in the straggler attribution")
+	timeline := flag.Int("timeline", 40, "timeline rows printed per CCCP round (0 disables the section)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plos-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := analyze(in, os.Stdout, *top, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "plos-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// record is the union of every flight-record schema (see obs.RecordCatalog);
+// json decoding leaves absent fields zero.
+type record struct {
+	Rec        string  `json:"rec"`
+	Trainer    string  `json:"trainer"`
+	Users      int     `json:"users"`
+	Round      int     `json:"round"`
+	User       int     `json:"user"`
+	Objective  float64 `json:"objective"`
+	SignFlips  int     `json:"sign_flips"`
+	Violation  float64 `json:"violation"`
+	Added      int     `json:"added"`
+	WorkingSet int     `json:"working_set"`
+	Primal     float64 `json:"primal"`
+	Dual       float64 `json:"dual"`
+	DurNS      int64   `json:"dur_ns"`
+	ArriveNS   int64   `json:"arrive_ns"`
+	SolveNS    int64   `json:"solve_ns"`
+	QPIters    int64   `json:"qp_iters"`
+	Cuts       int64   `json:"cuts"`
+	WarmHits   int64   `json:"warm_hits"`
+	Msgs       int64   `json:"msgs"`
+	Bytes      int64   `json:"bytes"`
+	EnergyJ    float64 `json:"energy_j"`
+	Stale      int     `json:"stale"`
+	Cause      string  `json:"cause"`
+	Permanent  bool    `json:"permanent"`
+	Active     int     `json:"active"`
+	Need       int     `json:"need"`
+	Converged  bool    `json:"converged"`
+	Rounds     int     `json:"rounds"`
+}
+
+// admmRound is one timeline row: the consensus round plus the device events
+// that preceded it in the stream (fresh telemetry merges and stale reuses).
+type admmRound struct {
+	rec     record
+	devices []record // device-round, arrival order
+	stales  []record // stale-reuse
+}
+
+// cccpRound groups the timeline of one outer round.
+type cccpRound struct {
+	round  int
+	rounds []*admmRound
+	cuts   int // cut-round records inside this outer round
+	added  int
+	iter   *record // the closing cccp-iteration, when present
+}
+
+// deviceAgg is the per-device rollup across a run. Solve time and solver
+// counts are per-update in the telemetry and summed here; traffic and energy
+// are device-cumulative, so the last record wins.
+type deviceAgg struct {
+	user    int
+	updates int
+	solveNS int64
+	qpIters int64
+	cuts    int64
+	warm    int64
+	flips   int
+	msgs    int64
+	bytes   int64
+	energyJ float64
+	waitNS  int64 // straggler attribution: arrival offsets + stale round durations
+	stale   int
+}
+
+// run is one run-start..run-end slice of the stream.
+type run struct {
+	trainer string
+	users   int
+	cccp    []*cccpRound
+	devices map[int]*deviceAgg
+	drops   []record
+	quorums []record
+	end     *record
+
+	cur     *cccpRound
+	pending *admmRound
+}
+
+func newRun(trainer string, users int) *run {
+	return &run{trainer: trainer, users: users, devices: map[int]*deviceAgg{}}
+}
+
+func (r *run) device(u int) *deviceAgg {
+	d := r.devices[u]
+	if d == nil {
+		d = &deviceAgg{user: u}
+		r.devices[u] = d
+	}
+	return d
+}
+
+// cccpAt returns the current outer round, creating an implicit one for
+// streams that open mid-run (round -1 until a cccp-start arrives).
+func (r *run) cccpAt() *cccpRound {
+	if r.cur == nil {
+		r.cur = &cccpRound{round: -1}
+		r.cccp = append(r.cccp, r.cur)
+	}
+	return r.cur
+}
+
+func (r *run) pendingRound() *admmRound {
+	if r.pending == nil {
+		r.pending = &admmRound{}
+	}
+	return r.pending
+}
+
+func parse(in io.Reader) ([]*run, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var runs []*run
+	var cur *run
+	current := func() *run {
+		if cur == nil {
+			cur = newRun("unknown", 0)
+			runs = append(runs, cur)
+		}
+		return cur
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch rec.Rec {
+		case "run-start":
+			cur = newRun(rec.Trainer, rec.Users)
+			runs = append(runs, cur)
+		case "run-end":
+			r := current()
+			end := rec
+			r.end = &end
+			cur = nil
+		case "cccp-start":
+			r := current()
+			r.cur = &cccpRound{round: rec.Round}
+			r.cccp = append(r.cccp, r.cur)
+			r.pending = nil
+		case "cccp-iteration":
+			r := current()
+			c := r.cccpAt()
+			it := rec
+			c.iter = &it
+		case "cut-round":
+			r := current()
+			c := r.cccpAt()
+			c.cuts++
+			c.added += rec.Added
+		case "admm-round":
+			r := current()
+			ar := r.pendingRound()
+			ar.rec = rec
+			r.cccpAt().rounds = append(r.cccpAt().rounds, ar)
+			// Stale devices consumed the whole round on the server clock.
+			for _, s := range ar.stales {
+				r.device(s.User).waitNS += rec.DurNS
+			}
+			r.pending = nil
+		case "device-round":
+			r := current()
+			ar := r.pendingRound()
+			ar.devices = append(ar.devices, rec)
+			d := r.device(rec.User)
+			d.updates++
+			d.solveNS += rec.SolveNS
+			d.qpIters += rec.QPIters
+			d.cuts += rec.Cuts
+			d.warm += rec.WarmHits
+			if rec.SignFlips > 0 {
+				d.flips += rec.SignFlips
+			}
+			d.msgs = rec.Msgs
+			d.bytes = rec.Bytes
+			d.energyJ = rec.EnergyJ
+			d.waitNS += rec.ArriveNS
+		case "stale-reuse":
+			r := current()
+			ar := r.pendingRound()
+			ar.stales = append(ar.stales, rec)
+			d := r.device(rec.User)
+			d.stale++
+		case "device-drop":
+			current().drops = append(current().drops, rec)
+		case "quorum":
+			current().quorums = append(current().quorums, rec)
+		default:
+			// Unknown record types are skipped so old analyzers survive new
+			// recorders.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+func analyze(in io.Reader, w io.Writer, top, timeline int) error {
+	runs, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("no flight records in input")
+	}
+	for i, r := range runs {
+		if len(runs) > 1 {
+			fmt.Fprintf(w, "======== run %d ========\n", i)
+		}
+		printRun(w, r, top, timeline)
+	}
+	return nil
+}
+
+func printRun(w io.Writer, r *run, top, timeline int) {
+	fmt.Fprintf(w, "run: trainer=%s users=%d\n", r.trainer, r.users)
+
+	if timeline > 0 && hasRounds(r) {
+		fmt.Fprintf(w, "\n== timeline (per ADMM round; wait = reply arrival on the server round clock) ==\n")
+		for _, c := range r.cccp {
+			label := fmt.Sprintf("cccp %d", c.round)
+			if c.round < 0 {
+				label = "cccp ?"
+			}
+			fmt.Fprintf(w, "-- %s: %d ADMM rounds", label, len(c.rounds))
+			if c.iter != nil {
+				fmt.Fprintf(w, ", objective %.6g", c.iter.Objective)
+				if c.iter.SignFlips >= 0 {
+					fmt.Fprintf(w, ", %d sign flips", c.iter.SignFlips)
+				}
+			}
+			fmt.Fprintf(w, " --\n")
+			shown := 0
+			for _, ar := range c.rounds {
+				if shown >= timeline {
+					fmt.Fprintf(w, "  … %d more rounds\n", len(c.rounds)-shown)
+					break
+				}
+				shown++
+				printRound(w, ar, top)
+			}
+		}
+	}
+
+	if len(r.devices) > 0 {
+		fmt.Fprintf(w, "\n== device breakdown (cost model: %s) ==\n", costModelLabel())
+		fmt.Fprintf(w, "%6s %8s %10s %9s %7s %6s %6s %9s %9s %10s %10s %10s\n",
+			"device", "updates", "solve", "wait", "qp", "cuts", "warm", "msgs", "bytes", "commJ", "compJ", "reportedJ")
+		phone := cost.DefaultPhone()
+		for _, d := range sortedDevices(r) {
+			comm := phone.CommEnergyFromCounts(d.msgs, d.bytes)
+			comp := phone.ComputeEnergyJ(phone.DeviceTime(time.Duration(d.solveNS)))
+			stale := ""
+			if d.stale > 0 {
+				stale = fmt.Sprintf("  (%d stale rounds)", d.stale)
+			}
+			fmt.Fprintf(w, "%6d %8d %10s %9s %7d %6d %6d %9d %9d %10.4g %10.4g %10.4g%s\n",
+				d.user, d.updates, ms(d.solveNS), ms(d.waitNS), d.qpIters, d.cuts, d.warm,
+				d.msgs, d.bytes, comm, comp, d.energyJ, stale)
+		}
+		fmt.Fprintf(w, "\n== straggler attribution (total server wait, top %d) ==\n", top)
+		byWait := sortedDevices(r)
+		sort.SliceStable(byWait, func(i, j int) bool { return byWait[i].waitNS > byWait[j].waitNS })
+		for i, d := range byWait {
+			if i >= top {
+				break
+			}
+			fmt.Fprintf(w, "  #%d device %d: waited %s across %d updates, %d stale rounds\n",
+				i+1, d.user, ms(d.waitNS), d.updates, d.stale)
+		}
+	}
+
+	fmt.Fprintf(w, "\n== convergence summary ==\n")
+	admmTotal, stales := 0, 0
+	for _, c := range r.cccp {
+		admmTotal += len(c.rounds)
+		for _, ar := range c.rounds {
+			stales += len(ar.stales)
+		}
+	}
+	var objs []string
+	cuts, added := 0, 0
+	for _, c := range r.cccp {
+		if c.iter != nil {
+			objs = append(objs, fmt.Sprintf("%.6g", c.iter.Objective))
+		}
+		cuts += c.cuts
+		added += c.added
+	}
+	fmt.Fprintf(w, "cccp rounds: %d   admm rounds: %d   stale reuses: %d\n", len(r.cccp), admmTotal, stales)
+	if len(objs) > 0 {
+		fmt.Fprintf(w, "objective trajectory: %s\n", strings.Join(objs, " → "))
+	}
+	if cuts > 0 {
+		fmt.Fprintf(w, "cutting planes: %d rounds, %d constraints added\n", cuts, added)
+	}
+	if last := lastResiduals(r); last != nil {
+		fmt.Fprintf(w, "final residuals: primal %.3g dual %.3g\n", last.Primal, last.Dual)
+	}
+	for _, d := range r.drops {
+		kind := "transient"
+		if d.Permanent {
+			kind = "permanent"
+		}
+		fmt.Fprintf(w, "drop (%s): device %d: %s\n", kind, d.User, d.Cause)
+	}
+	for _, q := range r.quorums {
+		fmt.Fprintf(w, "quorum breach: %d active < %d required\n", q.Active, q.Need)
+	}
+	if r.end != nil {
+		fmt.Fprintf(w, "run end: converged=%v objective=%.6g rounds=%d\n",
+			r.end.Converged, r.end.Objective, r.end.Rounds)
+	} else {
+		fmt.Fprintf(w, "run end: missing (stream truncated or run aborted)\n")
+	}
+}
+
+func printRound(w io.Writer, ar *admmRound, top int) {
+	fmt.Fprintf(w, "  a%-3d %8s  primal %9.3g  dual %9.3g",
+		ar.rec.Round, ms(ar.rec.DurNS), ar.rec.Primal, ar.rec.Dual)
+	// Arrival entries sorted by offset, slowest first: the round's critical
+	// path is its slowest fresh reply (plus any stale timeout).
+	devs := append([]record(nil), ar.devices...)
+	sort.SliceStable(devs, func(i, j int) bool { return devs[i].ArriveNS > devs[j].ArriveNS })
+	if len(devs) > 0 {
+		fmt.Fprintf(w, "  wait:")
+		for i, d := range devs {
+			if i >= top {
+				fmt.Fprintf(w, " +%d", len(devs)-i)
+				break
+			}
+			fmt.Fprintf(w, " u%d %s", d.User, ms(d.ArriveNS))
+		}
+	}
+	for _, s := range ar.stales {
+		fmt.Fprintf(w, "  stale: u%d(%d)", s.User, s.Stale)
+	}
+	fmt.Fprintln(w)
+}
+
+func hasRounds(r *run) bool {
+	for _, c := range r.cccp {
+		if len(c.rounds) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedDevices(r *run) []*deviceAgg {
+	out := make([]*deviceAgg, 0, len(r.devices))
+	for _, d := range r.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].user < out[j].user })
+	return out
+}
+
+func lastResiduals(r *run) *record {
+	for i := len(r.cccp) - 1; i >= 0; i-- {
+		if n := len(r.cccp[i].rounds); n > 0 {
+			return &r.cccp[i].rounds[n-1].rec
+		}
+	}
+	return nil
+}
+
+func costModelLabel() string {
+	p := cost.DefaultPhone()
+	return fmt.Sprintf("%.0fx cpu slowdown, %gW compute", p.CPUSlowdown, p.ComputeWatts)
+}
+
+// ms renders nanoseconds as fixed-precision milliseconds — stable across
+// locales and magnitudes, so golden files diff cleanly.
+func ms(ns int64) string {
+	return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/obs"
+	"plos/internal/protocol"
+	"plos/internal/rng"
+	"plos/internal/transport"
+)
+
+// -update regenerates testdata/fixture.jsonl (from a fresh seeded 4-device
+// run) and testdata/golden.txt (the analyzer's output on that fixture). The
+// committed fixture pins every duration, so the golden compare itself is
+// fully deterministic.
+var update = flag.Bool("update", false, "regenerate testdata fixture and golden file")
+
+// synthUser mirrors the generator of the protocol tests: two Gaussian
+// classes rotated by theta, the first `labeled` samples keeping their label.
+func synthUser(g *rng.RNG, perClass, labeled int, theta float64) core.UserData {
+	rot := rng.Rotation2D(theta)
+	n := 2 * perClass
+	x := mat.NewMatrix(n, 2)
+	truth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		base := mat.Vector{cls*4 + g.Norm()*1.2, cls*4 + g.Norm()*1.2}
+		p := rot.MulVec(base)
+		x.Set(i, 0, p[0])
+		x.Set(i, 1, p[1])
+		truth[i] = cls
+	}
+	return core.UserData{X: x, Y: truth[:labeled]}
+}
+
+func genUsers(seed int64, n int) []core.UserData {
+	g := rng.New(seed)
+	users := make([]core.UserData, n)
+	for i := range users {
+		labeled := 10
+		if i%2 == 1 {
+			labeled = 0
+		}
+		users[i] = synthUser(g.SplitN("u", i), 10, labeled, float64(i)*0.1)
+	}
+	return users
+}
+
+// runFlight trains over in-process pipes with a flight recorder on the
+// server and returns the JSONL stream. Client errors are tolerated (a
+// straggler may never receive its done).
+func runFlight(t *testing.T, users []core.UserData, cfg protocol.ServerConfig,
+	wrapClient func(i int, c transport.Conn) transport.Conn) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var buf strings.Builder
+	reg.SetFlightRecorder(obs.NewFlightRecorder(&buf, 0))
+	cfg.Core.Obs = reg
+
+	n := len(users)
+	serverConns := make([]transport.Conn, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sc, cc := transport.Pipe()
+		if wrapClient != nil {
+			cc = wrapClient(i, cc)
+		}
+		serverConns[i] = sc
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			_, _ = protocol.RunClient(conn, users[i], protocol.ClientOptions{Seed: int64(i)})
+		}(i, cc)
+	}
+	_, err := protocol.RunServer(serverConns, cfg)
+	for _, c := range serverConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunServer: %v", err)
+	}
+	return buf.String()
+}
+
+func fixtureConfig() protocol.ServerConfig {
+	return protocol.ServerConfig{
+		Core: core.Config{Lambda: 50, Cl: 1, Cu: 0.2, MaxCCCPIter: 2, MaxCutIter: 8},
+		Dist: core.DistConfig{MaxADMMIter: 4},
+	}
+}
+
+// TestGoldenAnalyze pins the analyzer's full output on a committed fixture:
+// any formatting or attribution change must be reviewed via -update.
+func TestGoldenAnalyze(t *testing.T) {
+	fixture := filepath.Join("testdata", "fixture.jsonl")
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		stream := runFlight(t, genUsers(7, 4), fixtureConfig(), nil)
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixture, []byte(stream), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := analyze(strings.NewReader(stream), &out, 3, 40); err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	var out strings.Builder
+	if err := analyze(strings.NewReader(string(raw)), &out, 3, 40); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("analyzer output drifted from golden file (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), string(want))
+	}
+}
+
+// TestAnalyzeLiveRun drives a fresh 4-device run through the analyzer: the
+// sections must all appear and the numbers must be internally consistent,
+// without pinning timing-dependent values.
+func TestAnalyzeLiveRun(t *testing.T) {
+	stream := runFlight(t, genUsers(8, 4), fixtureConfig(), nil)
+	var out strings.Builder
+	if err := analyze(strings.NewReader(stream), &out, 3, 40); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"run: trainer=server users=4",
+		"== timeline",
+		"== device breakdown",
+		"== straggler attribution",
+		"== convergence summary",
+		"objective trajectory:",
+		"run end: converged=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("analyzer output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// lateChaos routes the first `after` operations straight to the plain
+// connection and everything later through the seeded chaos wrapper — the
+// device behaves until it has delivered one solution (so the server can
+// carry it stale), then its link degrades.
+type lateChaos struct {
+	plain, chaotic transport.Conn
+	mu             sync.Mutex
+	ops, after     int
+}
+
+func (c *lateChaos) pick() transport.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if c.ops > c.after {
+		return c.chaotic
+	}
+	return c.plain
+}
+
+func (c *lateChaos) Send(m transport.Message) error   { return c.pick().Send(m) }
+func (c *lateChaos) Recv() (transport.Message, error) { return c.pick().Recv() }
+func (c *lateChaos) Close() error                     { return c.plain.Close() }
+func (c *lateChaos) Stats() transport.Stats           { return c.plain.Stats() }
+
+// TestStragglerAttribution is the acceptance scenario of the fleet tracer:
+// in a seeded 8-device run where device 7's link injects real delays well
+// past the round deadline, the analyzer must attribute the most server wait
+// to device 7 and surface its stale-reuse rounds.
+func TestStragglerAttribution(t *testing.T) {
+	users := genUsers(9, 8)
+	cfg := fixtureConfig()
+	cfg.Core.MaxCCCPIter = 2
+	cfg.Dist.MaxADMMIter = 10
+	cfg.FT = protocol.FTConfig{
+		RoundTimeout: 4 * time.Millisecond,
+		MaxStale:     1 << 20, // the throttled device is never dropped
+	}
+	wrap := func(i int, c transport.Conn) transport.Conn {
+		if i != 7 {
+			return c
+		}
+		chaotic := transport.Chaos(c, transport.ChaosConfig{
+			Seed: 7, DelayProb: 1, MaxDelay: 25 * time.Millisecond,
+		}, nil)
+		// 5 clean ops: hello send/recv, start-round recv, params recv, and
+		// the first update send — one fresh solution before the throttle.
+		return &lateChaos{plain: c, chaotic: chaotic, after: 5}
+	}
+	stream := runFlight(t, users, cfg, wrap)
+	if !strings.Contains(stream, `"rec":"stale-reuse"`) ||
+		!strings.Contains(stream, `"user":7,"stale":`) {
+		t.Fatalf("no stale-reuse records for the throttled device:\n%s", stream)
+	}
+	var out strings.Builder
+	if err := analyze(strings.NewReader(stream), &out, 3, 40); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	got := out.String()
+	idx := strings.Index(got, "== straggler attribution")
+	if idx < 0 {
+		t.Fatalf("no straggler section:\n%s", got)
+	}
+	section := got[idx:]
+	first := strings.SplitN(section, "\n", 3)[1]
+	if !strings.Contains(first, "#1 device 7:") {
+		t.Errorf("straggler attribution does not rank device 7 first: %q\nfull output:\n%s", first, got)
+	}
+	if !strings.Contains(got, "stale rounds") {
+		t.Errorf("breakdown does not surface stale rounds:\n%s", got)
+	}
+}

@@ -230,4 +230,8 @@ func ObserveRound(r *obs.Registry, round int, start time.Time, res Residuals) {
 	r.Histogram(obs.MetricADMMRoundSeconds, "").Observe(time.Since(start).Seconds())
 	r.Span(obs.Span{Kind: obs.SpanADMMRound, Start: start, Dur: time.Since(start),
 		Round: round, User: -1, Primal: res.Primal, Dual: res.Dual})
+	if r.FlightEnabled() {
+		r.FlightRecord(obs.Record{Kind: obs.RecordADMMRound, Round: round,
+			Primal: res.Primal, Dual: res.Dual, Dur: time.Since(start)})
+	}
 }

@@ -83,19 +83,27 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 		if err != nil {
 			return nil, TrainInfo{}, fmt.Errorf("core: TrainAsync: user %d: %w", t, err)
 		}
+		wk.SetUser(t)
 		workers[t] = wk
 	}
 	w0 := initialW0(users, dim, cfg)
 
 	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
+	if cfg.Obs.FlightEnabled() {
+		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "async", Users: tCount})
+	}
 	info := TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
 		var start time.Time
 		if cfg.Obs != nil {
 			start = time.Now()
 		}
+		if cfg.Obs.FlightEnabled() {
+			cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordCCCPStart, Round: round})
+		}
+		flips := 0
 		for _, wk := range workers {
-			wk.RefreshSigns(w0)
+			flips += wk.RefreshSigns(w0)
 		}
 		z, obj, updates, res, err := asyncRound(workers, w0, cfg, acfg, dim)
 		info.ADMMIterations += updates
@@ -110,6 +118,10 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
 			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
 				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+			if r.FlightEnabled() {
+				r.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: round,
+					Objective: obj, SignFlips: flips, Dur: time.Since(start)})
+			}
 		}
 		return obj, nil
 	}, cfg.CCCPTol, cfg.MaxCCCPIter)
@@ -120,6 +132,10 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 	info.CCCPConverged = cccpInfo.Converged
 	info.Objective = cccpInfo.Objective
 	info.ObjectiveHistory = cccpInfo.History
+	if cfg.Obs.FlightEnabled() {
+		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunEnd, Converged: cccpInfo.Converged,
+			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
+	}
 
 	model := &Model{W0: w0, W: make([]mat.Vector, tCount)}
 	for t, wk := range workers {

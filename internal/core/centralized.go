@@ -66,13 +66,19 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 	}
 
 	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
+	if cfg.Obs.FlightEnabled() {
+		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "centralized", Users: tCount})
+	}
 	info := TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
 		var start time.Time
 		if cfg.Obs != nil {
 			start = time.Now()
 		}
-		state.refreshSigns()
+		if cfg.Obs.FlightEnabled() {
+			cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordCCCPStart, Round: round})
+		}
+		flips := state.refreshSigns()
 		if !cfg.WarmWorkingSets {
 			for t := range state.sets {
 				state.sets[t].Reset()
@@ -90,6 +96,10 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
 			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
 				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+			if r.FlightEnabled() {
+				r.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: round,
+					Objective: obj, SignFlips: flips, Dur: time.Since(start)})
+			}
 		}
 		return obj, nil
 	}, cfg.CCCPTol, cfg.MaxCCCPIter)
@@ -102,6 +112,10 @@ func TrainCentralized(users []UserData, cfg Config) (*Model, TrainInfo, error) {
 	info.CCCPConverged = cccpInfo.Converged
 	info.Objective = cccpInfo.Objective
 	info.ObjectiveHistory = cccpInfo.History
+	if cfg.Obs.FlightEnabled() {
+		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunEnd, Converged: cccpInfo.Converged,
+			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
+	}
 	for t := range state.sets {
 		info.Constraints += state.sets[t].Len()
 	}
@@ -207,8 +221,12 @@ func (s *centralState) syncGramCache() {
 // for labeled samples, sign(w_t·x) at the current iterate for unlabeled
 // ones (the first-order Taylor linearization of Eq. 10). Users are
 // independent given the current iterates, so the refresh fans out across
-// the worker pool; each goroutine writes only its own signs slot.
-func (s *centralState) refreshSigns() {
+// the worker pool; each goroutine writes only its own signs slot (and its
+// own flip-count slot, summed deterministically afterwards). Returns the
+// number of effective labels that flipped since the previous round (0 on
+// the first).
+func (s *centralState) refreshSigns() int {
+	flips := make([]int, len(s.users))
 	parallel.Do(s.cfg.Workers, len(s.users), func(t int) {
 		u := s.users[t]
 		m := u.NumSamples()
@@ -225,8 +243,20 @@ func (s *centralState) refreshSigns() {
 		if s.cfg.BalanceGuard && lt == 0 && m > 1 {
 			balanceSigns(u.X, eff, s.w[t])
 		}
+		if prev := s.signs[t]; prev != nil {
+			for i, e := range eff {
+				if e != prev[i] {
+					flips[t]++
+				}
+			}
+		}
 		s.signs[t] = eff
 	})
+	total := 0
+	for _, f := range flips {
+		total += f
+	}
+	return total
 }
 
 // balanceSigns prevents the all-one-side degenerate assignment for a
@@ -302,8 +332,9 @@ func (s *centralState) solveConvexified() (float64, int, int, error) {
 		// order afterwards, keeping insertion order (and therefore the QP
 		// and every downstream float) identical for any worker count.
 		type candidate struct {
-			c  optimize.Constraint
-			ok bool
+			c    optimize.Constraint
+			ok   bool
+			viol float64
 		}
 		cands := make([]candidate, len(s.users))
 		err := parallel.For(cfg.Workers, len(s.users), func(t int) error {
@@ -313,8 +344,8 @@ func (s *centralState) solveConvexified() (float64, int, int, error) {
 				return fmt.Errorf("core: user %d: %w", t, err)
 			}
 			xi := optimize.Slack(&s.sets[t], s.w[t])
-			if optimize.Violation(c, s.w[t], xi) > cfg.Epsilon {
-				cands[t] = candidate{c: c, ok: true}
+			if viol := optimize.Violation(c, s.w[t], xi); viol > cfg.Epsilon {
+				cands[t] = candidate{c: c, ok: true, viol: viol}
 			}
 			return nil
 		})
@@ -333,6 +364,17 @@ func (s *centralState) solveConvexified() (float64, int, int, error) {
 			r.Span(obs.Span{Kind: obs.SpanCutRound, Start: roundStart,
 				Dur: time.Since(roundStart), Round: round, User: -1,
 				Value: float64(added)})
+			if r.FlightEnabled() {
+				maxViol := 0.0
+				for t := range cands {
+					if cands[t].viol > maxViol {
+						maxViol = cands[t].viol
+					}
+				}
+				r.FlightRecord(obs.Record{Kind: obs.RecordCutRound, Round: round,
+					User: -1, Violation: maxViol, Added: added,
+					WorkingSet: s.totalConstraints()})
+			}
 		}
 		if added == 0 {
 			break
@@ -363,6 +405,10 @@ func (s *centralState) solveRestrictedQP() (int, error) {
 	if s.cfg.RebuildGram {
 		s.gram.Reset()
 	}
+	var gramStart time.Time
+	if s.cfg.Obs != nil {
+		gramStart = time.Now()
+	}
 	// Column-parallel growth: each new column is owned by one goroutine,
 	// so goroutines write disjoint cells and the matrix is bit-identical
 	// for any worker count.
@@ -375,6 +421,10 @@ func (s *centralState) solveRestrictedQP() (int, error) {
 		}
 		return v
 	})
+	if r := s.cfg.Obs; r != nil {
+		r.Span(obs.Span{Kind: obs.SpanGramBuild, Start: gramStart,
+			Dur: time.Since(gramStart), Round: -1, User: -1, Value: float64(n)})
+	}
 	prob := &qp.Problem{G: g, C: s.cvec, Groups: qp.GroupSpec{Groups: s.groups, Budgets: s.budgets}}
 	// Warm start: the previous duals are a prefix of the current flat
 	// order; extend with zeros for the constraints added since.

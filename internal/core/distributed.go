@@ -50,6 +50,9 @@ type Worker struct {
 	data       UserData
 	cfg        Config
 	totalUsers int
+	// user is the device's population index for trace attribution (-1 until
+	// SetUser; never read by the solver math).
+	user int
 
 	set     optimize.WorkingSet
 	signs   []float64
@@ -58,6 +61,11 @@ type Worker struct {
 	// cutRounds accumulates local cutting-plane rounds across Solve calls
 	// (folded into TrainInfo.CutRounds by the trainers).
 	cutRounds int
+	// stats accumulates the most recent Solve's solver counts; pendingFlips
+	// holds the last RefreshSigns flip count until TakeSolveStats consumes
+	// it. Both feed the telemetry piggyback and never touch the math.
+	stats        SolveStats
+	pendingFlips int
 
 	// Incremental local-dual cache (DESIGN.md §11): the working set only
 	// appends between resets, so the Gram A·Aᵀ/ρ̃ and its Gershgorin bound
@@ -99,17 +107,45 @@ func NewWorker(data UserData, totalUsers int, cfg Config) (*Worker, error) {
 		data:       data,
 		cfg:        cfg,
 		totalUsers: totalUsers,
+		user:       -1,
 		weights:    weights,
 		w:          mat.NewVector(data.X.Cols),
 		v:          mat.NewVector(data.X.Cols),
 	}, nil
 }
 
+// SetUser records the device's population index for trace attribution
+// (cut-round flight records and Gram spans). Purely observational.
+func (wk *Worker) SetUser(t int) { wk.user = t }
+
+// SolveStats are the solver-side counts of the most recent Solve call plus
+// the effective-label flips of the most recent RefreshSigns — the
+// device-local half of the telemetry piggyback.
+type SolveStats struct {
+	QPIters  int64
+	Cuts     int64
+	WarmHits int64
+	// SignFlips is consumed on read: reported once per CCCP round.
+	SignFlips int
+}
+
+// TakeSolveStats returns the most recent Solve's stats and consumes the
+// pending sign-flip count (so flips are reported exactly once per refresh).
+func (wk *Worker) TakeSolveStats() SolveStats {
+	s := wk.stats
+	s.SignFlips = wk.pendingFlips
+	wk.pendingFlips = 0
+	return s
+}
+
 // RefreshSigns starts a CCCP round on the device: effective labels of
 // unlabeled samples are frozen at sign(w_t·x) of the current personalized
 // hyperplane (initialized from w0 on the first round). It resets the
-// working set unless the configuration keeps warm sets.
-func (wk *Worker) RefreshSigns(w0 mat.Vector) {
+// working set unless the configuration keeps warm sets. The return value is
+// the number of effective labels that flipped relative to the previous
+// round (0 on the first refresh) — the device-local convergence signal of
+// the CCCP linearization; callers free to ignore it.
+func (wk *Worker) RefreshSigns(w0 mat.Vector) int {
 	ref := wk.w
 	if ref.Norm2() == 0 {
 		ref = w0
@@ -128,11 +164,21 @@ func (wk *Worker) RefreshSigns(w0 mat.Vector) {
 	if wk.cfg.BalanceGuard && lt == 0 && m > 1 {
 		balanceSigns(wk.data.X, eff, ref)
 	}
+	flips := 0
+	if wk.signs != nil {
+		for i, s := range eff {
+			if s != wk.signs[i] {
+				flips++
+			}
+		}
+	}
 	wk.signs = eff
+	wk.pendingFlips = flips
 	if !wk.cfg.WarmWorkingSets {
 		wk.set.Reset()
 		wk.alpha = nil
 	}
+	return flips
 }
 
 // Ready reports whether the worker has CCCP-frozen effective labels — i.e.
@@ -156,10 +202,12 @@ func (wk *Worker) Solve(w0, u mat.Vector, rho float64) (mat.Vector, mat.Vector, 
 	a := 2 * wk.cfg.Lambda / float64(wk.totalUsers)
 	rhoEff := a * rho / (a + rho)
 	b := mat.SubVec(w0, u)
+	wk.stats = SolveStats{}
 
 	var w mat.Vector
 	for round := 0; round < wk.cfg.MaxCutIter; round++ {
 		wk.cutRounds++
+		wk.stats.Cuts++
 		wk.cfg.Obs.Counter(obs.MetricCutRounds, "").Inc()
 		var p mat.Vector
 		if wk.set.Len() > 0 {
@@ -177,7 +225,17 @@ func (wk *Worker) Solve(w0, u mat.Vector, rho float64) (mat.Vector, mat.Vector, 
 			return nil, nil, 0, err
 		}
 		xi := optimize.Slack(&wk.set, w)
-		if optimize.Violation(c, w, xi) <= wk.cfg.Epsilon || !wk.set.Add(c) {
+		viol := optimize.Violation(c, w, xi)
+		added := viol > wk.cfg.Epsilon && wk.set.Add(c)
+		if wk.cfg.Obs.FlightEnabled() {
+			addedN := 0
+			if added {
+				addedN = 1
+			}
+			wk.cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordCutRound, Round: round,
+				User: wk.user, Violation: viol, Added: addedN, WorkingSet: wk.set.Len()})
+		}
+		if !added {
 			break
 		}
 		wk.cfg.Obs.Counter(obs.MetricConstraintsAdded, "").Inc()
@@ -212,11 +270,22 @@ func (wk *Worker) solveLocalDual(b mat.Vector, rhoEff float64) (mat.Vector, erro
 	if wk.cfg.RebuildGram {
 		wk.gram.Reset()
 	}
+	if len(wk.alpha) > 0 {
+		wk.stats.WarmHits++
+	}
+	var gramStart time.Time
+	if wk.cfg.Obs != nil {
+		gramStart = time.Now()
+	}
 	// Sequential cell fill (workers=1): device-local solves already fan
 	// out across users, so nested parallelism would only thrash.
 	g := wk.gram.Grow(n, 1, func(i, j int) float64 {
 		return cons[i].A.Dot(cons[j].A) / rhoEff
 	})
+	if r := wk.cfg.Obs; r != nil {
+		r.Span(obs.Span{Kind: obs.SpanGramBuild, Start: gramStart,
+			Dur: time.Since(gramStart), Round: -1, User: wk.user, Value: float64(n)})
+	}
 	wk.cvec = wk.cvec[:0]
 	for i := 0; i < n; i++ {
 		wk.cvec = append(wk.cvec, cons[i].C-b.Dot(cons[i].A))
@@ -231,11 +300,12 @@ func (wk *Worker) solveLocalDual(b mat.Vector, rhoEff float64) (mat.Vector, erro
 	for len(wk.warm) < n {
 		wk.warm = append(wk.warm, 0) // constraints added since last solve
 	}
-	alpha, _, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10,
+	alpha, qinfo, err := qp.Solve(prob, qp.Options{MaxIter: wk.cfg.QPMaxIter, Tol: 1e-10,
 		X0: wk.warm, LipschitzBound: wk.gram.Bound(), Scratch: &wk.scratch, Obs: wk.cfg.Obs})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return nil, fmt.Errorf("core: local dual QP: %w", err)
 	}
+	wk.stats.QPIters += int64(qinfo.Iterations)
 	wk.alpha = alpha
 	p := mat.NewVector(len(b))
 	for k, c := range cons {
@@ -275,19 +345,27 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 		if err != nil {
 			return nil, TrainInfo{}, fmt.Errorf("core: TrainDistributed: user %d: %w", t, err)
 		}
+		wk.SetUser(t)
 		workers[t] = wk
 	}
 	w0 := initialW0(users, dim, cfg)
 
 	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
+	if cfg.Obs.FlightEnabled() {
+		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "distributed", Users: tCount})
+	}
 	info := TrainInfo{}
 	cccpInfo, err := optimize.CCCP(func(round int) (float64, error) {
 		var start time.Time
 		if cfg.Obs != nil {
 			start = time.Now()
 		}
+		if cfg.Obs.FlightEnabled() {
+			cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordCCCPStart, Round: round})
+		}
+		flips := 0
 		for _, wk := range workers {
-			wk.RefreshSigns(w0)
+			flips += wk.RefreshSigns(w0)
 		}
 		vs := make([]mat.Vector, tCount)
 		update := func(t int, z, u mat.Vector) (mat.Vector, error) {
@@ -322,6 +400,10 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
 			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
 				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+			if r.FlightEnabled() {
+				r.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: round,
+					Objective: obj, SignFlips: flips, Dur: time.Since(start)})
+			}
 		}
 		return obj, nil
 	}, cfg.CCCPTol, cfg.MaxCCCPIter)
@@ -332,6 +414,10 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 	info.CCCPConverged = cccpInfo.Converged
 	info.Objective = cccpInfo.Objective
 	info.ObjectiveHistory = cccpInfo.History
+	if cfg.Obs.FlightEnabled() {
+		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunEnd, Converged: cccpInfo.Converged,
+			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
+	}
 
 	model := &Model{W0: w0, W: make([]mat.Vector, tCount)}
 	for t, wk := range workers {

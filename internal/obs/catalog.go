@@ -60,7 +60,10 @@ const (
 	MetricProtocolReconnects     = "protocol_reconnects_total"
 	MetricProtocolStaleReuses    = "protocol_stale_reuses_total"
 	MetricProtocolDroppedDevices = "protocol_devices_dropped_total"
+	MetricProtocolDeviceDrops    = "protocol_device_drops_total"
 	MetricCheckpointsWritten     = "checkpoints_written_total"
+
+	MetricSpansDropped = "obs_spans_dropped_total"
 
 	MetricParallelBatches           = "parallel_batches_total"
 	MetricParallelTasks             = "parallel_tasks_total"
@@ -115,7 +118,10 @@ var Catalog = []MetricDef{
 	{MetricProtocolReconnects, KindCounter, "1", "Devices re-attached to their server slot after a session-resume handshake."},
 	{MetricProtocolStaleReuses, KindCounter, "1", "ADMM rounds that reused a straggler's previous local solution."},
 	{MetricProtocolDroppedDevices, KindCounter, "1", "Devices permanently dropped from a training run."},
+	{MetricProtocolDeviceDrops, KindCounter, "1", "Device drop-cause events recorded (first fatal failure per connection; includes devices that later recovered via session resume)."},
 	{MetricCheckpointsWritten, KindCounter, "1", "Server trainer-state checkpoints written to disk."},
+
+	{MetricSpansDropped, KindCounter, "1", "Phase-trace spans overwritten because the bounded span ring wrapped (size the ring with plos.WithTraceCapacity)."},
 
 	{MetricParallelBatches, KindCounter, "1", "Worker-pool batches (For/Do/Map calls) started."},
 	{MetricParallelTasks, KindCounter, "1", "Task indexes submitted to the worker pool."},

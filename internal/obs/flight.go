@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// The convergence flight recorder is the replayable, append-only companion
+// of the metric registry: while counters aggregate and the span ring
+// forgets, the recorder streams one typed JSON record per solver event to a
+// writer (and keeps a bounded in-memory tail for live snapshots), so a
+// finished run leaves a full CCCP/cut/ADMM trajectory that cmd/plos-trace
+// can attribute and diff. Recording is strictly passive and shares the
+// registry's nil-safety contract: with no recorder attached, FlightRecord
+// is one atomic pointer load.
+
+// RecordKind enumerates the typed flight-recorder records.
+type RecordKind uint8
+
+const (
+	// RecordRunStart opens a training run (trainer name, user count).
+	RecordRunStart RecordKind = iota + 1
+	// RecordCCCPStart marks the beginning of one outer CCCP round.
+	RecordCCCPStart
+	// RecordCCCPIteration closes one CCCP round: objective and the number
+	// of effective-label sign flips of its linearization refresh.
+	RecordCCCPIteration
+	// RecordCutRound is one cutting-plane round: the worst constraint
+	// violation, constraints added, and the working-set size after.
+	RecordCutRound
+	// RecordADMMRound is one consensus ADMM round (or async barrier):
+	// Eq. (24) primal/dual residuals and wall duration.
+	RecordADMMRound
+	// RecordDeviceRound is the server-side merge of one device's telemetry
+	// piggyback: reply arrival relative to the round start (server clock),
+	// device-reported solve duration, solver counts, cumulative traffic and
+	// cost-model energy. Device times are durations only — no cross-host
+	// clock sync.
+	RecordDeviceRound
+	// RecordStaleReuse marks an ADMM round that reused a straggler's
+	// previous local solution.
+	RecordStaleReuse
+	// RecordDeviceDrop surfaces a ServeResult.DropCause event: the first
+	// fatal failure on a device's connection, and the permanent removal.
+	RecordDeviceDrop
+	// RecordQuorum marks the active device count crossing the abort
+	// threshold.
+	RecordQuorum
+	// RecordRunEnd closes a training run.
+	RecordRunEnd
+)
+
+// String returns the stable record-type name used in the JSONL stream.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordRunStart:
+		return "run-start"
+	case RecordCCCPStart:
+		return "cccp-start"
+	case RecordCCCPIteration:
+		return "cccp-iteration"
+	case RecordCutRound:
+		return "cut-round"
+	case RecordADMMRound:
+		return "admm-round"
+	case RecordDeviceRound:
+		return "device-round"
+	case RecordStaleReuse:
+		return "stale-reuse"
+	case RecordDeviceDrop:
+		return "device-drop"
+	case RecordQuorum:
+		return "quorum"
+	case RecordRunEnd:
+		return "run-end"
+	default:
+		return "record-unknown"
+	}
+}
+
+// Record is one flight-recorder event. Only the fields relevant to Kind are
+// meaningful; the JSONL schema per kind is fixed (see RecordCatalog and
+// docs/OBSERVABILITY.md).
+type Record struct {
+	Kind    RecordKind
+	Trainer string // run-start: "centralized", "distributed", "async", "server"
+	Users   int    // run-start: population size T
+	// Round is the CCCP round (cccp-*), the cut-round index (cut-round),
+	// or the ADMM iteration (admm-round, device-round, stale-reuse).
+	Round int
+	// User is the device index, or -1 for events not scoped to one device.
+	User       int
+	Objective  float64
+	SignFlips  int // -1 when unknown (the wire server cannot see device signs)
+	Violation  float64
+	Added      int
+	WorkingSet int
+	Primal     float64
+	Dual       float64
+	Dur        time.Duration
+	// Arrive is the device reply's arrival relative to the ADMM round start
+	// on the server clock; Solve is the device-reported solve wall time.
+	Arrive    time.Duration
+	Solve     time.Duration
+	QPIters   int64
+	Cuts      int64
+	WarmHits  int64
+	Msgs      int64
+	Bytes     int64
+	EnergyJ   float64
+	Stale     int
+	Cause     string
+	Permanent bool
+	Active    int
+	Need      int
+	Converged bool
+}
+
+// RecordDef describes one record type for the docs-freshness gate
+// (scripts/checkmetrics two-way gates the docs table against this catalog,
+// exactly like the metric catalog).
+type RecordDef struct {
+	Name string
+	Help string
+	// Fields are the JSON keys the record carries besides "rec".
+	Fields []string
+}
+
+// RecordCatalog is the complete flight-recorder schema.
+var RecordCatalog = []RecordDef{
+	{"run-start", "A trainer began a run.", []string{"trainer", "users"}},
+	{"cccp-start", "An outer CCCP round began.", []string{"round"}},
+	{"cccp-iteration", "An outer CCCP round completed.", []string{"round", "objective", "sign_flips", "dur_ns"}},
+	{"cut-round", "One cutting-plane round.", []string{"round", "user", "violation", "added", "working_set"}},
+	{"admm-round", "One consensus ADMM round (or async barrier).", []string{"round", "primal", "dual", "dur_ns"}},
+	{"device-round", "Server-side merge of one device's telemetry piggyback.", []string{"round", "user", "arrive_ns", "solve_ns", "qp_iters", "cuts", "warm_hits", "sign_flips", "msgs", "bytes", "energy_j"}},
+	{"stale-reuse", "A round reused a straggler's previous solution.", []string{"round", "user", "stale"}},
+	{"device-drop", "A device drop-cause event (transient or permanent).", []string{"user", "cause", "permanent"}},
+	{"quorum", "Active devices crossed the abort threshold.", []string{"active", "need"}},
+	{"run-end", "A training run finished.", []string{"converged", "objective", "rounds"}},
+}
+
+// marshal renders the record's fixed per-kind JSON line (without the
+// trailing newline). encoding/json keeps struct field order, so the stream
+// is deterministic given deterministic field values.
+func (rec Record) marshal() ([]byte, error) {
+	switch rec.Kind {
+	case RecordRunStart:
+		return json.Marshal(struct {
+			Rec     string `json:"rec"`
+			Trainer string `json:"trainer"`
+			Users   int    `json:"users"`
+		}{rec.Kind.String(), rec.Trainer, rec.Users})
+	case RecordCCCPStart:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Round int    `json:"round"`
+		}{rec.Kind.String(), rec.Round})
+	case RecordCCCPIteration:
+		return json.Marshal(struct {
+			Rec       string  `json:"rec"`
+			Round     int     `json:"round"`
+			Objective float64 `json:"objective"`
+			SignFlips int     `json:"sign_flips"`
+			DurNS     int64   `json:"dur_ns"`
+		}{rec.Kind.String(), rec.Round, rec.Objective, rec.SignFlips, rec.Dur.Nanoseconds()})
+	case RecordCutRound:
+		return json.Marshal(struct {
+			Rec        string  `json:"rec"`
+			Round      int     `json:"round"`
+			User       int     `json:"user"`
+			Violation  float64 `json:"violation"`
+			Added      int     `json:"added"`
+			WorkingSet int     `json:"working_set"`
+		}{rec.Kind.String(), rec.Round, rec.User, rec.Violation, rec.Added, rec.WorkingSet})
+	case RecordADMMRound:
+		return json.Marshal(struct {
+			Rec    string  `json:"rec"`
+			Round  int     `json:"round"`
+			Primal float64 `json:"primal"`
+			Dual   float64 `json:"dual"`
+			DurNS  int64   `json:"dur_ns"`
+		}{rec.Kind.String(), rec.Round, rec.Primal, rec.Dual, rec.Dur.Nanoseconds()})
+	case RecordDeviceRound:
+		return json.Marshal(struct {
+			Rec       string  `json:"rec"`
+			Round     int     `json:"round"`
+			User      int     `json:"user"`
+			ArriveNS  int64   `json:"arrive_ns"`
+			SolveNS   int64   `json:"solve_ns"`
+			QPIters   int64   `json:"qp_iters"`
+			Cuts      int64   `json:"cuts"`
+			WarmHits  int64   `json:"warm_hits"`
+			SignFlips int     `json:"sign_flips"`
+			Msgs      int64   `json:"msgs"`
+			Bytes     int64   `json:"bytes"`
+			EnergyJ   float64 `json:"energy_j"`
+		}{rec.Kind.String(), rec.Round, rec.User, rec.Arrive.Nanoseconds(), rec.Solve.Nanoseconds(),
+			rec.QPIters, rec.Cuts, rec.WarmHits, rec.SignFlips, rec.Msgs, rec.Bytes, rec.EnergyJ})
+	case RecordStaleReuse:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Round int    `json:"round"`
+			User  int    `json:"user"`
+			Stale int    `json:"stale"`
+		}{rec.Kind.String(), rec.Round, rec.User, rec.Stale})
+	case RecordDeviceDrop:
+		return json.Marshal(struct {
+			Rec       string `json:"rec"`
+			User      int    `json:"user"`
+			Cause     string `json:"cause"`
+			Permanent bool   `json:"permanent"`
+		}{rec.Kind.String(), rec.User, rec.Cause, rec.Permanent})
+	case RecordQuorum:
+		return json.Marshal(struct {
+			Rec    string `json:"rec"`
+			Active int    `json:"active"`
+			Need   int    `json:"need"`
+		}{rec.Kind.String(), rec.Active, rec.Need})
+	case RecordRunEnd:
+		return json.Marshal(struct {
+			Rec       string  `json:"rec"`
+			Converged bool    `json:"converged"`
+			Objective float64 `json:"objective"`
+			Rounds    int     `json:"rounds"`
+		}{rec.Kind.String(), rec.Converged, rec.Objective, rec.Round})
+	default:
+		return json.Marshal(struct {
+			Rec string `json:"rec"`
+		}{rec.Kind.String()})
+	}
+}
+
+// DefaultFlightTail bounds the in-memory tail a FlightRecorder retains for
+// live snapshots (the /debug/trace surface).
+const DefaultFlightTail = 256
+
+// FlightRecorder streams flight records as JSONL to w (which may be nil for
+// a tail-only recorder) and retains the most recent DefaultFlightTail
+// encoded lines in memory. Safe for concurrent use; the first write error
+// is latched and stops further writes to w (the tail keeps filling).
+type FlightRecorder struct {
+	mu    sync.Mutex
+	w     io.Writer
+	tail  [][]byte
+	next  int
+	total int64
+	err   error
+}
+
+// NewFlightRecorder creates a recorder streaming to w. A nil w keeps only
+// the in-memory tail. tailCap <= 0 uses DefaultFlightTail.
+func NewFlightRecorder(w io.Writer, tailCap int) *FlightRecorder {
+	if tailCap <= 0 {
+		tailCap = DefaultFlightTail
+	}
+	return &FlightRecorder{w: w, tail: make([][]byte, 0, tailCap)}
+}
+
+// Record appends one record to the stream and the tail (no-op on nil).
+func (fr *FlightRecorder) Record(rec Record) {
+	if fr == nil {
+		return
+	}
+	line, err := rec.marshal()
+	if err != nil {
+		return // a non-marshalable record is a programming error; drop it
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.total++
+	if len(fr.tail) < cap(fr.tail) {
+		fr.tail = append(fr.tail, line)
+	} else {
+		fr.tail[fr.next] = line
+	}
+	fr.next = (fr.next + 1) % cap(fr.tail)
+	if fr.w != nil && fr.err == nil {
+		if _, err := fr.w.Write(append(line, '\n')); err != nil {
+			fr.err = err
+		}
+	}
+}
+
+// Tail returns the retained encoded lines, oldest first.
+func (fr *FlightRecorder) Tail() []string {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]string, 0, len(fr.tail))
+	if len(fr.tail) == cap(fr.tail) {
+		for _, l := range fr.tail[fr.next:] {
+			out = append(out, string(l))
+		}
+		for _, l := range fr.tail[:fr.next] {
+			out = append(out, string(l))
+		}
+	} else {
+		for _, l := range fr.tail {
+			out = append(out, string(l))
+		}
+	}
+	return out
+}
+
+// Recorded returns the count of records ever recorded.
+func (fr *FlightRecorder) Recorded() int64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// Err returns the first write error, if any.
+func (fr *FlightRecorder) Err() error {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.err
+}
+
+// SetFlightRecorder attaches fr to the registry; every FlightRecord call
+// lands there. Passing nil detaches. No-op on a nil registry.
+func (r *Registry) SetFlightRecorder(fr *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight.Store(&flightSlot{fr: fr})
+}
+
+// Flight returns the attached recorder (nil when none, or on a nil
+// registry).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	if slot := r.flight.Load(); slot != nil {
+		return slot.fr
+	}
+	return nil
+}
+
+// FlightEnabled reports whether flight records are being collected. Hot
+// paths use it to skip building Record values entirely.
+func (r *Registry) FlightEnabled() bool { return r.Flight() != nil }
+
+// FlightRecord appends one record to the attached recorder (no-op when none
+// is attached or on a nil registry).
+func (r *Registry) FlightRecord(rec Record) { r.Flight().Record(rec) }
+
+// flightSlot wraps the recorder pointer so detaching (storing nil) is
+// expressible with atomic.Pointer.
+type flightSlot struct{ fr *FlightRecorder }

@@ -99,7 +99,8 @@ type Registry struct {
 	hists    map[string]*Histogram
 	help     map[string]string
 
-	trace *Trace
+	trace  *Trace
+	flight atomic.Pointer[flightSlot]
 }
 
 // DefaultTraceCapacity bounds the span ring of a fresh registry.
@@ -108,14 +109,20 @@ const DefaultTraceCapacity = 4096
 // NewRegistry creates a registry with every Catalog metric pre-registered
 // (so an export surface always shows the full metric set, zeros included)
 // and a span ring of DefaultTraceCapacity.
-func NewRegistry() *Registry {
+func NewRegistry() *Registry { return NewRegistrySized(DefaultTraceCapacity) }
+
+// NewRegistrySized is NewRegistry with an explicit span-ring capacity
+// (values <= 0 fall back to DefaultTraceCapacity). Long Fig. 5-scale runs
+// outgrow the default ring; size it up front rather than losing the head of
+// the trace.
+func NewRegistrySized(traceCapacity int) *Registry {
 	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		funcs:    make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
 		help:     make(map[string]string),
-		trace:    newTrace(DefaultTraceCapacity),
+		trace:    newTrace(traceCapacity),
 	}
 	for _, d := range Catalog {
 		switch d.Kind {
@@ -130,6 +137,7 @@ func NewRegistry() *Registry {
 			// model); they appear once someone registers them.
 		}
 	}
+	r.trace.dropped = r.Counter(MetricSpansDropped, "")
 	return r
 }
 

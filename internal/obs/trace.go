@@ -28,6 +28,9 @@ const (
 	// carries the on-the-wire size.
 	SpanWireSend
 	SpanWireRecv
+	// SpanGramBuild is one incremental Gram-cache sync before a restricted
+	// QP solve; Value carries the working-set size synced to.
+	SpanGramBuild
 )
 
 // String implements fmt.Stringer; the names are stable and appear in the
@@ -46,6 +49,8 @@ func (k SpanKind) String() string {
 		return "wire-send"
 	case SpanWireRecv:
 		return "wire-recv"
+	case SpanGramBuild:
+		return "gram-build"
 	default:
 		return fmt.Sprintf("span(%d)", uint8(k))
 	}
@@ -93,6 +98,9 @@ type Trace struct {
 	ring  []Span
 	next  int   // next write position
 	total int64 // spans ever recorded
+	// dropped counts spans overwritten by a full ring wrapping
+	// (obs_spans_dropped_total); wired by the registry at construction.
+	dropped *Counter
 }
 
 func newTrace(capacity int) *Trace {
@@ -108,6 +116,7 @@ func (t *Trace) record(s Span) {
 		t.ring = append(t.ring, s)
 	} else {
 		t.ring[t.next] = s
+		t.dropped.Inc()
 	}
 	t.next = (t.next + 1) % cap(t.ring)
 	t.total++

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"plos/internal/core"
+	"plos/internal/cost"
 	"plos/internal/mat"
+	"plos/internal/obs"
 	"plos/internal/rng"
 	"plos/internal/transport"
 )
@@ -45,6 +47,9 @@ type ClientOptions struct {
 	RedialDelay time.Duration
 	// Sleep replaces time.Sleep between redials (tests).
 	Sleep func(time.Duration)
+	// Obs receives the device's local observations (QP/Gram spans, solver
+	// metrics). Nil disables, as everywhere.
+	Obs *obs.Registry
 }
 
 // connError marks failures of the connection itself — the only class of
@@ -78,6 +83,11 @@ type clientState struct {
 	// preserved.
 	frozenEpoch int
 	traffic     transport.Stats
+	// telemetry mirrors the server hello's WireConfig.Telemetry: when set,
+	// every update piggybacks a WireTelemetry block. solveTotal accumulates
+	// local solve wall time across the run (the compute-energy input).
+	telemetry  bool
+	solveTotal time.Duration
 }
 
 func newClientState(data core.UserData, opts ClientOptions) (*clientState, error) {
@@ -140,9 +150,11 @@ func (st *clientState) run(conn transport.Conn) (res *ClientResult, err error) {
 			st.opts.OnSession(st.session)
 		}
 	}
+	st.telemetry = reply.Config.Telemetry
 	if st.worker == nil {
 		cfg := coreConfig(reply.Config)
 		cfg.Seed = st.opts.Seed
+		cfg.Obs = st.opts.Obs
 		st.rho = reply.Config.Rho
 		worker, err := core.NewWorker(st.data, reply.Users, cfg)
 		if err != nil {
@@ -167,6 +179,10 @@ func (st *clientState) run(conn transport.Conn) (res *ClientResult, err error) {
 				st.frozenEpoch = msg.Round
 			}
 		case transport.MsgParams:
+			var solveStart time.Time
+			if st.telemetry {
+				solveStart = time.Now()
+			}
 			w, v, xi, err := st.worker.Solve(mat.Vector(msg.W0), mat.Vector(msg.U), st.rho)
 			if err != nil {
 				_ = conn.Send(transport.Message{Type: transport.MsgError, Reason: err.Error()})
@@ -174,6 +190,9 @@ func (st *clientState) run(conn transport.Conn) (res *ClientResult, err error) {
 			}
 			update := transport.Message{Type: transport.MsgUpdate, Round: msg.Round,
 				W: w, V: v, Xi: xi}
+			if st.telemetry {
+				update.Telemetry = st.buildTelemetry(time.Since(solveStart), conn)
+			}
 			if err := conn.Send(update); err != nil {
 				return nil, connFail("protocol: RunClient update: %w", err)
 			}
@@ -188,6 +207,31 @@ func (st *clientState) run(conn transport.Conn) (res *ClientResult, err error) {
 		default:
 			return nil, fmt.Errorf("%w: %v", ErrUnexpectedMsg, msg.Type)
 		}
+	}
+}
+
+// buildTelemetry assembles the piggyback block for one update: this solve's
+// wall time and solver counts, plus the device's cumulative traffic and the
+// cost-model energy estimate (compute scaled to device time by the default
+// phone profile, radio energy from the message/byte totals). Durations are
+// device-local only — the server anchors them to its own round clock.
+func (st *clientState) buildTelemetry(solveDur time.Duration, conn transport.Conn) *transport.WireTelemetry {
+	st.solveTotal += solveDur
+	ss := st.worker.TakeSolveStats()
+	stats := st.traffic.Add(conn.Stats())
+	phone := cost.DefaultPhone()
+	energy := phone.ComputeEnergyJ(phone.DeviceTime(st.solveTotal)) + phone.CommEnergyJ(stats)
+	return &transport.WireTelemetry{
+		SolveNS:   solveDur.Nanoseconds(),
+		QPIters:   ss.QPIters,
+		Cuts:      ss.Cuts,
+		WarmHits:  ss.WarmHits,
+		SignFlips: int64(ss.SignFlips),
+		MsgsSent:  int64(stats.MessagesSent),
+		MsgsRecv:  int64(stats.MessagesReceived),
+		BytesSent: stats.BytesSent,
+		BytesRecv: stats.BytesReceived,
+		EnergyJ:   energy,
 	}
 }
 

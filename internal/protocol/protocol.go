@@ -132,6 +132,10 @@ func wireConfig(cfg core.Config, dist core.DistConfig) *transport.WireConfig {
 		Rho:        dist.Rho,
 		MaxCutIter: cfg.MaxCutIter, QPMaxIter: cfg.QPMaxIter,
 		BalanceGuard: cfg.BalanceGuard, WarmWorkingSets: cfg.WarmWorkingSets,
+		// Telemetry piggyback is requested only when the server has a flight
+		// recorder to merge it into; a plain observer leaves the wire bytes
+		// unchanged (the observer bit-identity contract).
+		Telemetry: cfg.Obs.FlightEnabled(),
 	}
 }
 
@@ -280,6 +284,9 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 	tCount := len(st.users)
 
 	cfg.Core.Obs.Counter(obs.MetricTrainRuns, "").Inc()
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "server", Users: tCount})
+	}
 	info := core.TrainInfo{}
 	cccpInfo, err := optimize.CCCPResume(func(round int) (float64, error) {
 		var start time.Time
@@ -295,6 +302,13 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
 			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
 				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+			if r.FlightEnabled() {
+				// Server-global sign flips are unknown (each device freezes
+				// its own signs locally); per-device flips arrive in the
+				// device-round records instead.
+				r.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: round,
+					Objective: obj, SignFlips: -1, Dur: time.Since(start)})
+			}
 		}
 		st.objHistory = append(st.objHistory, obj)
 		if cfg.FT.CheckpointPath != "" && (round+1)%cfg.FT.CheckpointEvery == 0 {
@@ -313,6 +327,10 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 	info.CCCPConverged = cccpInfo.Converged
 	info.Objective = cccpInfo.Objective
 	info.ObjectiveHistory = cccpInfo.History
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordRunEnd, Converged: cccpInfo.Converged,
+			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
+	}
 
 	// Finish: broadcast the final w0.
 	done := transport.Message{Type: transport.MsgDone, W0: st.w0}
@@ -487,7 +505,7 @@ type serverState struct {
 	// goroutine never blocks (at most one exchange is in flight per user).
 	replies chan exchangeReply
 
-	mStale, mReconnects, mDropped, mCheckpoints *obs.Counter
+	mStale, mReconnects, mDropped, mCheckpoints, mDropCause *obs.Counter
 }
 
 func newServerState(cfg ServerConfig, users []*serverUser, dim int, w0 mat.Vector) *serverState {
@@ -500,7 +518,17 @@ func newServerState(cfg ServerConfig, users []*serverUser, dim int, w0 mat.Vecto
 		mReconnects:  r.Counter(obs.MetricProtocolReconnects, ""),
 		mDropped:     r.Counter(obs.MetricProtocolDroppedDevices, ""),
 		mCheckpoints: r.Counter(obs.MetricCheckpointsWritten, ""),
+		mDropCause:   r.Counter(obs.MetricProtocolDeviceDrops, ""),
 	}
+}
+
+// flight returns the observer registry when it has a flight recorder
+// attached, nil otherwise — so call sites read like the nil-safe Obs checks.
+func (st *serverState) flight() *obs.Registry {
+	if r := st.cfg.Core.Obs; r.FlightEnabled() {
+		return r
+	}
+	return nil
 }
 
 func (st *serverState) active() []int {
@@ -581,6 +609,11 @@ func (st *serverState) noteConnFailure(t int, conn transport.Conn, err error) {
 	u.detached = true
 	if u.cause == nil {
 		u.cause = err
+		st.mDropCause.Inc()
+		if fr := st.flight(); fr != nil {
+			fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceDrop, User: t,
+				Cause: err.Error(), Permanent: false})
+		}
 	}
 }
 
@@ -597,6 +630,7 @@ func (st *serverState) drop(t, pos int, cons *admm.Consensus, cause error) error
 	u.detached = false
 	if u.cause == nil {
 		u.cause = cause
+		st.mDropCause.Inc()
 	}
 	if u.conn != nil {
 		u.prevStats = u.prevStats.Add(u.conn.Stats())
@@ -605,12 +639,23 @@ func (st *serverState) drop(t, pos int, cons *admm.Consensus, cause error) error
 	}
 	delete(st.us, t)
 	st.mDropped.Inc()
+	if fr := st.flight(); fr != nil {
+		causeStr := ""
+		if u.cause != nil {
+			causeStr = u.cause.Error()
+		}
+		fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceDrop, User: t,
+			Cause: causeStr, Permanent: true})
+	}
 	if cons != nil {
 		if err := cons.DropWorker(pos); err != nil {
 			return err
 		}
 	}
 	if n := len(st.active()); n < st.minActive() {
+		if fr := st.flight(); fr != nil {
+			fr.FlightRecord(obs.Record{Kind: obs.RecordQuorum, Active: n, Need: st.minActive()})
+		}
 		return fmt.Errorf("%w: %d < %d (last failure: user %d: %v)",
 			ErrTooFewActive, n, st.minActive(), t, u.cause)
 	}
@@ -738,6 +783,9 @@ func (st *serverState) exchange(t, iter int, conn transport.Conn, start *transpo
 func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, error) {
 	cfg := st.cfg
 	st.epoch = round
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordCCCPStart, Round: round})
+	}
 	st.drainRejoins()
 
 	parts := st.active()
@@ -818,6 +866,20 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 				u.lastW = mat.Vector(r.msg.W)
 				u.lastV = mat.Vector(r.msg.V)
 				u.lastXi = r.msg.Xi
+				if fr := st.flight(); fr != nil && r.msg.Telemetry != nil {
+					// The arrival offset is measured on the server's round
+					// clock; the telemetry block carries only device-local
+					// durations, so no clock synchronization is assumed.
+					tel := r.msg.Telemetry
+					fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound,
+						Round: iter, User: r.user,
+						Arrive: time.Since(roundStart), Solve: time.Duration(tel.SolveNS),
+						QPIters: tel.QPIters, Cuts: tel.Cuts, WarmHits: tel.WarmHits,
+						SignFlips: int(tel.SignFlips),
+						Msgs:      tel.MsgsSent + tel.MsgsRecv,
+						Bytes:     tel.BytesSent + tel.BytesRecv,
+						EnergyJ:   tel.EnergyJ})
+				}
 			case <-deadline:
 				waiting = 0
 			}
@@ -844,6 +906,10 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 				// connections only when resume gives them a way back.
 				u.stale++
 				st.mStale.Inc()
+				if fr := st.flight(); fr != nil {
+					fr.FlightRecord(obs.Record{Kind: obs.RecordStaleReuse,
+						Round: iter, User: t, Stale: u.stale})
+				}
 				ok = true
 			}
 			if !ok {
@@ -862,6 +928,9 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 		}
 		parts = keep
 		if len(xs) == 0 {
+			if fr := st.flight(); fr != nil {
+				fr.FlightRecord(obs.Record{Kind: obs.RecordQuorum, Active: 0, Need: st.minActive()})
+			}
 			return 0, fmt.Errorf("%w: all devices failed in the same round", ErrTooFewActive)
 		}
 		res, err := cons.Step(xs)

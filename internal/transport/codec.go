@@ -25,18 +25,27 @@ import (
 //	magic 'P' | version | Type i64 | Round i64 | Dim i64 | Samples i64 |
 //	Labeled i64 | Users i64 | Seq i64 | Session i64 | Xi f64bits |
 //	Reason u32+bytes | W0 vec | U vec | W vec | V vec |
-//	Config presence byte [+ config block]
+//	Config presence byte [+ config block] [telemetry block]
 //
 // where vec = u32 count + count f64bits, and the config block is
 // Lambda, Cl, Cu, Epsilon, Rho as f64bits, MaxCutIter, QPMaxIter as i64,
-// BalanceGuard, WarmWorkingSets as strict 0/1 bytes.
+// BalanceGuard, WarmWorkingSets, Telemetry as strict 0/1 bytes.
+//
+// The telemetry block is strictly trailing and only ever present: a frame
+// without telemetry simply ends after the config presence byte (or block),
+// and one with it carries a 0x01 marker followed by nine i64 words
+// (SolveNS, QPIters, Cuts, WarmHits, SignFlips, MsgsSent, MsgsRecv,
+// BytesSent, BytesRecv) and EnergyJ as f64bits. A 0x00 marker is rejected —
+// the absent encoding is zero bytes, keeping the codec canonical — and a
+// peer that never sends telemetry emits frames with no trace of the block.
 //
 // Version history: v1 lacked the Seq and Session words (added with the
-// fault-tolerance layer). The decoder accepts only the current version —
-// server and clients are deployed from the same tree.
+// fault-tolerance layer); v2 lacked the Telemetry config flag and the
+// telemetry block (added with fleet tracing). The decoder accepts only the
+// current version — server and clients are deployed from the same tree.
 const (
 	codecMagic   = byte('P')
-	codecVersion = byte(2)
+	codecVersion = byte(3)
 	// maxFrame bounds a frame (64 MiB): far above any real model exchange,
 	// far below anything that could hurt the host.
 	maxFrame = 1 << 26
@@ -72,7 +81,15 @@ func EncodeMessage(m Message) []byte {
 		}
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.MaxCutIter)))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.QPMaxIter)))
-		buf = append(buf, boolByte(c.BalanceGuard), boolByte(c.WarmWorkingSets))
+		buf = append(buf, boolByte(c.BalanceGuard), boolByte(c.WarmWorkingSets), boolByte(c.Telemetry))
+	}
+	if t := m.Telemetry; t != nil {
+		buf = append(buf, 1)
+		for _, v := range []int64{t.SolveNS, t.QPIters, t.Cuts, t.WarmHits,
+			t.SignFlips, t.MsgsSent, t.MsgsRecv, t.BytesSent, t.BytesRecv} {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.EnergyJ))
 	}
 	return buf
 }
@@ -224,7 +241,7 @@ func DecodeMessage(data []byte) (Message, error) {
 			return Message{}, err
 		}
 		c.MaxCutIter, c.QPMaxIter = int(mi), int(qi)
-		for _, b := range []*bool{&c.BalanceGuard, &c.WarmWorkingSets} {
+		for _, b := range []*bool{&c.BalanceGuard, &c.WarmWorkingSets, &c.Telemetry} {
 			raw, err := d.takeByte()
 			if err != nil {
 				return Message{}, err
@@ -239,6 +256,28 @@ func DecodeMessage(data []byte) (Message, error) {
 		m.Config = &c
 	default:
 		return Message{}, fmt.Errorf("%w: config presence byte 0x%02x", ErrCodec, present)
+	}
+	if d.remaining() > 0 {
+		marker, err := d.takeByte()
+		if err != nil {
+			return Message{}, err
+		}
+		// Only 0x01 is valid: absent telemetry is encoded as zero bytes, so
+		// accepting a 0x00 marker would break the round-trip identity.
+		if marker != 1 {
+			return Message{}, fmt.Errorf("%w: telemetry marker 0x%02x", ErrCodec, marker)
+		}
+		var t WireTelemetry
+		for _, dst := range []*int64{&t.SolveNS, &t.QPIters, &t.Cuts, &t.WarmHits,
+			&t.SignFlips, &t.MsgsSent, &t.MsgsRecv, &t.BytesSent, &t.BytesRecv} {
+			if *dst, err = d.takeI64(); err != nil {
+				return Message{}, err
+			}
+		}
+		if t.EnergyJ, err = d.takeF64(); err != nil {
+			return Message{}, err
+		}
+		m.Telemetry = &t
 	}
 	if d.remaining() != 0 {
 		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrCodec, d.remaining())

@@ -25,6 +25,16 @@ func sampleMessages() []Message {
 		{Type: MsgType(-9), Round: -1, Dim: -2, Xi: math.NaN()},
 		{Type: MsgHello, Dim: 4, Samples: 9, Session: 0x1122334455667788},
 		{Type: MsgUpdate, Round: 2, Seq: 41, W: []float64{0.5}},
+		{Type: MsgHello, Users: 8, Config: &WireConfig{
+			Lambda: 100, Cl: 1, Cu: 0.2, Epsilon: 1e-3, Rho: 1,
+			MaxCutIter: 60, QPMaxIter: 5000, Telemetry: true,
+		}},
+		{Type: MsgUpdate, Round: 4, W: []float64{1, -2}, Xi: 0.5, Telemetry: &WireTelemetry{
+			SolveNS: 1_234_567, QPIters: 88, Cuts: 6, WarmHits: 5, SignFlips: 2,
+			MsgsSent: 17, MsgsRecv: 18, BytesSent: 4096, BytesRecv: 8192,
+			EnergyJ: 0.0625,
+		}},
+		{Type: MsgUpdate, Telemetry: &WireTelemetry{SolveNS: -1, EnergyJ: math.NaN()}},
 	}
 }
 
@@ -59,6 +69,19 @@ func equalMessages(a, b Message) bool {
 	}
 	if a.Config != nil && !reflect.DeepEqual(*a.Config, *b.Config) {
 		return false
+	}
+	if (a.Telemetry == nil) != (b.Telemetry == nil) {
+		return false
+	}
+	if a.Telemetry != nil {
+		x, y := *a.Telemetry, *b.Telemetry
+		if !eqF(x.EnergyJ, y.EnergyJ) {
+			return false
+		}
+		x.EnergyJ, y.EnergyJ = 0, 0
+		if x != y {
+			return false
+		}
 	}
 	return true
 }
@@ -104,6 +127,11 @@ func TestCodecRejectsCorruption(t *testing.T) {
 		// reason length (4) + four empty vector lengths (16) = 94.
 		"presence byte 2":    func() []byte { b := append([]byte(nil), valid...); b[94] = 2; return b }(),
 		"huge vector length": append(append([]byte(nil), valid[:2+8*8+8]...), 0xff, 0xff, 0xff, 0xff),
+		// The "trailing byte" case above doubles as the telemetry-marker-0
+		// rejection: absent telemetry is encoded as zero bytes, so an
+		// explicit 0x00 marker is non-canonical.
+		"trailing after telemetry": append(append([]byte(nil), EncodeMessage(sampleMessages()[12])...), 0),
+		"truncated telemetry":      func() []byte { b := EncodeMessage(sampleMessages()[12]); return b[:len(b)-4] }(),
 	}
 	for name, data := range cases {
 		if _, err := DecodeMessage(data); err == nil {

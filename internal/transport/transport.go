@@ -75,6 +75,10 @@ type Message struct {
 	// Config distributes the training hyperparameters from the server to
 	// the devices in the hello reply.
 	Config *WireConfig
+	// Telemetry is the per-round device telemetry piggyback on MsgUpdate.
+	// Attached only when the server's hello reply requested it
+	// (WireConfig.Telemetry); nil otherwise, costing nothing on the wire.
+	Telemetry *WireTelemetry
 }
 
 // WireConfig is the hyperparameter block the server pushes to devices so a
@@ -83,6 +87,30 @@ type WireConfig struct {
 	Lambda, Cl, Cu, Epsilon, Rho  float64
 	MaxCutIter, QPMaxIter         int
 	BalanceGuard, WarmWorkingSets bool
+	// Telemetry asks devices to piggyback a WireTelemetry block on every
+	// MsgUpdate (set when the server's observer has a flight recorder).
+	Telemetry bool
+}
+
+// WireTelemetry is the compact per-round telemetry record a device
+// piggybacks on its MsgUpdate when the server requested it. It carries only
+// durations and counts — never model state — so observation stays passive;
+// durations are device-local (no cross-host clock sync is implied).
+type WireTelemetry struct {
+	// SolveNS is the wall time of this round's local Solve in nanoseconds.
+	SolveNS int64
+	// QPIters, Cuts and WarmHits are this solve's inner-QP iteration count,
+	// cutting-plane rounds, and warm-started QP solves.
+	QPIters, Cuts, WarmHits int64
+	// SignFlips is the effective-label flip count of the most recent CCCP
+	// linearization refresh, reported once (first update after the refresh).
+	SignFlips int64
+	// MsgsSent/MsgsRecv/BytesSent/BytesRecv are the device's cumulative
+	// traffic counters across all its connections.
+	MsgsSent, MsgsRecv, BytesSent, BytesRecv int64
+	// EnergyJ is the device's cumulative cost-model energy estimate
+	// (compute + radio) in joules.
+	EnergyJ float64
 }
 
 // WireSize returns the deterministic size estimate of the message in bytes:
@@ -94,7 +122,10 @@ func (m Message) WireSize() int {
 	const header = 8 * 9 // type, round, dim, samples, labeled, users, seq, session, xi
 	size := header + len(m.Reason) + 8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))
 	if m.Config != nil {
-		size += 8 * 9
+		size += 8 * 10
+	}
+	if m.Telemetry != nil {
+		size += 8 * 10
 	}
 	return size
 }

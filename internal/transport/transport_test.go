@@ -33,8 +33,12 @@ func TestWireSize(t *testing.T) {
 		t.Errorf("empty WireSize = %d", empty.WireSize())
 	}
 	withCfg := Message{Type: MsgHello, Config: &WireConfig{}}
-	if withCfg.WireSize() != 72+72 {
+	if withCfg.WireSize() != 72+80 {
 		t.Errorf("config WireSize = %d", withCfg.WireSize())
+	}
+	withTel := Message{Type: MsgUpdate, Telemetry: &WireTelemetry{}}
+	if withTel.WireSize() != 72+80 {
+		t.Errorf("telemetry WireSize = %d", withTel.WireSize())
 	}
 }
 

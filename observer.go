@@ -1,6 +1,7 @@
 package plos
 
 import (
+	"encoding/json"
 	"expvar"
 	"io"
 	"net/http"
@@ -26,13 +27,54 @@ type Observer struct {
 	reg *obs.Registry
 }
 
+// ObserverOption tweaks NewObserver. The zero set of options reproduces the
+// historical observer exactly.
+type ObserverOption func(*observerConfig)
+
+type observerConfig struct {
+	traceCapacity int
+	flight        bool
+	flightW       io.Writer
+}
+
+// WithTraceCapacity sets how many phase spans the trace ring retains (default
+// obs.DefaultTraceCapacity). When the ring wraps, the oldest span is evicted
+// and obs_spans_dropped_total increments. n <= 0 keeps the default.
+func WithTraceCapacity(n int) ObserverOption {
+	return func(c *observerConfig) {
+		if n > 0 {
+			c.traceCapacity = n
+		}
+	}
+}
+
+// WithFlightRecorder attaches a convergence flight recorder: every trainer
+// run under this observer appends typed JSONL records (CCCP iterations,
+// cutting-plane rounds, ADMM residuals, device telemetry, drop causes) to w,
+// and the wire-protocol server requests the device telemetry piggyback.
+// A nil w records to the in-memory tail only (served by TraceHandler).
+// Analyze the stream with cmd/plos-trace.
+func WithFlightRecorder(w io.Writer) ObserverOption {
+	return func(c *observerConfig) {
+		c.flight = true
+		c.flightW = w
+	}
+}
+
 // NewObserver creates an observer with every documented metric
 // pre-registered. It also becomes the process-global observer of the
 // internal worker pool (queue depth, per-worker busy time) — the pool is
 // shared by all trainers in the process, so the most recently created
 // observer owns its metrics.
-func NewObserver() *Observer {
-	r := obs.NewRegistry()
+func NewObserver(opts ...ObserverOption) *Observer {
+	c := observerConfig{traceCapacity: obs.DefaultTraceCapacity}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	r := obs.NewRegistrySized(c.traceCapacity)
+	if c.flight {
+		r.SetFlightRecorder(obs.NewFlightRecorder(c.flightW, obs.DefaultFlightTail))
+	}
 	parallel.SetMetrics(r.PoolMetrics())
 	return &Observer{reg: r}
 }
@@ -89,6 +131,46 @@ func (ob *Observer) WriteJSON(w io.Writer) error {
 // recent obs.DefaultTraceCapacity spans are retained.
 func (ob *Observer) WriteTraceJSONL(w io.Writer) error {
 	return ob.registry().WriteSpansJSONL(w)
+}
+
+// FlightErr returns the first write error of the attached flight recorder
+// (nil with no recorder, or when every write succeeded). Check it after a
+// run that streamed records to a file.
+func (ob *Observer) FlightErr() error {
+	return ob.registry().Flight().Err()
+}
+
+// TraceSnapshot summarizes the live tracing state: span totals per phase,
+// spans dropped by the bounded ring, and the flight recorder's record count
+// plus its retained tail (decoded records, oldest first). The result
+// marshals cleanly to JSON; it is the payload behind TraceHandler.
+func (ob *Observer) TraceSnapshot() map[string]any {
+	r := ob.registry()
+	out := map[string]any{
+		"span_phase_seconds": r.SpanPhaseTotals(),
+		"spans_dropped":      r.CounterValue(obs.MetricSpansDropped),
+	}
+	if fr := r.Flight(); fr != nil {
+		tail := fr.Tail()
+		recs := make([]json.RawMessage, len(tail))
+		for i, line := range tail {
+			recs[i] = json.RawMessage(line)
+		}
+		out["flight_recorded"] = fr.Recorded()
+		out["flight_tail"] = recs
+	}
+	return out
+}
+
+// TraceHandler returns an http.Handler serving TraceSnapshot as indented
+// JSON — mount it on /debug/trace (plos-server does, next to /metrics).
+func (ob *Observer) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ob.TraceSnapshot())
+	})
 }
 
 // CounterValue reads one counter by its documented name (zero when the

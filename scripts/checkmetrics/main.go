@@ -7,6 +7,13 @@
 //   - every backticked snake_case token in the handbook must be a cataloged
 //     metric (or a known non-metric field), so renamed or deleted metrics
 //     cannot leave stale documentation behind.
+//
+// The flight-recorder schema gets the same two-way treatment against
+// internal/obs.RecordCatalog: every record type must appear backticked in
+// the handbook's "## Flight recorder" section, and every hyphenated
+// backticked token in that section must be a cataloged record type (or a
+// known tool name). Record field names are fed from the catalog into the
+// allowed snake_case set, so the docs table cannot drift from the schema.
 package main
 
 import (
@@ -26,10 +33,43 @@ const docPath = "docs/OBSERVABILITY.md"
 // flags, Go identifiers and prose never match; metric names always do.
 var tickToken = regexp.MustCompile("`([a-z][a-z0-9]*(?:_[a-z0-9]+)+)`")
 
+// hyphenToken is the record-name analogue: lowercase alphanumerics with at
+// least one hyphen-separated segment, alone inside backticks.
+var hyphenToken = regexp.MustCompile("`([a-z][a-z0-9]*(?:-[a-z0-9]+)+)`")
+
 // notMetrics are backticked snake_case tokens the handbook legitimately
-// uses that are not metric names (trace span fields, JSON keys).
+// uses that are not metric names (trace span fields, JSON keys). Flight
+// record fields are added from obs.RecordCatalog in main.
 var notMetrics = map[string]bool{
-	"dur_ms": true,
+	"dur_ms":             true,
+	"span_phase_seconds": true,
+	// /debug/trace snapshot keys.
+	"spans_dropped":   true,
+	"flight_recorded": true,
+	"flight_tail":     true,
+}
+
+// notRecords are backticked hyphenated tokens the flight-recorder section
+// legitimately uses that are not record types (tool names).
+var notRecords = map[string]bool{
+	"plos-trace":  true,
+	"plos-server": true,
+}
+
+// flightSection extracts the "## Flight recorder" section (up to the next
+// top-level heading) so the record-name reverse check does not trip on the
+// span-kind table, which shares some hyphenated names.
+func flightSection(doc string) string {
+	const heading = "## Flight recorder"
+	start := strings.Index(doc, heading)
+	if start < 0 {
+		return ""
+	}
+	rest := doc[start+len(heading):]
+	if end := strings.Index(rest, "\n## "); end >= 0 {
+		rest = rest[:end]
+	}
+	return rest
 }
 
 func main() {
@@ -52,9 +92,35 @@ func main() {
 		}
 	}
 
+	// Flight-recorder schema: forward check against the record catalog, and
+	// its field names become allowed snake_case tokens.
+	flight := flightSection(doc)
+	if flight == "" {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %s has no \"## Flight recorder\" section\n", docPath)
+		fail = true
+	}
+	records := make(map[string]bool, len(obs.RecordCatalog))
+	for _, d := range obs.RecordCatalog {
+		records[d.Name] = true
+		for _, f := range d.Fields {
+			notMetrics[f] = true
+		}
+		if !strings.Contains(flight, "`"+d.Name+"`") {
+			fmt.Fprintf(os.Stderr,
+				"checkmetrics: flight record %q (%s) is in obs.RecordCatalog but missing from the flight-recorder section of %s\n",
+				d.Name, d.Help, docPath)
+			fail = true
+		}
+	}
+
 	stale := map[string]bool{}
 	for _, m := range tickToken.FindAllStringSubmatch(doc, -1) {
 		if name := m[1]; !catalog[name] && !notMetrics[name] {
+			stale[name] = true
+		}
+	}
+	for _, m := range hyphenToken.FindAllStringSubmatch(flight, -1) {
+		if name := m[1]; !records[name] && !notRecords[name] {
 			stale[name] = true
 		}
 	}
@@ -65,7 +131,7 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Fprintf(os.Stderr,
-			"checkmetrics: %s documents %q, which is not in the obs catalog (stale or typo)\n",
+			"checkmetrics: %s documents %q, which is not in the obs catalogs (stale or typo)\n",
 			docPath, n)
 		fail = true
 	}
@@ -73,6 +139,6 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
-	fmt.Printf("checkmetrics: %d metrics documented, %s in sync with the catalog\n",
-		len(obs.Catalog), docPath)
+	fmt.Printf("checkmetrics: %d metrics and %d flight records documented, %s in sync with the catalogs\n",
+		len(obs.Catalog), len(obs.RecordCatalog), docPath)
 }

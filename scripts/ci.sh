@@ -31,6 +31,9 @@ go test -race ./...
 echo "== bench bit-rot smoke: every benchmark compiles and runs once =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+echo "== plos-trace smoke: analyze the committed flight fixture =="
+go run ./cmd/plos-trace cmd/plos-trace/testdata/fixture.jsonl > /dev/null
+
 echo "== FT smoke: seeded chaos soak + checkpoint kill/resume (race) =="
 go test -race -count=1 -v \
     -run 'TestChaosSoakTraining|TestCheckpointResumeBitIdentical' \

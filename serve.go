@@ -249,6 +249,7 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 		Session:    o.ft.session,
 		OnSession:  o.ft.onSession,
 		MaxRedials: o.ft.maxRedials,
+		Obs:        o.core.Obs,
 	}
 
 	var res *protocol.ClientResult
