@@ -35,6 +35,8 @@ func main() {
 		"write the aggregate solver/transport metrics of the whole run to this JSON file")
 	flag.StringVar(&o.benchJSON, "bench-json", "",
 		"run the perf-trajectory suite (CutRound, TrainParallel) instead of figures and write the snapshot to this JSON file")
+	flag.StringVar(&o.compressJSON, "compress-json", "",
+		"run the codec-v4 accuracy-vs-bytes sweep (Fig. 5 workload, one run per compression scheme) instead of figures and write the snapshot to this JSON file")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-bench:", err)
@@ -43,20 +45,24 @@ func main() {
 }
 
 type benchOptions struct {
-	fig         string
-	full        bool
-	trials      int
-	seed        int64
-	lambda      float64
-	workers     int
-	format      string
-	metricsJSON string
-	benchJSON   string
+	fig          string
+	full         bool
+	trials       int
+	seed         int64
+	lambda       float64
+	workers      int
+	format       string
+	metricsJSON  string
+	benchJSON    string
+	compressJSON string
 }
 
 func run(o benchOptions) error {
 	if o.benchJSON != "" {
 		return runBenchJSON(o.benchJSON, o.workers)
+	}
+	if o.compressJSON != "" {
+		return runCompressJSON(o.compressJSON, o.seed, o.workers)
 	}
 	fig, full, trials, seed, lambda, workers, format :=
 		o.fig, o.full, o.trials, o.seed, o.lambda, o.workers, o.format

@@ -5,6 +5,7 @@ import (
 	"os"
 	"testing"
 
+	"plos/internal/eval"
 	"plos/internal/obs"
 )
 
@@ -84,6 +85,47 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if s := rep.Speedups["cutround_rebuild_over_incremental"]; s < 2 {
 		t.Errorf("cut-round cache speedup %.2fx < 2x", s)
+	}
+}
+
+func TestCompressJSONSchema(t *testing.T) {
+	// Shape-only check; TestRunCompressJSON runs the real sweep behind
+	// PLOS_BENCH_E2E.
+	rep := compressReport{Schema: compressSchema, Workload: "w",
+		Points: []eval.CompressionPoint{{Scheme: "q8", Ratio: 7, Accuracy: 0.8}}}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["schema"] != compressSchema {
+		t.Errorf("schema field = %v", back["schema"])
+	}
+}
+
+func TestRunCompressJSON(t *testing.T) {
+	if os.Getenv("PLOS_BENCH_E2E") == "" {
+		t.Skip("set PLOS_BENCH_E2E=1 to run the accuracy-vs-bytes sweep")
+	}
+	path := t.TempDir() + "/compress.json"
+	o := bench("all", "table")
+	o.compressJSON = path
+	if err := run(o); err != nil {
+		t.Fatalf("run with -compress-json: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep compressReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if rep.Schema != compressSchema || len(rep.Points) < 2 || rep.Points[0].Scheme != "dense" {
+		t.Fatalf("unexpected snapshot: %+v", rep)
 	}
 }
 

@@ -38,6 +38,7 @@ type clientOptions struct {
 	opTimeout   time.Duration
 	retries     int
 	sessionFile string
+	compress    string
 }
 
 func main() {
@@ -54,6 +55,9 @@ func main() {
 		"retry transient transport failures up to this many attempts per operation (0 or 1 disables)")
 	flag.StringVar(&o.sessionFile, "session-file", "",
 		"persist the session token to this file and resume from it when it exists")
+	flag.StringVar(&o.compress, "compress", "",
+		"codec-v4 parameter compression offer, e.g. q8, q16, topk:0.25, delta, or compositions like q8,topk:0.25; "+
+			"active only when the coordinator offers the same schemes (empty or 'off' disables)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-client:", err)
@@ -81,6 +85,9 @@ func run(o clientOptions) error {
 	}
 	if o.retries > 1 {
 		opts = append(opts, plos.WithRetries(o.retries))
+	}
+	if o.compress != "" {
+		opts = append(opts, plos.WithCompression(o.compress))
 	}
 	if o.sessionFile != "" {
 		if tok, err := readSessionFile(o.sessionFile); err != nil {

@@ -65,6 +65,9 @@ func main() {
 		"checkpoint after every N-th CCCP round (with -checkpoint)")
 	flag.StringVar(&o.flight, "flight", "",
 		"stream convergence flight records (JSONL) to this file and request device telemetry; analyze with plos-trace")
+	flag.StringVar(&o.compress, "compress", "",
+		"codec-v4 parameter compression offer, e.g. q8, q16, topk:0.25, delta, or compositions like q8,topk:0.25; "+
+			"active only on connections whose peer offers the same schemes (empty or 'off' disables)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-server:", err)
@@ -86,6 +89,7 @@ type serverOptions struct {
 	checkpoint                  string
 	checkpointEvery             int
 	flight                      string
+	compress                    string
 	// onListen, when non-nil, receives the bound address (tests).
 	onListen func(addr string)
 }
@@ -99,6 +103,9 @@ func run(o serverOptions) error {
 	}
 	if o.opTimeout > 0 {
 		opts = append(opts, plos.WithOpTimeout(o.opTimeout))
+	}
+	if o.compress != "" {
+		opts = append(opts, plos.WithCompression(o.compress))
 	}
 	if o.retries > 1 {
 		opts = append(opts, plos.WithRetries(o.retries))

@@ -199,8 +199,13 @@ func TestStragglerAttribution(t *testing.T) {
 	cfg := fixtureConfig()
 	cfg.Core.MaxCCCPIter = 2
 	cfg.Dist.MaxADMMIter = 10
+	// The deadline needs slack above a healthy device's first solve even
+	// under the race detector's slowdown (observed ~4ms on a single-core
+	// container), while the straggler's injected delay must still clear it
+	// reliably — a device with no first solution cannot be carried stale
+	// and would be dropped outright, hollowing out the scenario.
 	cfg.FT = protocol.FTConfig{
-		RoundTimeout: 4 * time.Millisecond,
+		RoundTimeout: 100 * time.Millisecond,
 		MaxStale:     1 << 20, // the throttled device is never dropped
 	}
 	wrap := func(i int, c transport.Conn) transport.Conn {
@@ -208,7 +213,7 @@ func TestStragglerAttribution(t *testing.T) {
 			return c
 		}
 		chaotic := transport.Chaos(c, transport.ChaosConfig{
-			Seed: 7, DelayProb: 1, MaxDelay: 25 * time.Millisecond,
+			Seed: 7, DelayProb: 1, MaxDelay: 600 * time.Millisecond,
 		}, nil)
 		// 5 clean ops: hello send/recv, start-round recv, params recv, and
 		// the first update send — one fresh solution before the throttle.

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"plos/internal/compress"
+	"plos/internal/har"
+	"plos/internal/rng"
+)
+
+// fig5Users builds a small HAR cohort shaped like the paper's Fig. 5
+// workload: dim-wide HAR-like features with a mix of half-labeled and fully
+// unlabeled devices.
+func fig5Users(t *testing.T, seed int64, n, perClass, dim int) []UserData {
+	t.Helper()
+	ds, err := har.Generate(har.Config{Users: n, PerClass: perClass, Dim: dim}, rng.New(seed))
+	if err != nil {
+		t.Fatalf("har.Generate: %v", err)
+	}
+	users := make([]UserData, n)
+	for i, u := range ds.Users {
+		labeled := u.X.Rows / 2
+		if i%3 == 2 {
+			labeled = 0
+		}
+		users[i] = UserData{X: u.X, Y: append([]float64(nil), u.Truth[:labeled]...)}
+	}
+	return users
+}
+
+func simCompress(t *testing.T, spec string) compress.Config {
+	t.Helper()
+	c, err := compress.Parse(spec)
+	if err != nil {
+		t.Fatalf("compress.Parse(%q): %v", spec, err)
+	}
+	return c
+}
+
+// simTrainCfg caps the solver loops so six full training runs stay in test
+// budget; both the dense and compressed runs use the same caps, so the
+// objective comparison is apples to apples.
+func simTrainCfg(seed int64) (Config, DistConfig) {
+	return Config{Lambda: 50, Cl: 1, Cu: 0.2, Seed: seed,
+			MaxCCCPIter: 4, MaxCutIter: 20, QPMaxIter: 800},
+		DistConfig{MaxADMMIter: 30, EpsAbs: 1e-2}
+}
+
+func sameVecs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompressSimDeterministicAcrossWorkers: the error-feedback simulation
+// keeps the bit-identical-across-worker-counts contract — over seeds
+// {1,2,3}, workers 1 and 8 produce the same model, the same byte totals,
+// and the same residual norm. The per-user encoder/decoder state is
+// index-addressed and touched by exactly one Solve per ADMM round, so the
+// schedule must not leak into it.
+func TestCompressSimDeterministicAcrossWorkers(t *testing.T) {
+	ccfg := simCompress(t, "q8,topk:0.75")
+	for _, seed := range []int64{1, 2, 3} {
+		users := fig5Users(t, seed, 5, 6, 120)
+		cfg, dcfg := simTrainCfg(seed)
+		dcfg.Compress = ccfg
+
+		d1 := dcfg
+		d1.Workers = 1
+		m1, i1, err := TrainDistributed(users, cfg, d1)
+		if err != nil {
+			t.Fatalf("seed %d workers 1: %v", seed, err)
+		}
+		d8 := dcfg
+		d8.Workers = 8
+		m8, i8, err := TrainDistributed(users, cfg, d8)
+		if err != nil {
+			t.Fatalf("seed %d workers 8: %v", seed, err)
+		}
+		if !sameVecs(m1.W0, m8.W0) {
+			t.Errorf("seed %d: w0 differs between workers 1 and 8", seed)
+		}
+		for u := range users {
+			if !sameVecs(m1.W[u], m8.W[u]) {
+				t.Errorf("seed %d user %d: hyperplane differs between workers 1 and 8", seed, u)
+			}
+		}
+		if i1.CommRawBytes != i8.CommRawBytes || i1.CommCompBytes != i8.CommCompBytes {
+			t.Errorf("seed %d: byte totals differ: (%d,%d) vs (%d,%d)",
+				seed, i1.CommRawBytes, i1.CommCompBytes, i8.CommRawBytes, i8.CommCompBytes)
+		}
+		if i1.CompressEFNorm != i8.CompressEFNorm {
+			t.Errorf("seed %d: EF norm differs: %v vs %v", seed, i1.CompressEFNorm, i8.CompressEFNorm)
+		}
+
+		// The residual accumulators are bounded: error feedback carries at
+		// most what recent rounds declined to send, not a growing backlog.
+		if !(i1.CompressEFNorm > 0) || math.IsInf(i1.CompressEFNorm, 0) || math.IsNaN(i1.CompressEFNorm) {
+			t.Errorf("seed %d: EF norm = %v, want finite positive", seed, i1.CompressEFNorm)
+		}
+		if i1.CompressEFNorm > 5 {
+			t.Errorf("seed %d: EF norm = %v, residuals not bounded", seed, i1.CompressEFNorm)
+		}
+		if i1.CommRawBytes == 0 || i1.CommCompBytes == 0 || i1.CommCompBytes*4 > i1.CommRawBytes {
+			t.Errorf("seed %d: raw=%d comp=%d, want >=4x payload savings",
+				seed, i1.CommRawBytes, i1.CommCompBytes)
+		}
+	}
+}
+
+// TestCompressSimObjectiveNearDense: error feedback drives the compressed
+// run's final objective to within a pinned ε (5% relative) of the dense
+// run on the Fig. 5-style workload, while a dense run reports zero
+// compression stats.
+func TestCompressSimObjectiveNearDense(t *testing.T) {
+	ccfg := simCompress(t, "q8,topk:0.75")
+	for _, seed := range []int64{1, 2, 3} {
+		users := fig5Users(t, seed, 5, 6, 120)
+		cfg, dcfg := simTrainCfg(seed)
+
+		_, dense, err := TrainDistributed(users, cfg, dcfg)
+		if err != nil {
+			t.Fatalf("seed %d dense: %v", seed, err)
+		}
+		if dense.CommRawBytes != 0 || dense.CommCompBytes != 0 || dense.CompressEFNorm != 0 {
+			t.Errorf("seed %d: dense run reports compression stats (%d, %d, %v)",
+				seed, dense.CommRawBytes, dense.CommCompBytes, dense.CompressEFNorm)
+		}
+		dcfg.Compress = ccfg
+		_, comp, err := TrainDistributed(users, cfg, dcfg)
+		if err != nil {
+			t.Fatalf("seed %d compressed: %v", seed, err)
+		}
+		gap := math.Abs(comp.Objective - dense.Objective)
+		rel := gap / math.Max(1e-9, math.Abs(dense.Objective))
+		t.Logf("seed %d: dense obj %.6f, compressed obj %.6f, rel gap %.4f, EF %.4f, bytes %d -> %d",
+			seed, dense.Objective, comp.Objective, rel, comp.CompressEFNorm,
+			comp.CommRawBytes, comp.CommCompBytes)
+		if rel > 0.05 {
+			t.Errorf("seed %d: compressed objective %v vs dense %v (rel gap %v > 0.05)",
+				seed, comp.Objective, dense.Objective, rel)
+		}
+	}
+}
+
+// TestCompressSimRejectsBadConfig: an invalid width never reaches the
+// encoder — Validate gates the simulation.
+func TestCompressSimRejectsBadConfig(t *testing.T) {
+	users := fig5Users(t, 1, 2, 4, 8)
+	bad := compress.Config{Quant: 7}
+	if _, _, err := TrainDistributed(users, Config{Seed: 1}, DistConfig{Compress: bad}); err == nil {
+		t.Fatal("want error for invalid quant width")
+	}
+}

@@ -149,6 +149,18 @@ type TrainInfo struct {
 	// (paper Eq. 24); zero for the centralized trainer.
 	ADMMPrimal, ADMMDual float64
 	ObjectiveHistory     []float64
+	// CommRawBytes and CommCompBytes account the parameter payloads that
+	// crossed the simulated server↔device boundary when DistConfig.Compress
+	// is enabled: the dense-equivalent bytes and the codec-v4 encoded bytes.
+	// Both are zero when compression is off (and for the centralized
+	// trainer, where nothing crosses a boundary).
+	CommRawBytes  int64
+	CommCompBytes int64
+	// CompressEFNorm is the L2 norm across users and slots of the
+	// error-feedback residuals left in the encoders when training ends — a
+	// bounded, deterministic measure of the information compression is
+	// still holding back.
+	CompressEFNorm float64
 }
 
 // Validation errors.

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"plos/internal/admm"
+	"plos/internal/compress"
 	"plos/internal/mat"
 	"plos/internal/obs"
 	"plos/internal/optimize"
@@ -26,6 +28,16 @@ type DistConfig struct {
 	// Workers (which already defaults to a full pool); kept for
 	// compatibility, no additional effect.
 	Parallel bool
+	// Compress, when enabled, makes the in-process trainer push every
+	// parameter vector crossing the server↔device boundary — z and u on
+	// the way down, w and v on the way up — through a per-user codec-v4
+	// encoder/decoder pair (internal/compress), error feedback included,
+	// exactly as the transport wrapper treats MsgParams/MsgUpdate on the
+	// wire. The trained model then matches a compressed wire run, and
+	// TrainInfo carries the byte accounting and residual norm. The real
+	// wire path (Serve/Join) compresses in the connection stack instead
+	// and must leave this zero.
+	Compress compress.Config
 }
 
 func (d DistConfig) withDefaults() DistConfig {
@@ -350,6 +362,40 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 	}
 	w0 := initialW0(users, dim, cfg)
 
+	// Optional codec-v4 simulation: one encoder/decoder pair per user, the
+	// in-process equivalent of the two one-direction transport wrappers of a
+	// wire run (per-slot streams are independent, so one pair covers all
+	// four slots). All state is index-addressed by t and touched by exactly
+	// one Solve call per ADMM round, so the simulation is race-free and
+	// bit-identical for any DistConfig.Workers.
+	compOn := dcfg.Compress.Enabled()
+	var encs []*compress.Encoder
+	var decs []*compress.Decoder
+	var rawBytes, compBytes []int64
+	if compOn {
+		if err := dcfg.Compress.Validate(); err != nil {
+			return nil, TrainInfo{}, fmt.Errorf("core: TrainDistributed: %w", err)
+		}
+		encs = make([]*compress.Encoder, tCount)
+		decs = make([]*compress.Decoder, tCount)
+		rawBytes = make([]int64, tCount)
+		compBytes = make([]int64, tCount)
+		for t := range encs {
+			encs[t] = compress.NewEncoder(dcfg.Compress)
+			decs[t] = compress.NewDecoder()
+		}
+	}
+	roundtrip := func(t int, slot compress.Slot, x mat.Vector) (mat.Vector, error) {
+		vec := encs[t].Encode(slot, x)
+		rawBytes[t] += int64(compress.DenseWireBytes(len(x)))
+		compBytes[t] += int64(vec.EncodedSize())
+		y, err := decs[t].Decode(slot, vec)
+		if err != nil {
+			return nil, fmt.Errorf("core: TrainDistributed: compress roundtrip user %d: %w", t, err)
+		}
+		return mat.Vector(y), nil
+	}
+
 	cfg.Obs.Counter(obs.MetricTrainRuns, "").Inc()
 	if cfg.Obs.FlightEnabled() {
 		cfg.Obs.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "distributed", Users: tCount})
@@ -369,9 +415,28 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 		}
 		vs := make([]mat.Vector, tCount)
 		update := func(t int, z, u mat.Vector) (mat.Vector, error) {
+			if compOn {
+				var err error
+				if z, err = roundtrip(t, compress.SlotW0, z); err != nil {
+					return nil, err
+				}
+				if u, err = roundtrip(t, compress.SlotU, u); err != nil {
+					return nil, err
+				}
+			}
 			w, v, _, err := workers[t].Solve(z, u, dcfg.Rho)
 			if err != nil {
 				return nil, err
+			}
+			if compOn {
+				// The server folds what it RECEIVED, not what the device
+				// computed: consensus is built from the decoded vectors.
+				if w, err = roundtrip(t, compress.SlotW, w); err != nil {
+					return nil, err
+				}
+				if v, err = roundtrip(t, compress.SlotV, v); err != nil {
+					return nil, err
+				}
 			}
 			vs[t] = v
 			return mat.SubVec(w, v), nil // consensus variable x_t = w_t − v_t
@@ -424,6 +489,16 @@ func TrainDistributed(users []UserData, cfg Config, dcfg DistConfig) (*Model, Tr
 		model.W[t] = wk.Hyperplane()
 		info.Constraints += wk.set.Len()
 		info.CutRounds += wk.cutRounds
+	}
+	if compOn {
+		var efSq float64
+		for t := range encs {
+			info.CommRawBytes += rawBytes[t]
+			info.CommCompBytes += compBytes[t]
+			n := encs[t].ResidualNorm()
+			efSq += n * n
+		}
+		info.CompressEFNorm = math.Sqrt(efSq)
 	}
 	if r := cfg.Obs; r != nil {
 		converged := 0.0

@@ -1,0 +1,43 @@
+package eval
+
+import "testing"
+
+func TestCompressionSweepSmall(t *testing.T) {
+	pts, err := CompressionSweep(CompressionOptions{
+		CohortOptions: CohortOptions{Trials: 1, Seed: 3, Lambda: 50},
+		Users:         4, PerClass: 5, Dim: 32, Providers: 2,
+		Schemes: []string{"q8"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want dense + q8", len(pts))
+	}
+	d, q := pts[0], pts[1]
+	if d.Scheme != "dense" || d.RawBytes != 0 || d.CompBytes != 0 || d.Ratio != 1 || d.EFNorm != 0 {
+		t.Errorf("dense point carries compression stats: %+v", d)
+	}
+	if q.Scheme != "q8" || q.RawBytes == 0 || q.CompBytes == 0 || q.Ratio <= 1 {
+		t.Errorf("q8 point has no savings: %+v", q)
+	}
+	for _, p := range pts {
+		if p.Accuracy < 0.5 || p.Accuracy > 1 {
+			t.Errorf("%s: accuracy %v out of range", p.Scheme, p.Accuracy)
+		}
+	}
+	if q.ObjGapRel < 0 {
+		t.Errorf("q8: negative objective gap %v", q.ObjGapRel)
+	}
+}
+
+func TestCompressionSweepBadScheme(t *testing.T) {
+	_, err := CompressionSweep(CompressionOptions{
+		CohortOptions: CohortOptions{Trials: 1, Seed: 1},
+		Users:         2, PerClass: 4, Dim: 8,
+		Schemes: []string{"zstd"},
+	})
+	if err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}

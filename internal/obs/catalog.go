@@ -71,6 +71,11 @@ const (
 	MetricParallelWorkerBusySeconds = "parallel_worker_busy_seconds"
 
 	MetricDeviceCommEnergyJoules = "device_comm_energy_joules"
+
+	MetricWireRawBytes           = "wire_raw_bytes_total"
+	MetricWireCompressedBytes    = "wire_compressed_bytes_total"
+	MetricWireCompressionRatio   = "wire_compression_ratio"
+	MetricQuantErrorFeedbackNorm = "quant_error_feedback_norm"
 )
 
 // MetricDef describes one catalog entry.
@@ -129,4 +134,9 @@ var Catalog = []MetricDef{
 	{MetricParallelWorkerBusySeconds, KindHistogram, "seconds", "Time one worker goroutine spent on one batch."},
 
 	{MetricDeviceCommEnergyJoules, KindGaugeFunc, "joules", "Estimated device radio energy for the observed traffic (cost.DeviceProfile model; registered by plos-server)."},
+
+	{MetricWireRawBytes, KindCounter, "bytes", "Dense-equivalent bytes of the parameter payloads that crossed compression-negotiated connections (what the same exchange would have cost at codec v3)."},
+	{MetricWireCompressedBytes, KindCounter, "bytes", "Actual encoded bytes of compressed parameter payloads on the wire (codec v4)."},
+	{MetricWireCompressionRatio, KindGauge, "1", "Cumulative raw/compressed parameter-payload byte ratio across compression-negotiated connections (1 means compression is not saving anything)."},
+	{MetricQuantErrorFeedbackNorm, KindGauge, "1", "L2 norm of the sender-side error-feedback accumulators after the most recent compressed send (bounded when compression is healthy; growth signals divergence)."},
 }

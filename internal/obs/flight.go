@@ -102,13 +102,18 @@ type Record struct {
 	Dur        time.Duration
 	// Arrive is the device reply's arrival relative to the ADMM round start
 	// on the server clock; Solve is the device-reported solve wall time.
-	Arrive    time.Duration
-	Solve     time.Duration
-	QPIters   int64
-	Cuts      int64
-	WarmHits  int64
-	Msgs      int64
-	Bytes     int64
+	Arrive   time.Duration
+	Solve    time.Duration
+	QPIters  int64
+	Cuts     int64
+	WarmHits int64
+	Msgs     int64
+	Bytes    int64
+	// RawBytes/CompBytes are the connection's cumulative parameter-payload
+	// bytes in dense-equivalent and encoded form (zero without codec v4
+	// compression; see docs/WIRE_COMPRESSION.md).
+	RawBytes  int64
+	CompBytes int64
 	EnergyJ   float64
 	Stale     int
 	Cause     string
@@ -135,7 +140,7 @@ var RecordCatalog = []RecordDef{
 	{"cccp-iteration", "An outer CCCP round completed.", []string{"round", "objective", "sign_flips", "dur_ns"}},
 	{"cut-round", "One cutting-plane round.", []string{"round", "user", "violation", "added", "working_set"}},
 	{"admm-round", "One consensus ADMM round (or async barrier).", []string{"round", "primal", "dual", "dur_ns"}},
-	{"device-round", "Server-side merge of one device's telemetry piggyback.", []string{"round", "user", "arrive_ns", "solve_ns", "qp_iters", "cuts", "warm_hits", "sign_flips", "msgs", "bytes", "energy_j"}},
+	{"device-round", "Server-side merge of one device's telemetry piggyback.", []string{"round", "user", "arrive_ns", "solve_ns", "qp_iters", "cuts", "warm_hits", "sign_flips", "msgs", "bytes", "raw_bytes", "comp_bytes", "energy_j"}},
 	{"stale-reuse", "A round reused a straggler's previous solution.", []string{"round", "user", "stale"}},
 	{"device-drop", "A device drop-cause event (transient or permanent).", []string{"user", "cause", "permanent"}},
 	{"quorum", "Active devices crossed the abort threshold.", []string{"active", "need"}},
@@ -196,9 +201,12 @@ func (rec Record) marshal() ([]byte, error) {
 			SignFlips int     `json:"sign_flips"`
 			Msgs      int64   `json:"msgs"`
 			Bytes     int64   `json:"bytes"`
+			RawBytes  int64   `json:"raw_bytes"`
+			CompBytes int64   `json:"comp_bytes"`
 			EnergyJ   float64 `json:"energy_j"`
 		}{rec.Kind.String(), rec.Round, rec.User, rec.Arrive.Nanoseconds(), rec.Solve.Nanoseconds(),
-			rec.QPIters, rec.Cuts, rec.WarmHits, rec.SignFlips, rec.Msgs, rec.Bytes, rec.EnergyJ})
+			rec.QPIters, rec.Cuts, rec.WarmHits, rec.SignFlips, rec.Msgs, rec.Bytes,
+			rec.RawBytes, rec.CompBytes, rec.EnergyJ})
 	case RecordStaleReuse:
 		return json.Marshal(struct {
 			Rec   string `json:"rec"`

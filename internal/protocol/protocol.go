@@ -871,6 +871,13 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 					// clock; the telemetry block carries only device-local
 					// durations, so no clock synchronization is assumed.
 					tel := r.msg.Telemetry
+					// Compression savings are read from the server-side conn
+					// wrapper (cumulative raw vs encoded payload bytes) — the
+					// device's telemetry block stays at its v3 shape.
+					var rawB, compB int64
+					if cs, ok := u.conn.(transport.CompressionStats); ok {
+						rawB, compB = cs.CompStats()
+					}
 					fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound,
 						Round: iter, User: r.user,
 						Arrive: time.Since(roundStart), Solve: time.Duration(tel.SolveNS),
@@ -878,6 +885,8 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 						SignFlips: int(tel.SignFlips),
 						Msgs:      tel.MsgsSent + tel.MsgsRecv,
 						Bytes:     tel.BytesSent + tel.BytesRecv,
+						RawBytes:  rawB,
+						CompBytes: compB,
 						EnergyJ:   tel.EnergyJ})
 				}
 			case <-deadline:

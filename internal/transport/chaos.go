@@ -87,6 +87,11 @@ type chaosConn struct {
 	sendRng     *rng.RNG
 	recvRng     *rng.RNG
 	partitioned int
+	// Traffic transmitted by the radio but lost in flight (drop/corrupt).
+	// The retry layer re-sends these frames, so the true cost of the link
+	// is inner stats plus the lost traffic; Stats folds it back in.
+	lostMsgs  int
+	lostBytes int64
 
 	faults *obs.Counter
 }
@@ -94,6 +99,7 @@ type chaosConn struct {
 // chaosPlan is one operation's fault decision.
 type chaosPlan struct {
 	fail  error         // non-nil: fail the op without touching the wire
+	lost  bool          // the failed Send was transmitted then lost in flight
 	delay time.Duration // sleep before the op
 	dup   bool          // send twice (Send only)
 }
@@ -114,13 +120,18 @@ func (c *chaosConn) plan(op string, g *rng.RNG, sendSide bool) chaosPlan {
 		return chaosPlan{fail: markTransient(fmt.Errorf("transport: %s: link flap: %w", op, ErrInjected))}
 	}
 	if sendSide {
+		// Drops and corruptions are in-flight losses: the radio transmitted
+		// the frame before the link ate it, so the bytes must still show up
+		// in Stats (lost=true) even though inner.Send is never called.
+		// Partition/flap failures above are different — the radio was down,
+		// nothing was transmitted, nothing is counted.
 		if c.cfg.DropProb > 0 && g.Bool(c.cfg.DropProb) {
 			c.faults.Inc()
-			return chaosPlan{fail: markTransient(fmt.Errorf("transport: %s: dropped: %w", op, ErrInjected))}
+			return chaosPlan{fail: markTransient(fmt.Errorf("transport: %s: dropped: %w", op, ErrInjected)), lost: true}
 		}
 		if c.cfg.CorruptProb > 0 && g.Bool(c.cfg.CorruptProb) {
 			c.faults.Inc()
-			return chaosPlan{fail: markTransient(fmt.Errorf("transport: %s: corrupted in flight: %w", op, ErrInjected))}
+			return chaosPlan{fail: markTransient(fmt.Errorf("transport: %s: corrupted in flight: %w", op, ErrInjected)), lost: true}
 		}
 	}
 	var p chaosPlan
@@ -138,6 +149,12 @@ func (c *chaosConn) plan(op string, g *rng.RNG, sendSide bool) chaosPlan {
 func (c *chaosConn) Send(m Message) error {
 	p := c.plan("Send", c.sendRng, true)
 	if p.fail != nil {
+		if p.lost {
+			c.mu.Lock()
+			c.lostMsgs++
+			c.lostBytes += int64(m.WireSize())
+			c.mu.Unlock()
+		}
 		return p.fail
 	}
 	if p.delay > 0 {
@@ -170,7 +187,19 @@ func (c *chaosConn) Recv() (Message, error) {
 
 func (c *chaosConn) Close() error { return c.inner.Close() }
 
-func (c *chaosConn) Stats() Stats { return c.inner.Stats() }
+// Stats reports the link's true traffic: what the wrapped connection saw
+// plus the frames the radio transmitted that the link lost in flight.
+// Sampling only the inner connection under-counted retried traffic — every
+// dropped frame the retry layer re-sent was transmitted twice but counted
+// once.
+func (c *chaosConn) Stats() Stats {
+	s := c.inner.Stats()
+	c.mu.Lock()
+	s.MessagesSent += c.lostMsgs
+	s.BytesSent += c.lostBytes
+	c.mu.Unlock()
+	return s
+}
 
 // SetOpTimeout forwards the per-op deadline to the wrapped connection.
 func (c *chaosConn) SetOpTimeout(d time.Duration) { SetOpTimeout(c.inner, d) }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"plos/internal/compress"
 )
 
 // The wire codec is a hand-rolled little-endian binary format chosen over
@@ -39,16 +41,40 @@ import (
 // the absent encoding is zero bytes, keeping the codec canonical — and a
 // peer that never sends telemetry emits frames with no trace of the block.
 //
+// Version 4 extends the layout for compressed parameter payloads and is
+// emitted ONLY for frames that actually carry a negotiation or compression
+// block — every other message still encodes as the byte-identical version 3
+// above, so a compression-disabled deployment is indistinguishable from a
+// v3 one on the wire. A v4 frame replaces everything after the config block
+// with:
+//
+//	flags byte | [telemetry 9×i64 + f64] | [caps block] | [comp block]
+//
+// flags bit0 = telemetry present, bit1 = caps present, bit2 = comp present;
+// other bits are rejected, and a v4 frame with neither caps nor comp is
+// rejected too (it would have been encoded as v3 — canonical form). The
+// caps block is Quant byte (0/8/16), TopK f64bits, Delta strict 0/1. The
+// comp block is a slot presence byte (bit0..3 = W0, U, W, V; higher bits
+// rejected) followed by one compress.Vec canonical block per present slot.
+//
 // Version history: v1 lacked the Seq and Session words (added with the
 // fault-tolerance layer); v2 lacked the Telemetry config flag and the
-// telemetry block (added with fleet tracing). The decoder accepts only the
-// current version — server and clients are deployed from the same tree.
+// telemetry block (added with fleet tracing); v3 lacked compression. The
+// decoder accepts versions 3 and 4 — a peer built before v4 rejects v4
+// frames, which is safe because v4 frames are only ever sent after both
+// ends confirmed compression in the hello exchange (see compress_conn.go).
 const (
-	codecMagic   = byte('P')
-	codecVersion = byte(3)
+	codecMagic       = byte('P')
+	codecVersion     = byte(3)
+	codecVersionComp = byte(4)
 	// maxFrame bounds a frame (64 MiB): far above any real model exchange,
 	// far below anything that could hurt the host.
 	maxFrame = 1 << 26
+
+	flagTelemetry = byte(1 << 0)
+	flagCaps      = byte(1 << 1)
+	flagComp      = byte(1 << 2)
+	flagMask      = flagTelemetry | flagCaps | flagComp
 )
 
 // ErrCodec wraps every malformed-frame error from DecodeMessage.
@@ -56,8 +82,12 @@ var ErrCodec = errors.New("transport: malformed frame")
 
 // EncodeMessage serializes m into the canonical wire form.
 func EncodeMessage(m Message) []byte {
+	version := codecVersion
+	if m.Caps != nil || m.Comp != nil {
+		version = codecVersionComp
+	}
 	buf := make([]byte, 0, 2+9*8+4+len(m.Reason)+4*4+8*(len(m.W0)+len(m.U)+len(m.W)+len(m.V))+1)
-	buf = append(buf, codecMagic, codecVersion)
+	buf = append(buf, codecMagic, version)
 	for _, v := range []int64{int64(m.Type), int64(m.Round), int64(m.Dim),
 		int64(m.Samples), int64(m.Labeled), int64(m.Users), m.Seq, m.Session} {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
@@ -83,15 +113,56 @@ func EncodeMessage(m Message) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.QPMaxIter)))
 		buf = append(buf, boolByte(c.BalanceGuard), boolByte(c.WarmWorkingSets), boolByte(c.Telemetry))
 	}
-	if t := m.Telemetry; t != nil {
-		buf = append(buf, 1)
-		for _, v := range []int64{t.SolveNS, t.QPIters, t.Cuts, t.WarmHits,
-			t.SignFlips, t.MsgsSent, t.MsgsRecv, t.BytesSent, t.BytesRecv} {
-			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	if version == codecVersion {
+		if t := m.Telemetry; t != nil {
+			buf = append(buf, 1)
+			buf = appendTelemetry(buf, t)
 		}
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.EnergyJ))
+		return buf
+	}
+	flags := byte(0)
+	if m.Telemetry != nil {
+		flags |= flagTelemetry
+	}
+	if m.Caps != nil {
+		flags |= flagCaps
+	}
+	if m.Comp != nil {
+		flags |= flagComp
+	}
+	buf = append(buf, flags)
+	if m.Telemetry != nil {
+		buf = appendTelemetry(buf, m.Telemetry)
+	}
+	if c := m.Caps; c != nil {
+		buf = append(buf, c.Quant)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.TopK))
+		buf = append(buf, boolByte(c.Delta))
+	}
+	if cp := m.Comp; cp != nil {
+		slots := [4]*compress.Vec{cp.W0, cp.U, cp.W, cp.V}
+		present := byte(0)
+		for i, v := range slots {
+			if v != nil {
+				present |= 1 << i
+			}
+		}
+		buf = append(buf, present)
+		for _, v := range slots {
+			if v != nil {
+				buf = v.AppendTo(buf)
+			}
+		}
 	}
 	return buf
+}
+
+func appendTelemetry(buf []byte, t *WireTelemetry) []byte {
+	for _, v := range []int64{t.SolveNS, t.QPIters, t.Cuts, t.WarmHits,
+		t.SignFlips, t.MsgsSent, t.MsgsRecv, t.BytesSent, t.BytesRecv} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.EnergyJ))
 }
 
 func boolByte(b bool) byte {
@@ -184,7 +255,7 @@ func DecodeMessage(data []byte) (Message, error) {
 	if err != nil {
 		return Message{}, err
 	}
-	if version != codecVersion {
+	if version != codecVersion && version != codecVersionComp {
 		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
 	}
 	var m Message
@@ -257,30 +328,100 @@ func DecodeMessage(data []byte) (Message, error) {
 	default:
 		return Message{}, fmt.Errorf("%w: config presence byte 0x%02x", ErrCodec, present)
 	}
-	if d.remaining() > 0 {
-		marker, err := d.takeByte()
-		if err != nil {
-			return Message{}, err
-		}
-		// Only 0x01 is valid: absent telemetry is encoded as zero bytes, so
-		// accepting a 0x00 marker would break the round-trip identity.
-		if marker != 1 {
-			return Message{}, fmt.Errorf("%w: telemetry marker 0x%02x", ErrCodec, marker)
-		}
-		var t WireTelemetry
-		for _, dst := range []*int64{&t.SolveNS, &t.QPIters, &t.Cuts, &t.WarmHits,
-			&t.SignFlips, &t.MsgsSent, &t.MsgsRecv, &t.BytesSent, &t.BytesRecv} {
-			if *dst, err = d.takeI64(); err != nil {
+	if version == codecVersion {
+		if d.remaining() > 0 {
+			marker, err := d.takeByte()
+			if err != nil {
+				return Message{}, err
+			}
+			// Only 0x01 is valid: absent telemetry is encoded as zero bytes,
+			// so accepting a 0x00 marker would break the round-trip identity.
+			if marker != 1 {
+				return Message{}, fmt.Errorf("%w: telemetry marker 0x%02x", ErrCodec, marker)
+			}
+			if m.Telemetry, err = d.takeTelemetry(); err != nil {
 				return Message{}, err
 			}
 		}
-		if t.EnergyJ, err = d.takeF64(); err != nil {
+	} else {
+		flags, err := d.takeByte()
+		if err != nil {
 			return Message{}, err
 		}
-		m.Telemetry = &t
+		if flags&^flagMask != 0 {
+			return Message{}, fmt.Errorf("%w: unknown flag bits 0x%02x", ErrCodec, flags)
+		}
+		// A v4 frame without caps or comp would have been encoded as v3:
+		// rejecting it keeps the encoding canonical.
+		if flags&(flagCaps|flagComp) == 0 {
+			return Message{}, fmt.Errorf("%w: v4 frame without caps or compression block", ErrCodec)
+		}
+		if flags&flagTelemetry != 0 {
+			if m.Telemetry, err = d.takeTelemetry(); err != nil {
+				return Message{}, err
+			}
+		}
+		if flags&flagCaps != 0 {
+			var c compress.Config
+			if c.Quant, err = d.takeByte(); err != nil {
+				return Message{}, err
+			}
+			if c.Quant != 0 && c.Quant != 8 && c.Quant != 16 {
+				return Message{}, fmt.Errorf("%w: caps quantization width %d", ErrCodec, c.Quant)
+			}
+			if c.TopK, err = d.takeF64(); err != nil {
+				return Message{}, err
+			}
+			raw, err := d.takeByte()
+			if err != nil {
+				return Message{}, err
+			}
+			if raw > 1 {
+				return Message{}, fmt.Errorf("%w: bool byte 0x%02x", ErrCodec, raw)
+			}
+			c.Delta = raw == 1
+			m.Caps = &c
+		}
+		if flags&flagComp != 0 {
+			present, err := d.takeByte()
+			if err != nil {
+				return Message{}, err
+			}
+			if present&^0x0f != 0 {
+				return Message{}, fmt.Errorf("%w: compression slot byte 0x%02x", ErrCodec, present)
+			}
+			var cp WireComp
+			for i, dst := range []**compress.Vec{&cp.W0, &cp.U, &cp.W, &cp.V} {
+				if present&(1<<i) == 0 {
+					continue
+				}
+				v, n, err := compress.UnmarshalVec(d.data[d.off:])
+				if err != nil {
+					return Message{}, fmt.Errorf("%w: slot %d: %v", ErrCodec, i, err)
+				}
+				d.off += n
+				*dst = v
+			}
+			m.Comp = &cp
+		}
 	}
 	if d.remaining() != 0 {
 		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrCodec, d.remaining())
 	}
 	return m, nil
+}
+
+func (d *decoder) takeTelemetry() (*WireTelemetry, error) {
+	var t WireTelemetry
+	var err error
+	for _, dst := range []*int64{&t.SolveNS, &t.QPIters, &t.Cuts, &t.WarmHits,
+		&t.SignFlips, &t.MsgsSent, &t.MsgsRecv, &t.BytesSent, &t.BytesRecv} {
+		if *dst, err = d.takeI64(); err != nil {
+			return nil, err
+		}
+	}
+	if t.EnergyJ, err = d.takeF64(); err != nil {
+		return nil, err
+	}
+	return &t, nil
 }

@@ -6,6 +6,8 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"plos/internal/compress"
 )
 
 func sampleMessages() []Message {
@@ -80,6 +82,32 @@ func equalMessages(a, b Message) bool {
 		}
 		x.EnergyJ, y.EnergyJ = 0, 0
 		if x != y {
+			return false
+		}
+	}
+	if (a.Caps == nil) != (b.Caps == nil) {
+		return false
+	}
+	if a.Caps != nil {
+		if a.Caps.Quant != b.Caps.Quant || a.Caps.Delta != b.Caps.Delta ||
+			!eqF(a.Caps.TopK, b.Caps.TopK) {
+			return false
+		}
+	}
+	if (a.Comp == nil) != (b.Comp == nil) {
+		return false
+	}
+	if a.Comp != nil {
+		// Compressed vectors compare by canonical byte form (NaN-proof and
+		// exactly the identity the codec promises).
+		eqVec := func(x, y *compress.Vec) bool {
+			if (x == nil) != (y == nil) {
+				return false
+			}
+			return x == nil || bytes.Equal(x.AppendTo(nil), y.AppendTo(nil))
+		}
+		if !eqVec(a.Comp.W0, b.Comp.W0) || !eqVec(a.Comp.U, b.Comp.U) ||
+			!eqVec(a.Comp.W, b.Comp.W) || !eqVec(a.Comp.V, b.Comp.V) {
 			return false
 		}
 	}

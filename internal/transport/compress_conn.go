@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"plos/internal/compress"
+	"plos/internal/obs"
+)
+
+// CompressRole tells the Compress wrapper which side of the hello
+// negotiation it plays: the client offers its configuration on its hello,
+// the server answers with the intersection on the hello reply.
+type CompressRole int
+
+const (
+	// CompressClient offers on MsgHello and compresses MsgUpdate payloads.
+	CompressClient CompressRole = iota
+	// CompressServer answers on the hello reply and compresses MsgParams.
+	CompressServer
+)
+
+// CompressionStats is implemented by compression-wrapped connections: the
+// cumulative parameter-payload bytes in dense-equivalent (raw) and encoded
+// (comp) form, both directions combined. The protocol layer type-asserts
+// it to attribute per-device savings in device-round flight records.
+type CompressionStats interface {
+	CompStats() (rawBytes, compBytes int64)
+}
+
+// Compress layers codec v4 parameter-payload compression over a
+// connection. The wrapper is negotiation-complete: a CompressClient
+// attaches its offer to the outgoing hello, a CompressServer intersects
+// the offer with its own configuration and attaches the answer to the
+// hello reply, and only after both ends confirmed does either side start
+// compressing (MsgParams server→device, MsgUpdate device→server). A peer
+// that never offers — or answers — leaves the connection fully dense and
+// bit-identical to codec v3, which is the entire cross-version interop
+// story.
+//
+// Stack order matters: wrap Compress ABOVE Retry,
+//
+//	conn = transport.Compress(transport.Retry(inner, policy, reg), cfg, role, reg)
+//
+// so a retried frame is the identical already-compressed message (the
+// encoder's error-feedback and delta state advances exactly once per
+// logical send) and the peer's sequence-number dedup discards duplicates
+// before they could double-advance the decoder's delta references.
+//
+// A disabled configuration or nil conn returns the conn unchanged.
+func Compress(inner Conn, cfg compress.Config, role CompressRole, r *obs.Registry) Conn {
+	if inner == nil || !cfg.Enabled() {
+		return inner
+	}
+	return &compConn{
+		inner:  inner,
+		cfg:    cfg,
+		role:   role,
+		rawC:   r.Counter(obs.MetricWireRawBytes, ""),
+		compC:  r.Counter(obs.MetricWireCompressedBytes, ""),
+		ratio:  r.Gauge(obs.MetricWireCompressionRatio, ""),
+		efNorm: r.Gauge(obs.MetricQuantErrorFeedbackNorm, ""),
+	}
+}
+
+type compConn struct {
+	inner Conn
+	cfg   compress.Config
+	role  CompressRole
+
+	// mu guards the negotiation state, codec streams and byte totals. It is
+	// never held across inner I/O (a rendezvous transport could otherwise
+	// deadlock a concurrent Send/Recv pair).
+	mu      sync.Mutex
+	active  bool
+	pending *compress.Config // server: intersected offer awaiting the reply
+	enc     *compress.Encoder
+	dec     *compress.Decoder
+	raw     int64
+	comp    int64
+
+	rawC, compC   *obs.Counter
+	ratio, efNorm *obs.Gauge
+}
+
+func (c *compConn) activate(neg compress.Config) {
+	c.active = true
+	c.enc = compress.NewEncoder(neg)
+	c.dec = compress.NewDecoder()
+}
+
+func (c *compConn) Send(m Message) error {
+	c.mu.Lock()
+	switch {
+	case m.Type == MsgHello && c.role == CompressClient:
+		offer := c.cfg
+		m.Caps = &offer
+	case m.Type == MsgHello && c.role == CompressServer:
+		if c.pending != nil {
+			answer := *c.pending
+			c.pending = nil
+			m.Caps = &answer
+			if answer.Enabled() {
+				c.activate(answer)
+			}
+		}
+	case c.active && c.role == CompressServer && m.Type == MsgParams,
+		c.active && c.role == CompressClient && m.Type == MsgUpdate:
+		m = c.compressOut(m)
+	}
+	c.mu.Unlock()
+	return c.inner.Send(m)
+}
+
+// compressOut moves the message's parameter vectors into a compression
+// block, advancing the per-slot streams. Called with mu held.
+func (c *compConn) compressOut(m Message) Message {
+	cp := &WireComp{}
+	raw, comp := int64(0), int64(0)
+	encode := func(slot compress.Slot, dense *[]float64, out **compress.Vec) {
+		if len(*dense) == 0 {
+			return
+		}
+		v := c.enc.Encode(slot, *dense)
+		raw += int64(compress.DenseWireBytes(len(*dense)))
+		comp += int64(v.EncodedSize())
+		*out = v
+		*dense = nil
+	}
+	encode(compress.SlotW0, &m.W0, &cp.W0)
+	encode(compress.SlotU, &m.U, &cp.U)
+	encode(compress.SlotW, &m.W, &cp.W)
+	encode(compress.SlotV, &m.V, &cp.V)
+	if raw == 0 {
+		return m // nothing to carry: stay dense (and v3-framed)
+	}
+	m.Comp = cp
+	c.account(raw, comp)
+	c.efNorm.Set(c.enc.ResidualNorm())
+	return m
+}
+
+func (c *compConn) account(raw, comp int64) {
+	c.raw += raw
+	c.comp += comp
+	c.rawC.Add(raw)
+	c.compC.Add(comp)
+	if c.comp > 0 {
+		c.ratio.Set(float64(c.raw) / float64(c.comp))
+	}
+}
+
+func (c *compConn) Recv() (Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return m, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case m.Type == MsgHello && c.role == CompressServer:
+		if m.Caps != nil {
+			if neg := compress.Intersect(c.cfg, *m.Caps); neg.Enabled() {
+				c.pending = &neg
+			}
+			m.Caps = nil // negotiation is the wrapper's business, not the caller's
+		}
+	case m.Type == MsgHello && c.role == CompressClient:
+		if m.Caps != nil {
+			if neg := compress.Intersect(c.cfg, *m.Caps); neg.Enabled() {
+				c.activate(neg)
+			}
+			m.Caps = nil
+		}
+	case m.Comp != nil:
+		if !c.active {
+			return Message{}, fmt.Errorf("transport: compressed frame on a connection that never negotiated compression")
+		}
+		if m, err = c.decompressIn(m); err != nil {
+			return Message{}, fmt.Errorf("transport: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// decompressIn reconstructs the dense vectors from a compression block,
+// advancing the receive-side delta references. Called with mu held.
+func (c *compConn) decompressIn(m Message) (Message, error) {
+	raw, comp := int64(0), int64(0)
+	decode := func(slot compress.Slot, v *compress.Vec, dense *[]float64) error {
+		if v == nil {
+			return nil
+		}
+		x, err := c.dec.Decode(slot, v)
+		if err != nil {
+			return err
+		}
+		raw += int64(compress.DenseWireBytes(len(x)))
+		comp += int64(v.EncodedSize())
+		*dense = x
+		return nil
+	}
+	cp := m.Comp
+	if err := decode(compress.SlotW0, cp.W0, &m.W0); err != nil {
+		return Message{}, err
+	}
+	if err := decode(compress.SlotU, cp.U, &m.U); err != nil {
+		return Message{}, err
+	}
+	if err := decode(compress.SlotW, cp.W, &m.W); err != nil {
+		return Message{}, err
+	}
+	if err := decode(compress.SlotV, cp.V, &m.V); err != nil {
+		return Message{}, err
+	}
+	m.Comp = nil
+	c.account(raw, comp)
+	return m, nil
+}
+
+// CompStats returns the cumulative dense-equivalent and encoded
+// parameter-payload bytes across both directions of this connection.
+func (c *compConn) CompStats() (rawBytes, compBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.raw, c.comp
+}
+
+// Negotiated reports the connection's active compression state (for tests
+// and diagnostics): false until the hello exchange confirmed compression.
+func (c *compConn) Negotiated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+func (c *compConn) Close() error { return c.inner.Close() }
+
+func (c *compConn) Stats() Stats { return c.inner.Stats() }
+
+// SetOpTimeout forwards the per-op deadline to the wrapped connection.
+func (c *compConn) SetOpTimeout(d time.Duration) { SetOpTimeout(c.inner, d) }

@@ -253,6 +253,87 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosStatsCountLostTraffic is the regression test for the byte-counter
+// under-count: Stats sampled below the retry layer missed every frame the
+// radio transmitted but the link lost in flight, so retried traffic looked
+// free. The chaos conn now counts lost sends at its own boundary.
+func TestChaosStatsCountLostTraffic(t *testing.T) {
+	a, b := Pipe()
+	reg := obs.NewRegistry()
+	chaos := Chaos(a, ChaosConfig{Seed: 7, DropProb: 0.4, Sleep: noSleep}, reg)
+	sa := Retry(chaos, RetryPolicy{Sleep: noSleep}, reg)
+	go func() {
+		for {
+			if _, err := b.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	const n = 25
+	msg := Message{Type: MsgUpdate, W: []float64{1, 2, 3}}
+	ws := int64(msg.WireSize())
+	for i := 0; i < n; i++ {
+		msg.Round = i
+		if err := sa.Send(msg); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	drops := reg.CounterValue(obs.MetricChaosFaults) // drop-only config
+	if drops == 0 {
+		t.Fatal("seed injected no drops; the test exercises nothing")
+	}
+	base, cs := a.Stats(), chaos.Stats()
+	if base.MessagesSent != n {
+		t.Fatalf("base conn saw %d messages, want %d", base.MessagesSent, n)
+	}
+	if cs.MessagesSent != n+int(drops) {
+		t.Errorf("chaos MessagesSent = %d, want %d delivered + %d lost", cs.MessagesSent, n, drops)
+	}
+	if cs.BytesSent != base.BytesSent+drops*ws {
+		t.Errorf("chaos BytesSent = %d, want %d + %d lost frames × %d bytes",
+			cs.BytesSent, base.BytesSent, drops, ws)
+	}
+	_ = sa.Close()
+	_ = b.Close()
+}
+
+// Duplicated frames reach the base connection's counters through the
+// second inner.Send, so the chaos layer must NOT count them again.
+func TestChaosStatsDupsCountedOnce(t *testing.T) {
+	a, b := Pipe()
+	chaos := Chaos(a, ChaosConfig{Seed: 3, DupProb: 1, Sleep: noSleep}, nil)
+	const n = 4
+	recvd := make(chan struct{})
+	go func() {
+		for i := 0; i < 2*n; i++ {
+			if _, err := b.Recv(); err != nil {
+				return
+			}
+		}
+		close(recvd)
+	}()
+	for i := 0; i < n; i++ {
+		if err := chaos.Send(Message{Type: MsgUpdate, Round: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	<-recvd // all async duplicate deliveries have landed
+	// The duplicating goroutine bumps the send counter after the rendezvous
+	// handoff, so give the counters a moment to settle.
+	for i := 0; i < 1000 && a.Stats().MessagesSent != 2*n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	base, cs := a.Stats(), chaos.Stats()
+	if base.MessagesSent != 2*n {
+		t.Fatalf("base conn saw %d messages, want %d", base.MessagesSent, 2*n)
+	}
+	if cs != base {
+		t.Errorf("chaos stats %+v diverged from base %+v on dup-only faults", cs, base)
+	}
+	_ = chaos.Close()
+	_ = b.Close()
+}
+
 func TestChaosDuplicatesAreDeduped(t *testing.T) {
 	a, b := Pipe()
 	regS, regR := obs.NewRegistry(), obs.NewRegistry()

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"plos/internal/compress"
 )
 
 // MsgType enumerates the protocol messages of distributed PLOS.
@@ -79,6 +81,22 @@ type Message struct {
 	// Attached only when the server's hello reply requested it
 	// (WireConfig.Telemetry); nil otherwise, costing nothing on the wire.
 	Telemetry *WireTelemetry
+	// Caps is the codec v4 compression negotiation block: a client's hello
+	// carries its offer, the server's hello reply the intersected answer.
+	// Attached by the Compress wrapper; nil on every other message, keeping
+	// those frames bit-identical to codec v3.
+	Caps *compress.Config
+	// Comp carries compressed parameter payloads (codec v4). When a slot is
+	// present here the corresponding dense field (W0/U/W/V) is nil; the
+	// Compress wrapper reconstructs it on receive, so the protocol layer
+	// never sees this field populated.
+	Comp *WireComp
+}
+
+// WireComp is the compressed form of the four parameter vector slots of a
+// message. Slots not carried by the message stay nil.
+type WireComp struct {
+	W0, U, W, V *compress.Vec
 }
 
 // WireConfig is the hyperparameter block the server pushes to devices so a
@@ -126,6 +144,20 @@ func (m Message) WireSize() int {
 	}
 	if m.Telemetry != nil {
 		size += 8 * 10
+	}
+	if m.Caps != nil || m.Comp != nil {
+		size++ // codec v4 flags byte
+		if m.Caps != nil {
+			size += 10
+		}
+		if m.Comp != nil {
+			size++ // slot presence byte
+			for _, v := range []*compress.Vec{m.Comp.W0, m.Comp.U, m.Comp.W, m.Comp.V} {
+				if v != nil {
+					size += v.EncodedSize()
+				}
+			}
+		}
 	}
 	return size
 }

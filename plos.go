@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"plos/internal/compress"
 	"plos/internal/core"
 	"plos/internal/mat"
 	"plos/internal/svm"
@@ -55,6 +56,10 @@ type options struct {
 	async core.AsyncConfig
 	bias  bool
 	ft    ftOptions
+	// compressSpec is the WithCompression argument, parsed by Serve/Join
+	// (an Option cannot return an error); comp is the parsed result.
+	compressSpec string
+	comp         compress.Config
 }
 
 // ftOptions collects the fault-tolerance knobs of Serve and Join (see
@@ -231,6 +236,19 @@ func WithSessionNotify(f func(token int64)) Option {
 	return func(o *options) { o.ft.onSession = f }
 }
 
+// WithCompression enables codec-v4 parameter-payload compression on
+// Serve/Join connections. The spec composes comma- (or plus-) separated
+// terms: "q8"/"q16" (linear quantization with error feedback), "topk:F"
+// (keep the top fraction F of coordinates per frame, delta-coded indices),
+// and "delta" (code against the peer's last reconstructed round). "" or
+// "off" disables. Both ends negotiate in the hello exchange and fall back
+// to the intersection of their specs — against a peer without compression
+// the wire stays bit-identical to codec v3. A malformed spec surfaces as
+// an error from Serve/Join. See docs/WIRE_COMPRESSION.md.
+func WithCompression(spec string) Option {
+	return func(o *options) { o.compressSpec = spec }
+}
+
 // WithCheckpoint makes Serve snapshot its trainer state to path atomically
 // after every `every`-th CCCP round (every <= 0 means every round). If the
 // file already exists when Serve starts, training resumes from it: devices
@@ -296,6 +314,13 @@ func TrainDistributed(users []User, opts ...Option) (*Model, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	comp, err := compress.Parse(o.compressSpec)
+	if err != nil {
+		return nil, fmt.Errorf("plos: TrainDistributed: %w", err)
+	}
+	// In-process there is no wire: the trainer simulates the codec-v4
+	// roundtrip itself instead of a connection wrapper doing it.
+	o.dist.Compress = comp
 	data, err := toUserData(users, o.bias)
 	if err != nil {
 		return nil, err
@@ -376,6 +401,15 @@ type Stats struct {
 	ADMMDualResidual   float64
 	// ObjectiveHistory is the objective after each CCCP iteration.
 	ObjectiveHistory []float64
+	// CommRawBytes and CommCompBytes account the parameter payloads that
+	// crossed the simulated device boundary when TrainDistributed ran with
+	// WithCompression: dense-equivalent bytes and codec-v4 encoded bytes.
+	// CompressionEFNorm is the L2 norm of the error-feedback residuals
+	// left in the quantizers at the end of training. All three are zero
+	// when compression is off.
+	CommRawBytes      int64
+	CommCompBytes     int64
+	CompressionEFNorm float64
 }
 
 // Stats returns the training diagnostics. Slice fields are copies — mutating
@@ -392,6 +426,9 @@ func (m *Model) Stats() Stats {
 		ADMMPrimalResidual: m.info.ADMMPrimal,
 		ADMMDualResidual:   m.info.ADMMDual,
 		ObjectiveHistory:   append([]float64(nil), m.info.ObjectiveHistory...),
+		CommRawBytes:       m.info.CommRawBytes,
+		CommCompBytes:      m.info.CommCompBytes,
+		CompressionEFNorm:  m.info.CompressEFNorm,
 	}
 }
 

@@ -39,8 +39,16 @@ go test -race -count=1 -v \
     -run 'TestChaosSoakTraining|TestCheckpointResumeBitIdentical' \
     ./internal/protocol
 
+echo "== compressed-mode race smoke: codec-v4 negotiation + mixed fleet =="
+go test -race -count=1 \
+    -run 'TestCompressionInteropMatrix|TestCompressionMixedFleet' \
+    ./internal/protocol
+
 echo "== fuzz smoke: transport codec =="
 go test -run '^$' -fuzz 'FuzzMessageRoundTrip' -fuzztime 10s ./internal/transport
+
+echo "== fuzz smoke: codec v4 compressed frames =="
+go test -run '^$' -fuzz 'FuzzCompressedFrameRoundTrip' -fuzztime 10s ./internal/transport
 
 echo "== fuzz smoke: checkpoint codec =="
 go test -run '^$' -fuzz 'FuzzCheckpointRoundTrip' -fuzztime 10s ./internal/protocol

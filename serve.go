@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"time"
 
+	"plos/internal/compress"
 	"plos/internal/core"
 	"plos/internal/mat"
 	"plos/internal/protocol"
@@ -36,9 +37,12 @@ type ServeResult struct {
 const rejoinHelloTimeout = 30 * time.Second
 
 // wrapConn layers the configured reliability stack over a raw connection:
-// per-operation timeouts on the base transport, observability counters, and
-// the seeded retry/backoff layer on top (so retried attempts are counted).
-func wrapConn(c transport.Conn, o *options, seedLabel string, idx int) transport.Conn {
+// per-operation timeouts on the base transport, observability counters, the
+// seeded retry/backoff layer on top (so retried attempts are counted), and
+// — when WithCompression is configured — codec-v4 payload compression
+// outermost, so a retried frame is the identical already-compressed message
+// and the compression streams advance once per logical send.
+func wrapConn(c transport.Conn, o *options, seedLabel string, idx int, role transport.CompressRole) transport.Conn {
 	if o.ft.opTimeout > 0 {
 		transport.SetOpTimeout(c, o.ft.opTimeout)
 	}
@@ -51,6 +55,9 @@ func wrapConn(c transport.Conn, o *options, seedLabel string, idx int) transport
 			MaxAttempts: o.ft.retries,
 			Seed:        rng.New(o.core.Seed).SplitN(seedLabel, idx).Int63(),
 		}, o.core.Obs)
+	}
+	if o.comp.Enabled() {
+		wired = transport.Compress(wired, o.comp, role, o.core.Obs)
 	}
 	return wired
 }
@@ -89,6 +96,11 @@ func Serve(addr string, devices int, onListen func(addr string), opts ...Option)
 	for _, opt := range opts {
 		opt(&o)
 	}
+	comp, err := compress.Parse(o.compressSpec)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Serve: %w", err)
+	}
+	o.comp = comp
 
 	var restore *protocol.Checkpoint
 	if o.ft.checkpointPath != "" {
@@ -128,7 +140,7 @@ func Serve(addr string, devices int, onListen func(addr string), opts ...Option)
 	}()
 	wired := make([]transport.Conn, len(conns))
 	for t, c := range conns {
-		wired[t] = wrapConn(c, &o, "retry-server", t)
+		wired[t] = wrapConn(c, &o, "retry-server", t, transport.CompressServer)
 	}
 
 	// With resume enabled the listener keeps accepting during training;
@@ -169,7 +181,7 @@ func acceptRejoins(l *transport.Listener, o *options, rejoin chan<- protocol.Rej
 		if err != nil {
 			return // listener closed: training is over
 		}
-		conn := wrapConn(c, o, "retry-rejoin", i)
+		conn := wrapConn(c, o, "retry-rejoin", i, transport.CompressServer)
 		go func() {
 			if o.ft.opTimeout <= 0 {
 				transport.SetOpTimeout(c, rejoinHelloTimeout)
@@ -236,6 +248,11 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	comp, err := compress.Parse(o.compressSpec)
+	if err != nil {
+		return nil, fmt.Errorf("plos: Join: %w", err)
+	}
+	o.comp = comp
 	if len(user.Features) == 0 {
 		return nil, fmt.Errorf("plos: Join: %w", core.ErrEmptyUser)
 	}
@@ -253,14 +270,13 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 	}
 
 	var res *protocol.ClientResult
-	var err error
 	if o.ft.resume && o.ft.maxRedials > 0 {
 		dial := func() (transport.Conn, error) {
 			c, derr := transport.Dial(addr)
 			if derr != nil {
 				return nil, derr
 			}
-			return wrapConn(c, &o, "retry-client", 0), nil
+			return wrapConn(c, &o, "retry-client", 0, transport.CompressClient), nil
 		}
 		res, err = protocol.RunClientLoop(dial, data, copts)
 	} else {
@@ -269,7 +285,7 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 			return nil, fmt.Errorf("plos: Join: %w", derr)
 		}
 		defer conn.Close()
-		res, err = protocol.RunClient(wrapConn(conn, &o, "retry-client", 0), data, copts)
+		res, err = protocol.RunClient(wrapConn(conn, &o, "retry-client", 0, transport.CompressClient), data, copts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("plos: Join: %w", err)
