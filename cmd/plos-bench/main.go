@@ -23,6 +23,14 @@ import (
 )
 
 func main() {
+	// A child spawned by -shard-json re-enters here as a shard worker.
+	if spec := os.Getenv(shardWorkerEnv); spec != "" {
+		if err := runShardWorker(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "plos-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o benchOptions
 	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 3..13, 'ablations', or 'all'")
 	flag.BoolVar(&o.full, "full", false, "paper-scale cohorts (slow)")
@@ -37,6 +45,10 @@ func main() {
 		"run the perf-trajectory suite (CutRound, TrainParallel) instead of figures and write the snapshot to this JSON file")
 	flag.StringVar(&o.compressJSON, "compress-json", "",
 		"run the codec-v4 accuracy-vs-bytes sweep (Fig. 5 workload, one run per compression scheme) instead of figures and write the snapshot to this JSON file")
+	flag.StringVar(&o.shardJSON, "shard-json", "",
+		"run the sharded serving-plane scale scenario (docs/SHARDING.md) instead of figures and write the snapshot to this JSON file")
+	flag.IntVar(&o.shardDevices, "shard-devices", 10000, "total simulated devices for -shard-json")
+	flag.IntVar(&o.shardCount, "shard-count", 2, "shard worker processes for -shard-json (>= 2)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-bench:", err)
@@ -55,11 +67,17 @@ type benchOptions struct {
 	metricsJSON  string
 	benchJSON    string
 	compressJSON string
+	shardJSON    string
+	shardDevices int
+	shardCount   int
 }
 
 func run(o benchOptions) error {
 	if o.benchJSON != "" {
 		return runBenchJSON(o.benchJSON, o.workers)
+	}
+	if o.shardJSON != "" {
+		return runShardJSON(o)
 	}
 	if o.compressJSON != "" {
 		return runCompressJSON(o.compressJSON, o.seed, o.workers)

@@ -1,0 +1,255 @@
+package main
+
+// The -shard-json mode: the sharded serving-plane scale scenario of
+// docs/SHARDING.md. The parent process runs the top-level aggregator and
+// re-executes its own binary as N shard worker processes (one OS process
+// per shard, exactly like a production deployment); each worker dials the
+// aggregator over loopback TCP and serves its contiguous slice of the
+// device population as in-process pipe clients. The default scale — 10000
+// devices across 2 shards — is the acceptance scenario of the sharding PR;
+// the snapshot is committed as BENCH_<pr>.json.
+//
+// Device datasets are generated from the GLOBAL device index, so the same
+// population is reproduced no matter how it is partitioned.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/protocol"
+	"plos/internal/rng"
+	"plos/internal/transport"
+)
+
+// shardSchema versions the shard-scale snapshot layout.
+const shardSchema = "plos-bench/shard-v1"
+
+// shardWorkerEnv re-enters the binary as a shard worker: the parent sets it
+// to "id:from:to:seed:aggAddr" on each child it spawns. An env var instead
+// of a flag keeps the worker entry point available to the test binary too
+// (its TestMain intercepts the same variable).
+const shardWorkerEnv = "PLOS_BENCH_SHARD_WORKER"
+
+type shardReport struct {
+	Schema  string `json:"schema"`
+	CPU     int    `json:"cpus"`
+	Devices int    `json:"devices"`
+	Shards  int    `json:"shards"`
+	// Rounds/ADMMIters/Converged/Objective summarize the aggregator's view
+	// of the run; WallSeconds is aggregator accept → final model.
+	Rounds      int     `json:"cccp_rounds"`
+	ADMMIters   int     `json:"admm_iterations"`
+	Converged   bool    `json:"converged"`
+	Objective   float64 `json:"objective"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// AggLinkBytes is the total traffic on the aggregator↔shard links (the
+	// cross-shard bytes the shard_cross_bytes_total metric tracks);
+	// PerShardBytes splits it by shard id.
+	AggLinkBytes  int64   `json:"agg_link_bytes"`
+	PerShardBytes []int64 `json:"per_shard_bytes"`
+}
+
+// shardBenchConfig is the aggregator's training configuration for the
+// scenario: iteration budgets are pinned small so the scenario measures the
+// serving plane (10k concurrent device exchanges, cross-shard reduces), not
+// solver depth.
+func shardBenchConfig(seed int64) (core.Config, core.DistConfig) {
+	cfg := core.Config{
+		Lambda: 100, Cl: 1, Cu: 0.2, Seed: seed,
+		MaxCCCPIter: 2, MaxCutIter: 2, QPMaxIter: 30,
+	}
+	dist := core.DistConfig{Rho: 1, EpsAbs: 1e-3, MaxADMMIter: 2}
+	return cfg, dist
+}
+
+// shardBenchDevice generates device g's dataset from its global index: four
+// 2-D samples in two clusters, the first two labeled. Tiny on purpose — the
+// scenario's cost should be dominated by the plane, not the local QPs.
+func shardBenchDevice(g int, seed int64) core.UserData {
+	r := rng.New(seed).SplitN("shard-bench-device", g)
+	rot := rng.Rotation2D(0.05 * float64(g%7))
+	const n = 4
+	x := mat.NewMatrix(n, 2)
+	y := make([]float64, 0, 2)
+	for i := 0; i < n; i++ {
+		cls := 1.0
+		if i%2 == 1 {
+			cls = -1
+		}
+		p := rot.MulVec(mat.Vector{cls*4 + r.Norm(), cls*4 + r.Norm()})
+		x.Set(i, 0, p[0])
+		x.Set(i, 1, p[1])
+		if i < 2 {
+			y = append(y, cls)
+		}
+	}
+	return core.UserData{X: x, Y: y}
+}
+
+// runShardJSON runs the scenario and writes the snapshot to path.
+func runShardJSON(o benchOptions) error {
+	shards, devices, seed := o.shardCount, o.shardDevices, o.seed
+	if shards < 2 {
+		return fmt.Errorf("shard-json: need at least 2 shards, got %d", shards)
+	}
+	if devices < shards {
+		return fmt.Errorf("shard-json: need at least one device per shard")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("shard-json: %w", err)
+	}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("shard-json: %w", err)
+	}
+	defer l.Close()
+
+	// Contiguous device ranges per shard; the remainder lands on the early
+	// shards so sizes differ by at most one.
+	cmds := make([]*exec.Cmd, shards)
+	from := 0
+	for s := 0; s < shards; s++ {
+		n := devices / shards
+		if s < devices%shards {
+			n++
+		}
+		spec := fmt.Sprintf("%d:%d:%d:%d:%s", s, from, from+n, seed, l.Addr())
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), shardWorkerEnv+"="+spec)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("shard-json: spawn shard %d: %w", s, err)
+		}
+		cmds[s] = cmd
+		from += n
+	}
+	fmt.Fprintf(os.Stderr, "shard-json: %d devices across %d shard processes, aggregating on %s\n",
+		devices, shards, l.Addr())
+
+	conns, err := l.AcceptN(shards)
+	if err != nil {
+		return fmt.Errorf("shard-json: %w", err)
+	}
+	cfg, dist := shardBenchConfig(seed)
+	start := time.Now()
+	res, aggErr := protocol.RunAggregator(conns, protocol.AggConfig{Core: cfg, Dist: dist})
+	wall := time.Since(start)
+	for s, cmd := range cmds {
+		if werr := cmd.Wait(); werr != nil && aggErr == nil {
+			aggErr = fmt.Errorf("shard worker %d: %w", s, werr)
+		}
+	}
+	if aggErr != nil {
+		return fmt.Errorf("shard-json: %w", aggErr)
+	}
+	if res.Users != devices {
+		return fmt.Errorf("shard-json: aggregator saw %d users, want %d", res.Users, devices)
+	}
+
+	report := shardReport{
+		Schema: shardSchema, CPU: runtime.NumCPU(),
+		Devices: devices, Shards: shards,
+		Rounds: res.Info.CCCPIterations, ADMMIters: res.Info.ADMMIterations,
+		Converged: res.Info.CCCPConverged, Objective: res.Info.Objective,
+		WallSeconds:  wall.Seconds(),
+		AggLinkBytes: res.Total.BytesSent + res.Total.BytesReceived,
+	}
+	for _, s := range res.PerShard {
+		report.PerShardBytes = append(report.PerShardBytes, s.BytesSent+s.BytesReceived)
+	}
+	f, err := os.Create(o.shardJSON)
+	if err != nil {
+		return fmt.Errorf("shard-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fmt.Errorf("shard-json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"shard-json: %d rounds, %d ADMM iterations, objective %.6g in %.1fs (%.1f KB on the aggregator links)\n",
+		report.Rounds, report.ADMMIters, report.Objective, report.WallSeconds,
+		float64(report.AggLinkBytes)/1024)
+	fmt.Fprintln(os.Stderr, "shard snapshot written to", o.shardJSON)
+	return nil
+}
+
+// runShardWorker is the child entry point: spec is the shardWorkerEnv value
+// "id:from:to:seed:aggAddr". It dials the aggregator, hosts devices
+// [from, to) as in-process pipe clients, and drives protocol.RunShard.
+func runShardWorker(spec string) error {
+	parts := strings.SplitN(spec, ":", 5)
+	if len(parts) != 5 {
+		return fmt.Errorf("shard worker: malformed spec %q", spec)
+	}
+	var id, from, to int
+	var seed int64
+	for _, p := range []struct {
+		dst *int
+		s   string
+	}{{&id, parts[0]}, {&from, parts[1]}, {&to, parts[2]}} {
+		v, err := strconv.Atoi(p.s)
+		if err != nil {
+			return fmt.Errorf("shard worker: malformed spec %q: %w", spec, err)
+		}
+		*p.dst = v
+	}
+	s64, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return fmt.Errorf("shard worker: malformed spec %q: %w", spec, err)
+	}
+	seed = s64
+	aggAddr := parts[4]
+	if to <= from {
+		return fmt.Errorf("shard worker: empty device range in %q", spec)
+	}
+
+	agg, err := transport.Dial(aggAddr)
+	if err != nil {
+		return fmt.Errorf("shard worker %d: dial aggregator: %w", id, err)
+	}
+	defer agg.Close()
+
+	n := to - from
+	serverConns := make([]transport.Conn, n)
+	clientErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sc, cc := transport.Pipe()
+		serverConns[i] = sc
+		wg.Add(1)
+		go func(i int, cc transport.Conn) {
+			defer wg.Done()
+			_, clientErrs[i] = protocol.RunClient(cc, shardBenchDevice(from+i, seed),
+				protocol.ClientOptions{Seed: int64(from + i)})
+		}(i, cc)
+	}
+
+	_, runErr := protocol.RunShard(agg, serverConns, protocol.ShardConfig{
+		Shard: id, Core: core.Config{Seed: seed},
+	})
+	for _, c := range serverConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return fmt.Errorf("shard worker %d: %w", id, runErr)
+	}
+	for i, cerr := range clientErrs {
+		if cerr != nil {
+			return fmt.Errorf("shard worker %d: device %d: %w", id, from+i, cerr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the plos-bench binary when
+// runShardJSON re-executes os.Executable() as shard workers.
+func TestMain(m *testing.M) {
+	if spec := os.Getenv(shardWorkerEnv); spec != "" {
+		if err := runShardWorker(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestShardJSONScenario runs the -shard-json scenario at reduced scale (the
+// committed snapshot uses the 10000-device default) and validates the
+// snapshot: real multi-process shards, loopback TCP, all devices accounted.
+func TestShardJSONScenario(t *testing.T) {
+	path := t.TempDir() + "/shard.json"
+	o := benchOptions{seed: 7, shardJSON: path, shardDevices: 48, shardCount: 2}
+	if err := run(o); err != nil {
+		t.Fatalf("shard-json run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep shardReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if rep.Schema != shardSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, shardSchema)
+	}
+	if rep.Devices != 48 || rep.Shards != 2 {
+		t.Errorf("scale = %d devices / %d shards, want 48/2", rep.Devices, rep.Shards)
+	}
+	if rep.Rounds <= 0 || rep.ADMMIters <= 0 {
+		t.Errorf("empty run: %d rounds, %d ADMM iterations", rep.Rounds, rep.ADMMIters)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Error("wall clock not measured")
+	}
+	if len(rep.PerShardBytes) != 2 {
+		t.Fatalf("per-shard bytes has %d entries, want 2", len(rep.PerShardBytes))
+	}
+	var sum int64
+	for s, b := range rep.PerShardBytes {
+		if b <= 0 {
+			t.Errorf("shard %d reported no traffic", s)
+		}
+		sum += b
+	}
+	if sum != rep.AggLinkBytes {
+		t.Errorf("agg link bytes %d != per-shard sum %d", rep.AggLinkBytes, sum)
+	}
+}
+
+// TestShardWorkerRejectsMalformedSpec pins the worker entry's validation.
+func TestShardWorkerRejectsMalformedSpec(t *testing.T) {
+	for _, spec := range []string{"", "1:2", "a:0:4:7:x", "0:4:4:7:addr"} {
+		if err := runShardWorker(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -17,6 +17,16 @@
 //
 //	plos-server -devices 5 -round-timeout 30s -quorum 0.5 -resume \
 //	    -checkpoint run.ckpt
+//
+// Sharded serving plane (see docs/SHARDING.md): -role selects what this
+// process is. The default "single" is the classic one-coordinator server;
+// "agg" runs the top-level aggregator for -shards shard processes (this is
+// where the training hyperparameters live); "shard" runs one user-shard
+// that dials the aggregator at -agg-addr and serves -devices devices:
+//
+//	plos-server -role agg   -addr :7360 -shards 2 -lambda 100
+//	plos-server -role shard -shard-id 0 -agg-addr :7360 -addr :7350 -devices 3
+//	plos-server -role shard -shard-id 1 -agg-addr :7360 -addr :7351 -devices 2
 package main
 
 import (
@@ -68,6 +78,11 @@ func main() {
 	flag.StringVar(&o.compress, "compress", "",
 		"codec-v4 parameter compression offer, e.g. q8, q16, topk:0.25, delta, or compositions like q8,topk:0.25; "+
 			"active only on connections whose peer offers the same schemes (empty or 'off' disables)")
+	flag.StringVar(&o.role, "role", "single",
+		"process role in the serving plane: single (classic coordinator), shard, or agg (see docs/SHARDING.md)")
+	flag.IntVar(&o.shardID, "shard-id", 0, "this process's shard index (with -role shard; 0-based, contiguous)")
+	flag.StringVar(&o.aggAddr, "agg-addr", "localhost:7360", "aggregator address to dial (with -role shard)")
+	flag.IntVar(&o.shards, "shards", 2, "number of shard processes to wait for (with -role agg)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-server:", err)
@@ -90,6 +105,10 @@ type serverOptions struct {
 	checkpointEvery             int
 	flight                      string
 	compress                    string
+	role                        string
+	shardID                     int
+	aggAddr                     string
+	shards                      int
 	// onListen, when non-nil, receives the bound address (tests).
 	onListen func(addr string)
 }
@@ -150,15 +169,33 @@ func run(o serverOptions) error {
 		}
 		opts = append(opts, plos.WithObserver(ob))
 	}
-	res, err := plos.Serve(o.addr, o.devices,
-		func(bound string) {
-			fmt.Println("listening on", bound, "— waiting for", o.devices, "devices")
-			if o.onListen != nil {
-				o.onListen(bound)
-			}
-		},
-		opts...,
-	)
+	switch o.role {
+	case "", "single", "shard":
+		return runServe(o, opts, ob)
+	case "agg":
+		return runAgg(o, opts, ob)
+	default:
+		return fmt.Errorf("unknown -role %q (want single, shard or agg)", o.role)
+	}
+}
+
+// runServe runs the device-facing roles: the classic single coordinator, or
+// one shard of a sharded plane. Both return the same ServeResult shape, so
+// the reporting is shared.
+func runServe(o serverOptions, opts []plos.Option, ob *plos.Observer) error {
+	var res *plos.ServeResult
+	var err error
+	onListen := func(bound string) {
+		fmt.Println("listening on", bound, "— waiting for", o.devices, "devices")
+		if o.onListen != nil {
+			o.onListen(bound)
+		}
+	}
+	if o.role == "shard" {
+		res, err = plos.ServeShard(o.aggAddr, o.shardID, o.addr, o.devices, onListen, opts...)
+	} else {
+		res, err = plos.Serve(o.addr, o.devices, onListen, opts...)
+	}
 	if err != nil {
 		return err
 	}
@@ -177,11 +214,8 @@ func run(o serverOptions) error {
 			fmt.Printf("         cause: %v\n", res.DropCause[t])
 		}
 	}
-	if o.flight != "" {
-		if err := ob.FlightErr(); err != nil {
-			return fmt.Errorf("flight recorder: %w", err)
-		}
-		fmt.Println("flight records written to", o.flight, "— analyze with: go run ./cmd/plos-trace", o.flight)
+	if err := flightNote(o, ob); err != nil {
+		return err
 	}
 	if o.save != "" {
 		f, err := os.Create(o.save)
@@ -194,6 +228,47 @@ func run(o serverOptions) error {
 		}
 		fmt.Println("model written to", o.save)
 	}
+	return nil
+}
+
+// runAgg runs the top-level aggregator of a sharded plane. It holds no
+// per-user models, so -save is rejected (save on the shards instead).
+func runAgg(o serverOptions, opts []plos.Option, ob *plos.Observer) error {
+	if o.save != "" {
+		return fmt.Errorf("-save is not supported with -role agg: personalized models live on the shards")
+	}
+	res, err := plos.ServeAggregator(o.addr, o.shards,
+		func(bound string) {
+			fmt.Println("aggregating on", bound, "— waiting for", o.shards, "shards")
+			if o.onListen != nil {
+				o.onListen(bound)
+			}
+		},
+		opts...,
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntraining done: %d CCCP rounds, %d users across %d shards, objective %.6g (converged %v)\n",
+		res.Rounds, res.Users, o.shards, res.Objective, res.Converged)
+	fmt.Printf("global hyperplane (%d dims): %.4g…\n", len(res.Global), head(res.Global, 6))
+	fmt.Println("\nshard    traffic        messages")
+	for s := range res.TrafficBytes {
+		fmt.Printf("%5d %9.1f KB %11d\n",
+			s, float64(res.TrafficBytes[s])/1024, res.TrafficMessages[s])
+	}
+	return flightNote(o, ob)
+}
+
+// flightNote surfaces flight-recorder failures and points at plos-trace.
+func flightNote(o serverOptions, ob *plos.Observer) error {
+	if o.flight == "" {
+		return nil
+	}
+	if err := ob.FlightErr(); err != nil {
+		return fmt.Errorf("flight recorder: %w", err)
+	}
+	fmt.Println("flight records written to", o.flight, "— analyze with: go run ./cmd/plos-trace", o.flight)
 	return nil
 }
 

@@ -8,7 +8,10 @@
 //   - a per-device compute/comm/energy breakdown keyed to the internal/cost
 //     device model,
 //   - a convergence summary (CCCP objective trajectory, cut activity, drops)
-//     compact enough to diff across runs.
+//     compact enough to diff across runs,
+//   - on a shard's stream (plos-server -role shard), a wait-attribution
+//     split between in-shard waiting (device stragglers) and cross-shard
+//     waiting (blocked on the aggregator's reduce).
 //
 // Usage:
 //
@@ -63,6 +66,7 @@ type record struct {
 	Users      int     `json:"users"`
 	Round      int     `json:"round"`
 	User       int     `json:"user"`
+	Shard      int     `json:"shard"`
 	Objective  float64 `json:"objective"`
 	SignFlips  int     `json:"sign_flips"`
 	Violation  float64 `json:"violation"`
@@ -90,8 +94,12 @@ type record struct {
 
 // admmRound is one timeline row: the consensus round plus the device events
 // that preceded it in the stream (fresh telemetry merges and stale reuses).
+// On a coordinator/aggregator stream the row is closed by an admm-round
+// record (rec); on a shard stream — which computes no residuals of its own —
+// it is closed by the shard-reduce record instead (reduce).
 type admmRound struct {
 	rec     record
+	reduce  *record  // shard-reduce, when this is a shard's round
 	devices []record // device-round, arrival order
 	stales  []record // stale-reuse
 }
@@ -241,6 +249,16 @@ func parse(in io.Reader) ([]*run, error) {
 			d.bytes = rec.Bytes
 			d.energyJ = rec.EnergyJ
 			d.waitNS += rec.ArriveNS
+		case "shard-reduce":
+			// A shard emits no admm-round record (the aggregator owns the
+			// residuals); its reduce record closes the pending round.
+			r := current()
+			ar := r.pendingRound()
+			rr := rec
+			ar.reduce = &rr
+			ar.rec.Round = rec.Round
+			r.cccpAt().rounds = append(r.cccpAt().rounds, ar)
+			r.pending = nil
 		case "stale-reuse":
 			r := current()
 			ar := r.pendingRound()
@@ -337,6 +355,8 @@ func printRun(w io.Writer, r *run, top, timeline int) {
 		}
 	}
 
+	printShardWait(w, r)
+
 	fmt.Fprintf(w, "\n== convergence summary ==\n")
 	admmTotal, stales := 0, 0
 	for _, c := range r.cccp {
@@ -383,8 +403,13 @@ func printRun(w io.Writer, r *run, top, timeline int) {
 }
 
 func printRound(w io.Writer, ar *admmRound, top int) {
-	fmt.Fprintf(w, "  a%-3d %8s  primal %9.3g  dual %9.3g",
-		ar.rec.Round, ms(ar.rec.DurNS), ar.rec.Primal, ar.rec.Dual)
+	if ar.reduce != nil {
+		fmt.Fprintf(w, "  a%-3d shard %d  reduce %8s  %d B",
+			ar.reduce.Round, ar.reduce.Shard, ms(ar.reduce.DurNS), ar.reduce.Bytes)
+	} else {
+		fmt.Fprintf(w, "  a%-3d %8s  primal %9.3g  dual %9.3g",
+			ar.rec.Round, ms(ar.rec.DurNS), ar.rec.Primal, ar.rec.Dual)
+	}
 	// Arrival entries sorted by offset, slowest first: the round's critical
 	// path is its slowest fresh reply (plus any stale timeout).
 	devs := append([]record(nil), ar.devices...)
@@ -403,6 +428,48 @@ func printRound(w io.Writer, ar *admmRound, top int) {
 		fmt.Fprintf(w, "  stale: u%d(%d)", s.User, s.Stale)
 	}
 	fmt.Fprintln(w)
+}
+
+// printShardWait attributes a shard's waiting between its own devices
+// (in-shard: the slowest fresh reply per round, on the shard's round clock)
+// and the aggregator (cross-shard: the time the shard sat blocked in the
+// reduce round-trips). Printed only for shard streams — runs with at least
+// one shard-reduce record.
+func printShardWait(w io.Writer, r *run) {
+	var inNS, crossNS, bytes int64
+	rounds, id := 0, 0
+	for _, c := range r.cccp {
+		for _, ar := range c.rounds {
+			if ar.reduce == nil {
+				continue
+			}
+			rounds++
+			id = ar.reduce.Shard
+			crossNS += ar.reduce.DurNS
+			bytes += ar.reduce.Bytes
+			var slowest int64
+			for _, d := range ar.devices {
+				if d.ArriveNS > slowest {
+					slowest = d.ArriveNS
+				}
+			}
+			inNS += slowest
+		}
+	}
+	if rounds == 0 {
+		return
+	}
+	total := inNS + crossNS
+	pct := func(ns int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(total)
+	}
+	fmt.Fprintf(w, "\n== wait attribution (shard %d, %d reduce rounds) ==\n", id, rounds)
+	fmt.Fprintf(w, "in-shard    (device stragglers): %10s  %5.1f%%\n", ms(inNS), pct(inNS))
+	fmt.Fprintf(w, "cross-shard (aggregator reduce): %10s  %5.1f%%  %d B on the aggregator link\n",
+		ms(crossNS), pct(crossNS), bytes)
 }
 
 func hasRounds(r *run) bool {
@@ -426,7 +493,12 @@ func sortedDevices(r *run) []*deviceAgg {
 func lastResiduals(r *run) *record {
 	for i := len(r.cccp) - 1; i >= 0; i-- {
 		if n := len(r.cccp[i].rounds); n > 0 {
-			return &r.cccp[i].rounds[n-1].rec
+			last := r.cccp[i].rounds[n-1]
+			if last.reduce != nil {
+				// Shard streams carry no residuals; the aggregator owns them.
+				return nil
+			}
+			return &last.rec
 		}
 	}
 	return nil

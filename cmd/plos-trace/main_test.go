@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -161,6 +162,93 @@ func TestAnalyzeLiveRun(t *testing.T) {
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("analyzer output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// runShardedFlight trains a two-shard plane over pipes with a flight
+// recorder on every shard and returns each shard's JSONL stream.
+func runShardedFlight(t *testing.T, users []core.UserData, partition [][]int) []string {
+	t.Helper()
+	k := len(partition)
+	bufs := make([]strings.Builder, k)
+	aggConns := make([]transport.Conn, k)
+	var deviceConns []transport.Conn
+	var shardWg, clientWg sync.WaitGroup
+	for s := range partition {
+		reg := obs.NewRegistry()
+		reg.SetFlightRecorder(obs.NewFlightRecorder(&bufs[s], 0))
+		aggSide, shardSide := transport.Pipe()
+		aggConns[s] = aggSide
+		conns := make([]transport.Conn, 0, len(partition[s]))
+		for _, u := range partition[s] {
+			sc, cc := transport.Pipe()
+			conns = append(conns, sc)
+			deviceConns = append(deviceConns, sc)
+			clientWg.Add(1)
+			go func(u int, cc transport.Conn) {
+				defer clientWg.Done()
+				_, _ = protocol.RunClient(cc, users[u], protocol.ClientOptions{Seed: int64(u)})
+			}(u, cc)
+		}
+		shardWg.Add(1)
+		go func(s int, shardSide transport.Conn, conns []transport.Conn, reg *obs.Registry) {
+			defer shardWg.Done()
+			if _, err := protocol.RunShard(shardSide, conns, protocol.ShardConfig{
+				Shard: s, Core: core.Config{Obs: reg}}); err != nil {
+				t.Errorf("shard %d: %v", s, err)
+			}
+		}(s, shardSide, conns, reg)
+	}
+	fc := fixtureConfig()
+	_, err := protocol.RunAggregator(aggConns, protocol.AggConfig{Core: fc.Core, Dist: fc.Dist})
+	for _, c := range aggConns {
+		_ = c.Close()
+	}
+	shardWg.Wait()
+	for _, c := range deviceConns {
+		_ = c.Close()
+	}
+	clientWg.Wait()
+	if err != nil {
+		t.Fatalf("RunAggregator: %v", err)
+	}
+	streams := make([]string, k)
+	for s := range bufs {
+		streams[s] = bufs[s].String()
+	}
+	return streams
+}
+
+// TestShardWaitAttribution feeds a shard's flight stream through the
+// analyzer: shard-reduce records must close the rounds (no admm-round
+// records exist on a shard) and the wait-attribution section must split the
+// shard's waiting between its own stragglers and the aggregator.
+func TestShardWaitAttribution(t *testing.T) {
+	streams := runShardedFlight(t, genUsers(11, 6), [][]int{{0, 1, 2, 3}, {4, 5}})
+	for s, stream := range streams {
+		if !strings.Contains(stream, `"rec":"shard-reduce"`) {
+			t.Fatalf("shard %d stream has no shard-reduce records:\n%s", s, stream)
+		}
+		var out strings.Builder
+		if err := analyze(strings.NewReader(stream), &out, 3, 40); err != nil {
+			t.Fatalf("analyze shard %d: %v", s, err)
+		}
+		got := out.String()
+		for _, want := range []string{
+			"run: trainer=shard",
+			fmt.Sprintf("shard %d  reduce", s),
+			fmt.Sprintf("== wait attribution (shard %d, ", s),
+			"in-shard    (device stragglers):",
+			"cross-shard (aggregator reduce):",
+			"on the aggregator link",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("shard %d analyzer output missing %q:\n%s", s, want, got)
+			}
+		}
+		if strings.Contains(got, "final residuals") {
+			t.Errorf("shard %d output claims residuals the shard never computed:\n%s", s, got)
 		}
 	}
 }

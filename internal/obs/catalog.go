@@ -76,6 +76,11 @@ const (
 	MetricWireCompressedBytes    = "wire_compressed_bytes_total"
 	MetricWireCompressionRatio   = "wire_compression_ratio"
 	MetricQuantErrorFeedbackNorm = "quant_error_feedback_norm"
+
+	MetricShardReduceSeconds   = "shard_reduce_seconds"
+	MetricShardDevices         = "shard_devices"
+	MetricShardMigrations      = "shard_migrations_total"
+	MetricShardCrossBytesTotal = "shard_cross_bytes_total"
 )
 
 // MetricDef describes one catalog entry.
@@ -139,4 +144,9 @@ var Catalog = []MetricDef{
 	{MetricWireCompressedBytes, KindCounter, "bytes", "Actual encoded bytes of compressed parameter payloads on the wire (codec v4)."},
 	{MetricWireCompressionRatio, KindGauge, "1", "Cumulative raw/compressed parameter-payload byte ratio across compression-negotiated connections (1 means compression is not saving anything)."},
 	{MetricQuantErrorFeedbackNorm, KindGauge, "1", "L2 norm of the sender-side error-feedback accumulators after the most recent compressed send (bounded when compression is healthy; growth signals divergence)."},
+
+	{MetricShardReduceSeconds, KindHistogram, "seconds", "Time one shard spent blocked on the aggregator per ADMM iteration (both cross-shard reduce round-trips)."},
+	{MetricShardDevices, KindGauge, "1", "Devices currently served by this shard process (live slots after the handshake or restore)."},
+	{MetricShardMigrations, KindCounter, "1", "Users adopted by this shard through a checkpoint-restore handoff (rebalance or shard replacement)."},
+	{MetricShardCrossBytesTotal, KindCounter, "bytes", "Bytes exchanged on the shard's aggregator connection (cross-shard reduce traffic; excludes device traffic)."},
 }

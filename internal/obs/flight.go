@@ -50,6 +50,10 @@ const (
 	RecordQuorum
 	// RecordRunEnd closes a training run.
 	RecordRunEnd
+	// RecordShardReduce is one shard's cross-shard reduce for an ADMM
+	// iteration: how long the shard sat blocked on its aggregator
+	// connection (both reduce round-trips) and the bytes that crossed it.
+	RecordShardReduce
 )
 
 // String returns the stable record-type name used in the JSONL stream.
@@ -75,6 +79,8 @@ func (k RecordKind) String() string {
 		return "quorum"
 	case RecordRunEnd:
 		return "run-end"
+	case RecordShardReduce:
+		return "shard-reduce"
 	default:
 		return "record-unknown"
 	}
@@ -91,7 +97,10 @@ type Record struct {
 	// or the ADMM iteration (admm-round, device-round, stale-reuse).
 	Round int
 	// User is the device index, or -1 for events not scoped to one device.
-	User       int
+	User int
+	// Shard is the emitting shard's index in a sharded serving plane
+	// (shard-reduce); 0 elsewhere.
+	Shard      int
 	Objective  float64
 	SignFlips  int // -1 when unknown (the wire server cannot see device signs)
 	Violation  float64
@@ -145,6 +154,7 @@ var RecordCatalog = []RecordDef{
 	{"device-drop", "A device drop-cause event (transient or permanent).", []string{"user", "cause", "permanent"}},
 	{"quorum", "Active devices crossed the abort threshold.", []string{"active", "need"}},
 	{"run-end", "A training run finished.", []string{"converged", "objective", "rounds"}},
+	{"shard-reduce", "One shard's cross-shard reduce wait for an ADMM iteration.", []string{"round", "shard", "dur_ns", "bytes"}},
 }
 
 // marshal renders the record's fixed per-kind JSON line (without the
@@ -234,6 +244,14 @@ func (rec Record) marshal() ([]byte, error) {
 			Objective float64 `json:"objective"`
 			Rounds    int     `json:"rounds"`
 		}{rec.Kind.String(), rec.Converged, rec.Objective, rec.Round})
+	case RecordShardReduce:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Round int    `json:"round"`
+			Shard int    `json:"shard"`
+			DurNS int64  `json:"dur_ns"`
+			Bytes int64  `json:"bytes"`
+		}{rec.Kind.String(), rec.Round, rec.Shard, rec.Dur.Nanoseconds(), rec.Bytes})
 	default:
 		return json.Marshal(struct {
 			Rec string `json:"rec"`

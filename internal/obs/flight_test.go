@@ -14,7 +14,7 @@ import (
 // set to a distinctive value.
 func sampleRecord(kind RecordKind) Record {
 	return Record{
-		Kind: kind, Trainer: "distributed", Users: 7, Round: 3, User: 2,
+		Kind: kind, Trainer: "distributed", Users: 7, Round: 3, User: 2, Shard: 1,
 		Objective: 1.5, SignFlips: 4, Violation: 0.25, Added: 1, WorkingSet: 9,
 		Primal: 0.125, Dual: 0.0625, Dur: 2 * time.Millisecond,
 		Arrive: time.Millisecond, Solve: 500 * time.Microsecond,
@@ -29,7 +29,7 @@ func sampleRecord(kind RecordKind) Record {
 func TestRecordMarshalMatchesCatalog(t *testing.T) {
 	kinds := []RecordKind{RecordRunStart, RecordCCCPStart, RecordCCCPIteration,
 		RecordCutRound, RecordADMMRound, RecordDeviceRound, RecordStaleReuse,
-		RecordDeviceDrop, RecordQuorum, RecordRunEnd}
+		RecordDeviceDrop, RecordQuorum, RecordRunEnd, RecordShardReduce}
 	if len(kinds) != len(RecordCatalog) {
 		t.Fatalf("catalog has %d entries for %d kinds", len(RecordCatalog), len(kinds))
 	}

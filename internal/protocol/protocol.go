@@ -42,6 +42,7 @@ import (
 	"plos/internal/obs"
 	"plos/internal/optimize"
 	"plos/internal/rng"
+	"plos/internal/shard"
 	"plos/internal/transport"
 )
 
@@ -108,6 +109,16 @@ type ServerConfig struct {
 	MinActive int
 	// FT configures the fault-tolerance layer; the zero value disables it.
 	FT FTConfig
+	// ReduceGroups, when non-nil, partitions the user slots into ordered
+	// groups and switches every cross-user floating-point reduction
+	// (federated init, consensus sum, primal residual, objective) to the
+	// grouped shape of internal/shard: per-group partials in slot order,
+	// folded in group order. A single coordinator with ReduceGroups set to
+	// a sharded deployment's partition reproduces that sharded run bit for
+	// bit — the reference side of the bit-identity contract in
+	// docs/SHARDING.md. Groups must cover every slot exactly once. Nil
+	// (the default) keeps the historical sequential reductions.
+	ReduceGroups [][]int
 }
 
 // ServerResult is the trained model plus per-user traffic accounting.
@@ -266,6 +277,13 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 		return nil, ErrNoConns
 	}
 	cfg = cfg.withDefaults()
+	tExpect := len(conns)
+	if ck := cfg.FT.Restore; ck != nil {
+		tExpect = len(ck.Sessions)
+	}
+	if err := validateGroups(cfg.ReduceGroups, tExpect); err != nil {
+		return nil, err
+	}
 
 	var st *serverState
 	var prior []float64
@@ -355,6 +373,50 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 	return res, nil
 }
 
+// collectHellos reads one hello per user and validates the shared feature
+// dimension, returning it with the users' federated-init contributions in
+// slot order.
+func collectHellos(users []*serverUser) (dim int, initWs []mat.Vector, initWeights []float64, err error) {
+	dim = -1
+	initWs = make([]mat.Vector, 0, len(users))
+	initWeights = make([]float64, 0, len(users))
+	for t, u := range users {
+		m, err := u.conn.Recv()
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("protocol: hello from user %d: %w", t, err)
+		}
+		if m.Type != transport.MsgHello {
+			return 0, nil, nil, fmt.Errorf("%w: got %v during handshake", ErrUnexpectedMsg, m.Type)
+		}
+		if dim == -1 {
+			dim = m.Dim
+		} else if m.Dim != dim {
+			abortUsers(users, fmt.Sprintf("dimension mismatch: %d vs %d", m.Dim, dim))
+			return 0, nil, nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, m.Dim, dim)
+		}
+		initWs = append(initWs, mat.Vector(m.W))
+		initWeights = append(initWeights, float64(m.Labeled))
+	}
+	return dim, initWs, initWeights, nil
+}
+
+// sendHelloReplies answers a fresh handshake: the population size T the
+// devices size their solvers with (the global count on a shard), the
+// hyperparameters, and — when needed — freshly minted session tokens.
+func sendHelloReplies(users []*serverUser, total, dim int, wire *transport.WireConfig, needSessions bool, sessionSeed int64) error {
+	for t, u := range users {
+		reply := transport.Message{Type: transport.MsgHello, Users: total, Dim: dim, Config: wire}
+		if needSessions {
+			u.session = sessionToken(sessionSeed, t)
+			reply.Session = u.session
+		}
+		if err := u.conn.Send(reply); err != nil {
+			return fmt.Errorf("protocol: hello reply to user %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
 // freshHandshake gathers hellos, validates dimensions, aggregates the
 // federated initialization, and replies with T, hyperparameters, and (when
 // the fault-tolerance layer needs them) session tokens.
@@ -366,50 +428,46 @@ func freshHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, err
 	}
 	needSessions := cfg.FT.Resume || cfg.FT.CheckpointPath != ""
 
-	dim := -1
-	initWs := make([]mat.Vector, 0, tCount)
-	initWeights := make([]float64, 0, tCount)
-	for t, u := range users {
-		m, err := u.conn.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("protocol: hello from user %d: %w", t, err)
-		}
-		if m.Type != transport.MsgHello {
-			return nil, fmt.Errorf("%w: got %v during handshake", ErrUnexpectedMsg, m.Type)
-		}
-		if dim == -1 {
-			dim = m.Dim
-		} else if m.Dim != dim {
-			abortUsers(users, fmt.Sprintf("dimension mismatch: %d vs %d", m.Dim, dim))
-			return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, m.Dim, dim)
-		}
-		initWs = append(initWs, mat.Vector(m.W))
-		initWeights = append(initWeights, float64(m.Labeled))
+	dim, initWs, initWeights, err := collectHellos(users)
+	if err != nil {
+		return nil, err
 	}
-	for t, u := range users {
-		reply := transport.Message{Type: transport.MsgHello, Users: tCount, Dim: dim,
-			Config: wireConfig(cfg.Core, cfg.Dist)}
-		if needSessions {
-			u.session = sessionToken(cfg.FT.SessionSeed, t)
-			reply.Session = u.session
-		}
-		if err := u.conn.Send(reply); err != nil {
-			return nil, fmt.Errorf("protocol: hello reply to user %d: %w", t, err)
-		}
+	if err := sendHelloReplies(users, tCount, dim, wireConfig(cfg.Core, cfg.Dist),
+		needSessions, cfg.FT.SessionSeed); err != nil {
+		return nil, err
 	}
-	w0 := core.FederatedInit(initWs, initWeights)
+	w0 := federatedInit(cfg.ReduceGroups, initWs, initWeights, dim)
 	if w0 == nil || len(w0) != dim {
 		w0 = mat.NewVector(dim)
 	}
 	return newServerState(cfg, users, dim, w0), nil
 }
 
-// restoreHandshake rebuilds the server state from a checkpoint: every
-// non-dropped slot of the checkpoint must be claimed by exactly one
-// connection whose hello echoes that slot's session token. The reply carries
-// the recorded epoch so clients know which round they are rejoining.
-func restoreHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, error) {
-	ck := cfg.FT.Restore
+// federatedInit aggregates the device init contributions: sequentially
+// (core.FederatedInit) without groups, or with the grouped fold shape of
+// the sharded plane when groups are set.
+func federatedInit(groups [][]int, initWs []mat.Vector, initWeights []float64, dim int) mat.Vector {
+	if groups == nil {
+		return core.FederatedInit(initWs, initWeights)
+	}
+	partials := make([]shard.InitPartial, len(groups))
+	for g, slots := range groups {
+		ws := make([]mat.Vector, 0, len(slots))
+		weights := make([]float64, 0, len(slots))
+		for _, t := range slots {
+			ws = append(ws, initWs[t])
+			weights = append(weights, initWeights[t])
+		}
+		partials[g] = shard.NewInitPartial(ws, weights, dim)
+	}
+	return shard.FoldInit(partials, len(initWs))
+}
+
+// matchRestoreConns rebuilds the per-user slots of a checkpoint and claims
+// each live slot with exactly one connection whose hello echoes that slot's
+// session token. No replies are sent yet — a shard must first learn the
+// global T from its aggregator.
+func matchRestoreConns(conns []transport.Conn, ck *Checkpoint) ([]*serverUser, error) {
 	if err := ck.validateForRestore(); err != nil {
 		return nil, err
 	}
@@ -454,19 +512,30 @@ func restoreHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, e
 		delete(bySession, m.Session) // each token claims exactly one slot
 		users[t].conn = c
 	}
+	return users, nil
+}
+
+// sendRestoreReplies answers a restore handshake: the reply carries the
+// recorded epoch so clients know which round they are rejoining.
+func sendRestoreReplies(users []*serverUser, total, dim, epoch int, wire *transport.WireConfig) error {
 	for t, u := range users {
 		if u.dropped {
 			continue
 		}
-		reply := transport.Message{Type: transport.MsgHello, Users: tCount, Dim: ck.Dim,
-			Round: ck.Epoch, Session: u.session,
-			Config: wireConfig(cfg.Core, cfg.Dist)}
+		reply := transport.Message{Type: transport.MsgHello, Users: total, Dim: dim,
+			Round: epoch, Session: u.session, Config: wire}
 		if err := u.conn.Send(reply); err != nil {
-			return nil, fmt.Errorf("protocol: restore hello reply to user %d: %w", t, err)
+			return fmt.Errorf("protocol: restore hello reply to user %d: %w", t, err)
 		}
 	}
-	// Continue the token stream from the checkpoint's seed so re-saved
-	// checkpoints keep the same identities.
+	return nil
+}
+
+// stateFromCheckpoint builds the trainer state of a restored run: the
+// checkpoint's w0, objective history, and per-user duals, with the token
+// stream continuing from the checkpoint's seed so re-saved checkpoints keep
+// the same identities.
+func stateFromCheckpoint(cfg ServerConfig, users []*serverUser, ck *Checkpoint) *serverState {
 	cfg.FT.SessionSeed = ck.Seed
 	st := newServerState(cfg, users, ck.Dim, ck.W0.Clone())
 	st.objHistory = append([]float64(nil), ck.Objective...)
@@ -475,7 +544,24 @@ func restoreHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, e
 			st.us[t] = u
 		}
 	}
-	return st, nil
+	return st
+}
+
+// restoreHandshake rebuilds the server state from a checkpoint: every
+// non-dropped slot of the checkpoint must be claimed by exactly one
+// connection whose hello echoes that slot's session token. The reply carries
+// the recorded epoch so clients know which round they are rejoining.
+func restoreHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, error) {
+	ck := cfg.FT.Restore
+	users, err := matchRestoreConns(conns, ck)
+	if err != nil {
+		return nil, err
+	}
+	if err := sendRestoreReplies(users, len(users), ck.Dim, ck.Epoch,
+		wireConfig(cfg.Core, cfg.Dist)); err != nil {
+		return nil, err
+	}
+	return stateFromCheckpoint(cfg, users, ck), nil
 }
 
 // exchangeReply is one exchange goroutine's report back to the round loop.
@@ -504,13 +590,15 @@ type serverState struct {
 	// replies receives exchange outcomes; buffered to len(users) so a late
 	// goroutine never blocks (at most one exchange is in flight per user).
 	replies chan exchangeReply
+	// groupOf maps a user slot to its ReduceGroups index; nil without groups.
+	groupOf []int
 
 	mStale, mReconnects, mDropped, mCheckpoints, mDropCause *obs.Counter
 }
 
 func newServerState(cfg ServerConfig, users []*serverUser, dim int, w0 mat.Vector) *serverState {
 	r := cfg.Core.Obs
-	return &serverState{
+	st := &serverState{
 		cfg: cfg, users: users, dim: dim, w0: w0,
 		us:           make(map[int]mat.Vector),
 		replies:      make(chan exchangeReply, len(users)),
@@ -520,6 +608,46 @@ func newServerState(cfg ServerConfig, users []*serverUser, dim int, w0 mat.Vecto
 		mCheckpoints: r.Counter(obs.MetricCheckpointsWritten, ""),
 		mDropCause:   r.Counter(obs.MetricProtocolDeviceDrops, ""),
 	}
+	if cfg.ReduceGroups != nil { // pre-validated by validateGroups
+		st.groupOf = make([]int, len(users))
+		for g, slots := range cfg.ReduceGroups {
+			for _, t := range slots {
+				if t >= 0 && t < len(users) {
+					st.groupOf[t] = g
+				}
+			}
+		}
+	}
+	return st
+}
+
+// validateGroups checks that groups (when set) cover every one of total user
+// slots exactly once — the precondition of every grouped reduction.
+func validateGroups(groups [][]int, total int) error {
+	if groups == nil {
+		return nil
+	}
+	seen := make([]int, total)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for g, slots := range groups {
+		for _, t := range slots {
+			if t < 0 || t >= total {
+				return fmt.Errorf("protocol: ReduceGroups group %d references slot %d outside [0,%d)", g, t, total)
+			}
+			if seen[t] != -1 {
+				return fmt.Errorf("protocol: ReduceGroups slot %d appears in groups %d and %d", t, seen[t], g)
+			}
+			seen[t] = g
+		}
+	}
+	for t, g := range seen {
+		if g == -1 {
+			return fmt.Errorf("protocol: ReduceGroups assigns slot %d to no group", t)
+		}
+	}
+	return nil
 }
 
 // flight returns the observer registry when it has a flight recorder
@@ -777,6 +905,233 @@ func (st *serverState) exchange(t, iter int, conn transport.Conn, start *transpo
 	st.replies <- exchangeReply{user: t, iter: iter, conn: conn, msg: rep, err: err}
 }
 
+// gatherEnv parameterizes one ADMM iteration's device exchange so the same
+// launch/collect/straggler machinery serves both round drivers (the
+// coordinator's cccpRound and a shard's shardRound): where the z and
+// per-participant dual vectors come from, and how a failed user is dropped.
+type gatherEnv struct {
+	round      int
+	iter       int
+	roundStart time.Time
+	// roundW0 is sent as start-round to participants flagged needSync.
+	roundW0 mat.Vector
+	z       mat.Vector
+	// dual returns the current scaled dual for consensus position i / user
+	// slot t; it is cloned into the outgoing message.
+	dual func(i, t int) mat.Vector
+	// drop permanently removes user t (consensus position pos); it returns
+	// ErrTooFewActive when the survivors fall below quorum.
+	drop func(t, pos int, cause error) error
+}
+
+// gather runs one iteration's exchange with every reachable, idle
+// participant and assembles the x-updates in deterministic slot order,
+// applying the stale-reuse/drop straggler policy. keep is the surviving
+// subset of parts, aligned with xs.
+func (st *serverState) gather(parts []int, env gatherEnv) (xs []mat.Vector, keep []int, err error) {
+	cfg := st.cfg
+	iter := env.iter
+	st.drainRejoins()
+
+	// Launch an exchange with every reachable, idle participant. The
+	// consensus vectors are cloned into the messages because a straggler
+	// goroutine may still hold them when the next step mutates the
+	// originals.
+	launched := 0
+	for i, t := range parts {
+		u := st.users[t]
+		u.fresh = false
+		if u.pending || u.conn == nil {
+			continue
+		}
+		params := transport.Message{Type: transport.MsgParams, Round: iter,
+			W0: env.z.Clone(), U: cloneVec(env.dual(i, t))}
+		var start *transport.Message
+		if u.needSync {
+			start = &transport.Message{Type: transport.MsgStartRound, Round: env.round, W0: env.roundW0.Clone()}
+			u.needSync = false
+		}
+		u.pending = true
+		launched++
+		go st.exchange(t, iter, u.conn, start, params)
+	}
+
+	// Collect until every launched exchange reported or the round
+	// deadline fires; whoever is still pending becomes a straggler.
+	waiting := launched
+	var deadline <-chan time.Time
+	var timer *time.Timer
+	if cfg.FT.RoundTimeout > 0 && waiting > 0 {
+		timer = time.NewTimer(cfg.FT.RoundTimeout)
+		deadline = timer.C
+	}
+	for waiting > 0 {
+		select {
+		case r := <-st.replies:
+			u := st.users[r.user]
+			u.pending = false
+			if r.iter == iter {
+				waiting--
+			}
+			if u.dropped {
+				continue
+			}
+			if r.err != nil {
+				st.noteConnFailure(r.user, r.conn, r.err)
+				continue
+			}
+			if r.iter != iter {
+				continue // stale reply from a previous iteration
+			}
+			u.fresh = true
+			u.lastW = mat.Vector(r.msg.W)
+			u.lastV = mat.Vector(r.msg.V)
+			u.lastXi = r.msg.Xi
+			if fr := st.flight(); fr != nil && r.msg.Telemetry != nil {
+				// The arrival offset is measured on the server's round
+				// clock; the telemetry block carries only device-local
+				// durations, so no clock synchronization is assumed.
+				tel := r.msg.Telemetry
+				// Compression savings are read from the server-side conn
+				// wrapper (cumulative raw vs encoded payload bytes) — the
+				// device's telemetry block stays at its v3 shape.
+				var rawB, compB int64
+				if cs, ok := u.conn.(transport.CompressionStats); ok {
+					rawB, compB = cs.CompStats()
+				}
+				fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound,
+					Round: iter, User: r.user,
+					Arrive: time.Since(env.roundStart), Solve: time.Duration(tel.SolveNS),
+					QPIters: tel.QPIters, Cuts: tel.Cuts, WarmHits: tel.WarmHits,
+					SignFlips: int(tel.SignFlips),
+					Msgs:      tel.MsgsSent + tel.MsgsRecv,
+					Bytes:     tel.BytesSent + tel.BytesRecv,
+					RawBytes:  rawB,
+					CompBytes: compB,
+					EnergyJ:   tel.EnergyJ})
+			}
+		case <-deadline:
+			waiting = 0
+		}
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+
+	// Assemble the x-updates in deterministic slot order. A participant
+	// without a fresh reply is either carried on its last solution
+	// (within the stale budget) or permanently dropped.
+	xs = make([]mat.Vector, 0, len(parts))
+	keep = make([]int, 0, len(parts))
+	pos := 0
+	for _, t := range parts {
+		u := st.users[t]
+		ok := u.fresh
+		if ok {
+			u.stale = 0
+		} else if u.lastW != nil && u.stale < cfg.FT.MaxStale &&
+			(cfg.FT.RoundTimeout > 0 || cfg.FT.Resume) &&
+			(cfg.FT.Resume || !u.detached) {
+			// Stale reuse covers deadline stragglers always, and lost
+			// connections only when resume gives them a way back.
+			u.stale++
+			st.mStale.Inc()
+			if fr := st.flight(); fr != nil {
+				fr.FlightRecord(obs.Record{Kind: obs.RecordStaleReuse,
+					Round: iter, User: t, Stale: u.stale})
+			}
+			ok = true
+		}
+		if !ok {
+			cause := u.cause
+			if cause == nil {
+				cause = fmt.Errorf("no update within the round deadline (stale budget %d exhausted)", cfg.FT.MaxStale)
+			}
+			if err := env.drop(t, pos, cause); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		xs = append(xs, mat.SubVec(u.lastW, u.lastV))
+		keep = append(keep, t)
+		pos++
+	}
+	if len(xs) == 0 {
+		if fr := st.flight(); fr != nil {
+			fr.FlightRecord(obs.Record{Kind: obs.RecordQuorum, Active: 0, Need: st.minActive()})
+		}
+		return nil, nil, fmt.Errorf("%w: all devices failed in the same round", ErrTooFewActive)
+	}
+	return xs, keep, nil
+}
+
+// groupPositions buckets the surviving consensus positions by ReduceGroups
+// group, in slot order (parts is ascending, so appending preserves it).
+func (st *serverState) groupPositions(parts []int) [][]int {
+	gpos := make([][]int, len(st.cfg.ReduceGroups))
+	for i, t := range parts {
+		g := st.groupOf[t]
+		gpos[g] = append(gpos[g], i)
+	}
+	return gpos
+}
+
+// stepGrouped advances the consensus with the same semantics as
+// admm.Consensus.Step but with every cross-user floating-point reduction in
+// the grouped shape of internal/shard: per-group partials in slot order,
+// folded in group order. Groups whose members all dropped contribute no
+// partial (a sharded deployment aborts before a shard reaches zero live
+// users, so the reference stays aligned with what shards actually send).
+func (st *serverState) stepGrouped(cons *admm.Consensus, xs []mat.Vector, parts []int) admm.Residuals {
+	rho := st.cfg.Dist.Rho
+	gpos := st.groupPositions(parts)
+
+	sums := make([]mat.Vector, 0, len(gpos))
+	for _, pos := range gpos {
+		if len(pos) == 0 {
+			continue
+		}
+		gxs := make([]mat.Vector, len(pos))
+		gus := make([]mat.Vector, len(pos))
+		for k, i := range pos {
+			gxs[k], gus[k] = xs[i], cons.U[i]
+		}
+		sums = append(sums, shard.SumXU(gxs, gus, st.dim))
+	}
+	zNew := admm.SquaredNormZ(shard.Fold(sums), len(xs), rho)
+
+	var res admm.Residuals
+	res.Dual = rho * math.Sqrt(2*float64(len(xs))) * mat.Dist2(zNew, cons.Z)
+	primals := make([]float64, 0, len(gpos))
+	for _, pos := range gpos {
+		if len(pos) == 0 {
+			continue
+		}
+		gxs := make([]mat.Vector, len(pos))
+		gus := make([]mat.Vector, len(pos))
+		for k, i := range pos {
+			gxs[k], gus[k] = xs[i], cons.U[i] // ApplyZ updates cons.U in place
+		}
+		primals = append(primals, shard.ApplyZ(gxs, gus, zNew))
+	}
+	res.Primal = math.Sqrt(shard.FoldScalars(primals))
+	cons.Z = zNew
+	return res
+}
+
+// objectivePartial is one partition's Eq. (23) objective contribution from
+// the last reported (v_t, ξ_t) of its live users, in slot order.
+func objectivePartial(users []*serverUser, slots []int, lambdaOverT float64) float64 {
+	var p float64
+	for _, t := range slots {
+		u := users[t]
+		if !u.dropped && u.lastV != nil {
+			p += lambdaOverT*u.lastV.SquaredNorm() + u.lastXi
+		}
+	}
+	return p
+}
+
 // cccpRound runs one CCCP round: announce the linearization point, then
 // iterate ADMM until the residual rule fires. Returns the objective L of
 // Eq. (23).
@@ -810,141 +1165,24 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 		if cfg.Core.Obs != nil {
 			roundStart = time.Now()
 		}
-		st.drainRejoins()
-
-		// Launch an exchange with every reachable, idle participant. The
-		// consensus vectors are cloned into the messages because a straggler
-		// goroutine may still hold them when the next Step mutates the
-		// originals.
-		launched := 0
-		for i, t := range parts {
-			u := st.users[t]
-			u.fresh = false
-			if u.pending || u.conn == nil {
-				continue
-			}
-			params := transport.Message{Type: transport.MsgParams, Round: iter,
-				W0: cons.Z.Clone(), U: cloneVec(cons.U[i])}
-			var start *transport.Message
-			if u.needSync {
-				start = &transport.Message{Type: transport.MsgStartRound, Round: round, W0: roundW0.Clone()}
-				u.needSync = false
-			}
-			u.pending = true
-			launched++
-			go st.exchange(t, iter, u.conn, start, params)
-		}
-
-		// Collect until every launched exchange reported or the round
-		// deadline fires; whoever is still pending becomes a straggler.
-		waiting := launched
-		var deadline <-chan time.Time
-		var timer *time.Timer
-		if cfg.FT.RoundTimeout > 0 && waiting > 0 {
-			timer = time.NewTimer(cfg.FT.RoundTimeout)
-			deadline = timer.C
-		}
-		for waiting > 0 {
-			select {
-			case r := <-st.replies:
-				u := st.users[r.user]
-				u.pending = false
-				if r.iter == iter {
-					waiting--
-				}
-				if u.dropped {
-					continue
-				}
-				if r.err != nil {
-					st.noteConnFailure(r.user, r.conn, r.err)
-					continue
-				}
-				if r.iter != iter {
-					continue // stale reply from a previous iteration
-				}
-				u.fresh = true
-				u.lastW = mat.Vector(r.msg.W)
-				u.lastV = mat.Vector(r.msg.V)
-				u.lastXi = r.msg.Xi
-				if fr := st.flight(); fr != nil && r.msg.Telemetry != nil {
-					// The arrival offset is measured on the server's round
-					// clock; the telemetry block carries only device-local
-					// durations, so no clock synchronization is assumed.
-					tel := r.msg.Telemetry
-					// Compression savings are read from the server-side conn
-					// wrapper (cumulative raw vs encoded payload bytes) — the
-					// device's telemetry block stays at its v3 shape.
-					var rawB, compB int64
-					if cs, ok := u.conn.(transport.CompressionStats); ok {
-						rawB, compB = cs.CompStats()
-					}
-					fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound,
-						Round: iter, User: r.user,
-						Arrive: time.Since(roundStart), Solve: time.Duration(tel.SolveNS),
-						QPIters: tel.QPIters, Cuts: tel.Cuts, WarmHits: tel.WarmHits,
-						SignFlips: int(tel.SignFlips),
-						Msgs:      tel.MsgsSent + tel.MsgsRecv,
-						Bytes:     tel.BytesSent + tel.BytesRecv,
-						RawBytes:  rawB,
-						CompBytes: compB,
-						EnergyJ:   tel.EnergyJ})
-				}
-			case <-deadline:
-				waiting = 0
-			}
-		}
-		if timer != nil {
-			timer.Stop()
-		}
-
-		// Assemble the x-updates in deterministic slot order. A participant
-		// without a fresh reply is either carried on its last solution
-		// (within the stale budget) or permanently dropped.
-		xs := make([]mat.Vector, 0, len(parts))
-		keep := make([]int, 0, len(parts))
-		pos := 0
-		for _, t := range parts {
-			u := st.users[t]
-			ok := u.fresh
-			if ok {
-				u.stale = 0
-			} else if u.lastW != nil && u.stale < cfg.FT.MaxStale &&
-				(cfg.FT.RoundTimeout > 0 || cfg.FT.Resume) &&
-				(cfg.FT.Resume || !u.detached) {
-				// Stale reuse covers deadline stragglers always, and lost
-				// connections only when resume gives them a way back.
-				u.stale++
-				st.mStale.Inc()
-				if fr := st.flight(); fr != nil {
-					fr.FlightRecord(obs.Record{Kind: obs.RecordStaleReuse,
-						Round: iter, User: t, Stale: u.stale})
-				}
-				ok = true
-			}
-			if !ok {
-				cause := u.cause
-				if cause == nil {
-					cause = fmt.Errorf("no update within the round deadline (stale budget %d exhausted)", cfg.FT.MaxStale)
-				}
-				if err := st.drop(t, pos, cons, cause); err != nil {
-					return 0, err
-				}
-				continue
-			}
-			xs = append(xs, mat.SubVec(u.lastW, u.lastV))
-			keep = append(keep, t)
-			pos++
-		}
-		parts = keep
-		if len(xs) == 0 {
-			if fr := st.flight(); fr != nil {
-				fr.FlightRecord(obs.Record{Kind: obs.RecordQuorum, Active: 0, Need: st.minActive()})
-			}
-			return 0, fmt.Errorf("%w: all devices failed in the same round", ErrTooFewActive)
-		}
-		res, err := cons.Step(xs)
+		xs, keep, err := st.gather(parts, gatherEnv{
+			round: round, iter: iter, roundStart: roundStart, roundW0: roundW0,
+			z:    cons.Z,
+			dual: func(i, t int) mat.Vector { return cons.U[i] },
+			drop: func(t, pos int, cause error) error { return st.drop(t, pos, cons, cause) },
+		})
 		if err != nil {
 			return 0, err
+		}
+		parts = keep
+
+		var res admm.Residuals
+		if st.cfg.ReduceGroups != nil {
+			res = st.stepGrouped(cons, xs, parts)
+		} else {
+			if res, err = cons.Step(xs); err != nil {
+				return 0, err
+			}
 		}
 		info.ADMMIterations++
 		info.ADMMPrimal = res.Primal
@@ -963,8 +1201,24 @@ func (st *serverState) cccpRound(round int, info *core.TrainInfo) (float64, erro
 	st.w0 = cons.Z
 
 	// Objective L of Eq. (23) from the last reported (v_t, ξ_t).
-	obj := st.w0.SquaredNorm()
 	lambdaOverT := cfg.Core.Lambda / float64(len(st.users))
+	if groups := st.cfg.ReduceGroups; groups != nil {
+		partials := make([]float64, 0, len(groups))
+		for _, slots := range groups {
+			live := 0
+			for _, t := range slots {
+				if !st.users[t].dropped {
+					live++
+				}
+			}
+			if live == 0 {
+				continue // all-dropped group: a shard in its place would have aborted
+			}
+			partials = append(partials, objectivePartial(st.users, slots, lambdaOverT))
+		}
+		return shard.FoldObjective(st.w0.SquaredNorm(), partials), nil
+	}
+	obj := st.w0.SquaredNorm()
 	for _, t := range st.active() {
 		u := st.users[t]
 		if u.lastV != nil {

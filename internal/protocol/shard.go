@@ -1,0 +1,854 @@
+// The sharded serving plane (docs/SHARDING.md): RunAggregator owns the
+// global consensus — it folds per-shard ADMM partials in shard order and
+// drives the CCCP convergence decisions — while RunShard serves a partition
+// of the devices with the same handshake, gather, fault-tolerance, and
+// checkpoint machinery as RunServer. Every cross-shard floating-point
+// reduction goes through internal/shard, the same helpers a single
+// coordinator uses when ServerConfig.ReduceGroups mirrors the shard
+// partition, so the two planes are bit-identical by construction.
+//
+// Shard↔aggregator message flow (one connection per shard, fields reused
+// from the device protocol — see the MsgShard* constants in transport):
+//
+//	shard → agg   shard-hello {shard id, dim, counts, init partials | restore state}
+//	agg → shard   shard-hello {global T, hyperparameters}
+//	per CCCP round:
+//	  agg → shard   shard-round {round, w0, objective of the previous round}
+//	  per ADMM iteration:
+//	    shard → agg   shard-sum   {Σ(x_t+u_t), live count}
+//	    agg → shard   shard-z     {reduced z}
+//	    shard → agg   shard-resid {Σ‖x_t−z‖², objective partial}
+//	    agg → shard   shard-next | shard-round | shard-done
+//	agg → shard   shard-done {final w0, rounds, converged, final objective}
+//
+// Failure policy: before the round loop both sides abort with MsgError;
+// mid-run the aggregator only ever *closes* shard connections on failure
+// (a Send to a peer blocked mid-reduce would deadlock a rendezvous pipe),
+// and a shard treats any error on its aggregator connection as a global
+// abort and shuts its devices down.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"plos/internal/admm"
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/obs"
+	"plos/internal/optimize"
+	"plos/internal/rng"
+	"plos/internal/shard"
+	"plos/internal/transport"
+)
+
+// ShardConfig configures one shard process of a sharded serving plane.
+type ShardConfig struct {
+	// Shard is this process's shard index: 0-based, unique per aggregator,
+	// and contiguous across the deployment. The aggregator folds shard
+	// partials in this order, which is what pins the plane's bit-identity.
+	Shard int
+	// Core supplies the shard-local knobs (Seed, Obs). The training
+	// hyperparameters arrive from the aggregator's hello reply and are
+	// forwarded to the devices.
+	Core core.Config
+	// MinActive and FT form the shard-local fault-tolerance envelope over
+	// this shard's devices, with the same semantics as in ServerConfig.
+	// FT.Restore resumes this shard from a checkpoint (its own, or one
+	// produced by SplitCheckpoint during a rebalance); the aggregator
+	// validates that all shards restore the same epoch and global state.
+	MinActive int
+	FT        FTConfig
+}
+
+// AggConfig configures the top-level aggregator of a sharded serving plane.
+// Core and Dist carry the full training configuration — the aggregator is
+// the single source of hyperparameters and convergence decisions; shards
+// and devices receive them through the handshake.
+type AggConfig struct {
+	Core core.Config
+	Dist core.DistConfig
+}
+
+// AggResult is the aggregator's view of a finished sharded run. Per-user
+// models stay on the shards (see the ServerResult each RunShard returns).
+type AggResult struct {
+	W0   mat.Vector
+	Info core.TrainInfo
+	// Users is the global population size T (summed over shard hellos).
+	Users int
+	// PerShard is the aggregator-side traffic per shard connection, indexed
+	// by shard id; Total aggregates them.
+	PerShard []transport.Stats
+	Total    transport.Stats
+}
+
+// RunShard drives one shard of a sharded serving plane: it serves conns
+// (this shard's devices) exactly like RunServer, except that every
+// cross-user reduction is shipped to the aggregator over agg and the
+// CCCP/ADMM control decisions arrive from there. Blocks until the
+// aggregator finishes or fails. The returned ServerResult covers this
+// shard's devices; W0 is the global model.
+func RunShard(agg transport.Conn, conns []transport.Conn, cfg ShardConfig) (*ServerResult, error) {
+	if len(conns) == 0 {
+		return nil, ErrNoConns
+	}
+	sCfg := ServerConfig{Core: cfg.Core, MinActive: cfg.MinActive, FT: cfg.FT}
+	if sCfg.FT.SessionSeed == 0 {
+		// Each shard mints session tokens from its own split of the seed
+		// stream so tokens stay unique across the whole deployment — the
+		// consistent-hash ring partitions users by token on a rebalance.
+		sCfg.FT.SessionSeed = rng.New(cfg.Core.Seed).SplitN("shard-session", cfg.Shard).Int63()
+	}
+	sCfg = sCfg.withDefaults()
+
+	// Device hellos (or the checkpoint) first: the shard's own hello to the
+	// aggregator carries the partition's init partials or restore state.
+	var users []*serverUser
+	var dim int
+	var hello transport.Message
+	if ck := sCfg.FT.Restore; ck != nil {
+		var err error
+		if users, err = matchRestoreConns(conns, ck); err != nil {
+			// The aggregator is still blocked in its handshake Recv, so a
+			// reasoned reject is safe; it unblocks the sibling shards.
+			abortConn(agg, fmt.Sprintf("shard %d failed its restore handshake", cfg.Shard))
+			return nil, err
+		}
+		live := 0
+		for _, u := range users {
+			if !u.dropped {
+				live++
+			}
+		}
+		dim = ck.Dim
+		// Labeled 1 flags a restore hello; the aggregator validates that
+		// every shard restores the same epoch, w0, and objective history.
+		hello = transport.Message{Type: transport.MsgShardHello, Round: cfg.Shard,
+			Dim: dim, Users: len(users), Samples: live, Labeled: 1,
+			W: ck.W0, V: ck.Objective}
+	} else {
+		users = make([]*serverUser, len(conns))
+		for t, c := range conns {
+			users[t] = &serverUser{conn: c}
+		}
+		var initWs []mat.Vector
+		var initWeights []float64
+		var err error
+		if dim, initWs, initWeights, err = collectHellos(users); err != nil {
+			abortConn(agg, fmt.Sprintf("shard %d failed its device handshake", cfg.Shard))
+			return nil, err
+		}
+		p := shard.NewInitPartial(initWs, initWeights, dim)
+		hello = transport.Message{Type: transport.MsgShardHello, Round: cfg.Shard,
+			Dim: dim, Users: len(users), Samples: len(users),
+			W: p.Weighted, U: p.Plain, Xi: p.Weight}
+	}
+	// Past this point any failure must Close the aggregator connection
+	// (never Send: the aggregator may itself be blocked in a Send to this
+	// shard, and a rendezvous pipe would deadlock) so the run fails fast
+	// everywhere instead of hanging the reduce.
+	if err := agg.Send(hello); err != nil {
+		abortUsers(users, "aggregator unreachable")
+		_ = agg.Close()
+		return nil, fmt.Errorf("protocol: shard %d: hello to aggregator: %w", cfg.Shard, err)
+	}
+	rep, err := agg.Recv()
+	if err != nil {
+		abortUsers(users, "aggregator lost during handshake")
+		_ = agg.Close()
+		return nil, fmt.Errorf("protocol: shard %d: aggregator hello reply: %w", cfg.Shard, err)
+	}
+	if rep.Type == transport.MsgError {
+		abortUsers(users, rep.Reason)
+		_ = agg.Close()
+		return nil, fmt.Errorf("%w: %s", ErrAborted, rep.Reason)
+	}
+	if rep.Type != transport.MsgShardHello || rep.Config == nil || rep.Users <= 0 {
+		abortUsers(users, "malformed aggregator handshake")
+		_ = agg.Close()
+		return nil, fmt.Errorf("%w: got %v, want shard-hello reply", ErrUnexpectedMsg, rep.Type)
+	}
+
+	// Device hello replies carry the *global* T (devices size their λ/T
+	// terms with it) and the aggregator's hyperparameters; the telemetry
+	// bit is overridden because piggybacks merge at this shard's recorder,
+	// not the aggregator's.
+	wire := *rep.Config
+	wire.Telemetry = cfg.Core.Obs.FlightEnabled()
+	var st *serverState
+	migrated := 0
+	if ck := sCfg.FT.Restore; ck != nil {
+		if err := sendRestoreReplies(users, rep.Users, dim, ck.Epoch, &wire); err != nil {
+			abortUsers(users, "shard handshake failed")
+			_ = agg.Close()
+			return nil, err
+		}
+		st = stateFromCheckpoint(sCfg, users, ck)
+		for _, u := range users {
+			if !u.dropped {
+				migrated++
+			}
+		}
+	} else {
+		needSessions := sCfg.FT.Resume || sCfg.FT.CheckpointPath != ""
+		if err := sendHelloReplies(users, rep.Users, dim, &wire, needSessions, sCfg.FT.SessionSeed); err != nil {
+			abortUsers(users, "shard handshake failed")
+			_ = agg.Close()
+			return nil, err
+		}
+		st = newServerState(sCfg, users, dim, mat.NewVector(dim))
+	}
+
+	r := cfg.Core.Obs
+	r.Counter(obs.MetricTrainRuns, "").Inc()
+	r.Gauge(obs.MetricShardDevices, "").Set(float64(len(st.active())))
+	if migrated > 0 {
+		r.Counter(obs.MetricShardMigrations, "").Add(int64(migrated))
+	}
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "shard", Users: len(users)})
+	}
+
+	sh := &shardRun{
+		st: st, agg: agg, id: cfg.Shard,
+		lambdaOverT: wire.Lambda / float64(rep.Users),
+		mReduce:     r.Histogram(obs.MetricShardReduceSeconds, ""),
+		mBytes:      r.Counter(obs.MetricShardCrossBytesTotal, ""),
+	}
+	info := core.TrainInfo{}
+	done, err := sh.loop(&info)
+	if err != nil {
+		st.abort(err.Error())
+		_ = agg.Close()
+		return nil, err
+	}
+	if len(done.W0) != st.dim {
+		err := fmt.Errorf("%w: final w0 has %d entries, dim %d", ErrDimMismatch, len(done.W0), st.dim)
+		st.abort(err.Error())
+		_ = agg.Close()
+		return nil, err
+	}
+	st.w0 = mat.Vector(done.W0)
+	info.CCCPIterations = done.Round
+	info.CCCPConverged = done.Users == 1
+	info.Objective = done.Xi
+	info.ObjectiveHistory = append([]float64(nil), st.objHistory...)
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordRunEnd, Converged: info.CCCPConverged,
+			Objective: info.Objective, Round: info.CCCPIterations})
+	}
+
+	st.broadcast(transport.Message{Type: transport.MsgDone, W0: st.w0})
+
+	tCount := len(st.users)
+	res := &ServerResult{
+		Model:     &core.Model{W0: st.w0, W: make([]mat.Vector, tCount)},
+		Info:      info,
+		Dropped:   make([]bool, tCount),
+		DropCause: make([]error, tCount),
+		PerUser:   make([]transport.Stats, tCount),
+	}
+	for t, u := range st.users {
+		res.Dropped[t] = u.dropped
+		res.DropCause[t] = u.cause
+		if !u.dropped {
+			res.Model.W[t] = u.lastW
+		}
+		res.PerUser[t] = u.stats()
+		res.Total = res.Total.Add(res.PerUser[t])
+	}
+	return res, nil
+}
+
+// shardRun is the per-run state of RunShard's control loop on top of the
+// shared serverState.
+type shardRun struct {
+	st  *serverState
+	agg transport.Conn
+	id  int
+	// lambdaOverT is λ/T with the *global* T — the objective-partial weight
+	// every shard and the reference coordinator must agree on.
+	lambdaOverT float64
+	mReduce     *obs.Histogram
+	mBytes      *obs.Counter
+}
+
+func (sh *shardRun) aggLost(err error) error {
+	return fmt.Errorf("protocol: shard %d: aggregator lost: %w", sh.id, err)
+}
+
+// loop processes aggregator decisions until the run ends, returning the
+// final shard-done message.
+func (sh *shardRun) loop(info *core.TrainInfo) (transport.Message, error) {
+	m, err := sh.agg.Recv()
+	if err != nil {
+		return transport.Message{}, sh.aggLost(err)
+	}
+	for {
+		switch m.Type {
+		case transport.MsgShardRound:
+			if err := sh.noteObjective(m.Round, m.Xi); err != nil {
+				return transport.Message{}, err
+			}
+			if m, err = sh.round(m.Round, mat.Vector(m.W0), info); err != nil {
+				return transport.Message{}, err
+			}
+		case transport.MsgShardDone:
+			if err := sh.noteObjective(m.Round, m.Xi); err != nil {
+				return transport.Message{}, err
+			}
+			return m, nil
+		case transport.MsgError:
+			return transport.Message{}, fmt.Errorf("%w: %s", ErrAborted, m.Reason)
+		default:
+			return transport.Message{}, fmt.Errorf("%w: got %v from aggregator", ErrUnexpectedMsg, m.Type)
+		}
+	}
+}
+
+// noteObjective folds the just-completed round's objective (carried on the
+// decision message that follows it) into the shard's history, emits the
+// round-completion metrics, and writes the due checkpoint. A decision for
+// round == len(history) starts the run (or continues a restore) and carries
+// nothing to record.
+func (sh *shardRun) noteObjective(round int, obj float64) error {
+	st := sh.st
+	if round == len(st.objHistory) {
+		return nil
+	}
+	if round != len(st.objHistory)+1 {
+		return fmt.Errorf("protocol: shard %d: aggregator decision for round %d, but history has %d entries",
+			sh.id, round, len(st.objHistory))
+	}
+	st.objHistory = append(st.objHistory, obj)
+	completed := len(st.objHistory)
+	if r := st.cfg.Core.Obs; r != nil {
+		r.Counter(obs.MetricCCCPIterations, "").Inc()
+		r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+		if r.FlightEnabled() {
+			r.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: completed - 1,
+				Objective: obj, SignFlips: -1})
+		}
+	}
+	if p := st.cfg.FT.CheckpointPath; p != "" && completed%st.cfg.FT.CheckpointEvery == 0 {
+		if err := SaveCheckpoint(p, st.checkpoint(completed)); err != nil {
+			return fmt.Errorf("protocol: shard %d: checkpoint after round %d: %w", sh.id, completed-1, err)
+		}
+		st.mCheckpoints.Inc()
+	}
+	return nil
+}
+
+// round runs one CCCP round on this shard: gather device updates, ship the
+// consensus partials, apply the reduced z, until the aggregator ends the
+// round. Returns the decision message that ended it (the next shard-round,
+// or shard-done).
+func (sh *shardRun) round(round int, w0 mat.Vector, info *core.TrainInfo) (transport.Message, error) {
+	st := sh.st
+	if len(w0) != st.dim {
+		return transport.Message{}, fmt.Errorf("protocol: shard %d: round %d w0 has dim %d, want %d",
+			sh.id, round, len(w0), st.dim)
+	}
+	st.epoch = round
+	st.w0 = w0
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordCCCPStart, Round: round})
+	}
+	st.drainRejoins()
+
+	parts := st.active()
+	if len(parts) == 0 {
+		return transport.Message{}, fmt.Errorf("%w: shard %d has no live devices", ErrTooFewActive, sh.id)
+	}
+	roundW0 := w0.Clone()
+	for _, t := range parts {
+		st.users[t].needSync = true
+	}
+	// Scaled duals aligned with parts, zero-initialized for first-time
+	// participants exactly like admm.NewConsensus.
+	us := make([]mat.Vector, len(parts))
+	for i, t := range parts {
+		if u, ok := st.us[t]; ok {
+			us[i] = u
+		} else {
+			us[i] = mat.NewVector(st.dim)
+		}
+	}
+	allSlots := make([]int, len(st.users))
+	for t := range allSlots {
+		allSlots[t] = t
+	}
+	z := w0.Clone()
+
+	for iter := 0; ; iter++ {
+		var roundStart time.Time
+		if st.cfg.Core.Obs != nil {
+			roundStart = time.Now()
+		}
+		xs, keep, err := st.gather(parts, gatherEnv{
+			round: round, iter: iter, roundStart: roundStart, roundW0: roundW0,
+			z:    z,
+			dual: func(i, t int) mat.Vector { return us[i] },
+			drop: func(t, pos int, cause error) error {
+				us = append(us[:pos], us[pos+1:]...)
+				return st.drop(t, pos, nil, cause)
+			},
+		})
+		if err != nil {
+			return transport.Message{}, err
+		}
+		parts = keep
+
+		// Cross-shard reduce, leg 1: ship Σ(x_t+u_t), wait for z.
+		preStats := sh.agg.Stats()
+		waitStart := time.Now()
+		if err := sh.agg.Send(transport.Message{Type: transport.MsgShardSum,
+			Round: iter, W0: shard.SumXU(xs, us, st.dim), Users: len(xs)}); err != nil {
+			return transport.Message{}, sh.aggLost(err)
+		}
+		zm, err := sh.agg.Recv()
+		if err != nil {
+			return transport.Message{}, sh.aggLost(err)
+		}
+		wait := time.Since(waitStart)
+		if zm.Type == transport.MsgError {
+			return transport.Message{}, fmt.Errorf("%w: %s", ErrAborted, zm.Reason)
+		}
+		if zm.Type != transport.MsgShardZ || zm.Round != iter || len(zm.W0) != st.dim {
+			return transport.Message{}, fmt.Errorf("%w: got %v (round %d), want shard-z for iteration %d",
+				ErrUnexpectedMsg, zm.Type, zm.Round, iter)
+		}
+		z = mat.Vector(zm.W0)
+		primalSq := shard.ApplyZ(xs, us, z)
+		// Persist duals by user id for the next CCCP round.
+		for i, t := range parts {
+			st.us[t] = us[i]
+		}
+		objPartial := objectivePartial(st.users, allSlots, sh.lambdaOverT)
+
+		// Leg 2: ship the residual and objective partials, wait for the
+		// aggregator's decision.
+		waitStart = time.Now()
+		if err := sh.agg.Send(transport.Message{Type: transport.MsgShardResid,
+			Round: iter, Xi: primalSq, W: []float64{objPartial}, Users: len(xs)}); err != nil {
+			return transport.Message{}, sh.aggLost(err)
+		}
+		dec, err := sh.agg.Recv()
+		if err != nil {
+			return transport.Message{}, sh.aggLost(err)
+		}
+		wait += time.Since(waitStart)
+		info.ADMMIterations++
+
+		stats := sh.agg.Stats()
+		bytes := (stats.BytesSent + stats.BytesReceived) - (preStats.BytesSent + preStats.BytesReceived)
+		sh.mReduce.Observe(wait.Seconds())
+		sh.mBytes.Add(bytes)
+		if fr := st.flight(); fr != nil {
+			fr.FlightRecord(obs.Record{Kind: obs.RecordShardReduce, Round: iter,
+				Shard: sh.id, Dur: wait, Bytes: bytes})
+		}
+
+		switch dec.Type {
+		case transport.MsgShardNext:
+			if dec.Round != iter+1 {
+				return transport.Message{}, fmt.Errorf("%w: shard-next for iteration %d, want %d",
+					ErrUnexpectedMsg, dec.Round, iter+1)
+			}
+		case transport.MsgShardRound, transport.MsgShardDone, transport.MsgError:
+			st.w0 = z
+			return dec, nil
+		default:
+			return transport.Message{}, fmt.Errorf("%w: got %v from aggregator mid-round", ErrUnexpectedMsg, dec.Type)
+		}
+	}
+}
+
+// aggRun is RunAggregator's state: the shard connections indexed by shard
+// id — the deterministic fold order — and the global consensus.
+type aggRun struct {
+	cfg   AggConfig
+	conns []transport.Conn
+	dim   int
+	w0    mat.Vector
+	hist  []float64
+}
+
+// fail handles a shard connection failure (or any mid-run error): every
+// shard connection is closed and the run fails. Nothing is written to the
+// shards — a Send to a peer blocked mid-reduce would deadlock a rendezvous
+// pipe; a shard treats its lost aggregator connection as a global abort.
+func (a *aggRun) fail(id int, err error) error {
+	a.close()
+	return fmt.Errorf("protocol: aggregator: shard %d: %w", id, err)
+}
+
+func (a *aggRun) close() {
+	for _, c := range a.conns {
+		_ = c.Close()
+	}
+}
+
+// sameBits reports whether two float slices are bitwise identical.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunAggregator drives a sharded training run over one connection per
+// shard. It owns the CCCP loop and the global ADMM consensus; the per-user
+// state lives on the shards. Blocks until training finishes or fails.
+func RunAggregator(conns []transport.Conn, cfg AggConfig) (*AggResult, error) {
+	if len(conns) == 0 {
+		return nil, ErrNoConns
+	}
+	sc := ServerConfig{Core: cfg.Core, Dist: cfg.Dist}.withDefaults()
+	cfg.Core, cfg.Dist = sc.Core, sc.Dist
+	k := len(conns)
+
+	// Handshake: one shard-hello per connection, slotted by shard id. The
+	// id set must be exactly 0..K-1 so the fold order is deterministic no
+	// matter the accept order (TCP included). bail rejects the whole
+	// deployment: a reasoned MsgError to shards whose hello was received
+	// (those are parked in Recv, so the Send cannot block), a bare Close
+	// to the rest (they may still be blocked in Send, where a counter-Send
+	// on a rendezvous pipe would deadlock — Close unblocks them instead).
+	seen := make([]bool, k)
+	bail := func(reason string) {
+		for i, c := range conns {
+			if seen[i] {
+				_ = c.Send(transport.Message{Type: transport.MsgError, Reason: reason})
+			}
+			_ = c.Close()
+		}
+	}
+	shards := make([]transport.Conn, k)
+	hellos := make([]transport.Message, k)
+	for i, c := range conns {
+		m, err := c.Recv()
+		if err != nil {
+			bail("aggregator handshake failed")
+			return nil, fmt.Errorf("protocol: aggregator: hello on connection %d: %w", i, err)
+		}
+		seen[i] = true
+		if m.Type == transport.MsgError {
+			seen[i] = false // already failing; don't echo the error back
+			bail(fmt.Sprintf("sibling shard aborted: %s", m.Reason))
+			return nil, fmt.Errorf("%w: %s", ErrAborted, m.Reason)
+		}
+		if m.Type != transport.MsgShardHello {
+			bail("expected shard-hello")
+			return nil, fmt.Errorf("%w: got %v during aggregator handshake", ErrUnexpectedMsg, m.Type)
+		}
+		id := m.Round
+		if id < 0 || id >= k || shards[id] != nil {
+			bail(fmt.Sprintf("invalid or duplicate shard id %d (want distinct ids 0..%d)", id, k-1))
+			return nil, fmt.Errorf("protocol: aggregator: invalid or duplicate shard id %d", id)
+		}
+		shards[id] = c
+		hellos[id] = m
+	}
+	dim := hellos[0].Dim
+	restore := hellos[0].Labeled == 1
+	globalT := 0
+	for id, m := range hellos {
+		if m.Dim != dim || dim <= 0 {
+			bail(fmt.Sprintf("dimension mismatch: shard %d has %d vs %d", id, m.Dim, dim))
+			return nil, fmt.Errorf("%w: shard %d has %d vs %d", ErrDimMismatch, id, m.Dim, dim)
+		}
+		if (m.Labeled == 1) != restore {
+			bail("mixed fresh and restoring shards")
+			return nil, fmt.Errorf("protocol: aggregator: shard %d is %s while shard 0 is not",
+				id, map[bool]string{true: "restoring", false: "fresh"}[m.Labeled == 1])
+		}
+		if m.Users <= 0 {
+			bail(fmt.Sprintf("shard %d serves no users", id))
+			return nil, fmt.Errorf("protocol: aggregator: shard %d serves no users", id)
+		}
+		globalT += m.Users
+	}
+
+	// Global starting state: the folded federated init, or the restored
+	// (w0, objective history) every shard must agree on bitwise.
+	var w0 mat.Vector
+	var prior []float64
+	if restore {
+		for id := 1; id < k; id++ {
+			if !sameBits(hellos[id].W, hellos[0].W) || !sameBits(hellos[id].V, hellos[0].V) {
+				bail(fmt.Sprintf("shard %d restored different global state than shard 0", id))
+				return nil, fmt.Errorf("protocol: aggregator: shard %d restored different global state than shard 0", id)
+			}
+		}
+		if len(hellos[0].W) != dim {
+			bail("restored w0 has wrong dimension")
+			return nil, fmt.Errorf("%w: restored w0 has %d entries, dim %d", ErrDimMismatch, len(hellos[0].W), dim)
+		}
+		w0 = mat.Vector(hellos[0].W).Clone()
+		prior = append([]float64(nil), hellos[0].V...)
+	} else {
+		partials := make([]shard.InitPartial, k)
+		for id, m := range hellos {
+			partials[id] = shard.InitPartial{Weighted: mat.Vector(m.W), Plain: mat.Vector(m.U), Weight: m.Xi}
+		}
+		w0 = shard.FoldInit(partials, globalT)
+		if w0 == nil || len(w0) != dim {
+			w0 = mat.NewVector(dim)
+		}
+	}
+
+	wire := wireConfig(cfg.Core, cfg.Dist)
+	for id, c := range shards {
+		reply := transport.Message{Type: transport.MsgShardHello, Users: globalT, Dim: dim, Config: wire}
+		if err := c.Send(reply); err != nil {
+			bail("aggregator handshake failed")
+			return nil, fmt.Errorf("protocol: aggregator: hello reply to shard %d: %w", id, err)
+		}
+	}
+
+	r := cfg.Core.Obs
+	r.Counter(obs.MetricTrainRuns, "").Inc()
+	if r.FlightEnabled() {
+		r.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "agg", Users: globalT})
+	}
+
+	a := &aggRun{cfg: cfg, conns: shards, dim: dim, w0: w0,
+		hist: append([]float64(nil), prior...)}
+	info := core.TrainInfo{}
+	cccpInfo, err := optimize.CCCPResume(func(round int) (float64, error) {
+		var start time.Time
+		if cfg.Core.Obs != nil {
+			start = time.Now()
+		}
+		obj, err := a.cccpRound(round, &info)
+		if err != nil {
+			return obj, err
+		}
+		if r := cfg.Core.Obs; r != nil {
+			r.Counter(obs.MetricCCCPIterations, "").Inc()
+			r.Gauge(obs.MetricTrainObjective, "").Set(obj)
+			r.Span(obs.Span{Kind: obs.SpanCCCPIteration, Start: start,
+				Dur: time.Since(start), Round: round, User: -1, Value: obj})
+			if r.FlightEnabled() {
+				r.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: round,
+					Objective: obj, SignFlips: -1, Dur: time.Since(start)})
+			}
+		}
+		a.hist = append(a.hist, obj)
+		return obj, nil
+	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter, prior)
+	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
+		// Mid-run failure: close-only (see fail); conns may already be
+		// closed, which double-Close tolerates.
+		a.close()
+		return nil, fmt.Errorf("protocol: RunAggregator: %w", err)
+	}
+	info.CCCPIterations = cccpInfo.Iterations
+	info.CCCPConverged = cccpInfo.Converged
+	info.Objective = cccpInfo.Objective
+	info.ObjectiveHistory = cccpInfo.History
+	if r.FlightEnabled() {
+		r.FlightRecord(obs.Record{Kind: obs.RecordRunEnd, Converged: cccpInfo.Converged,
+			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
+	}
+
+	conv := 0
+	if cccpInfo.Converged {
+		conv = 1
+	}
+	done := transport.Message{Type: transport.MsgShardDone, W0: a.w0,
+		Round: cccpInfo.Iterations, Users: conv, Xi: cccpInfo.Objective}
+	for _, c := range shards {
+		_ = c.Send(done) // a shard lost at the very end cannot be helped
+	}
+
+	res := &AggResult{W0: a.w0, Info: info, Users: globalT,
+		PerShard: make([]transport.Stats, k)}
+	for id, c := range shards {
+		res.PerShard[id] = c.Stats()
+		res.Total = res.Total.Add(res.PerShard[id])
+	}
+	return res, nil
+}
+
+// cccpRound runs one global CCCP round: announce it to the shards, then
+// iterate the cross-shard ADMM reduce until the residual rule fires.
+// Returns the objective L of Eq. (23).
+func (a *aggRun) cccpRound(round int, info *core.TrainInfo) (float64, error) {
+	// The round announcement carries the objective that closed the
+	// previous round so shards can complete their histories/checkpoints.
+	start := transport.Message{Type: transport.MsgShardRound, Round: round}
+	if n := len(a.hist); n > 0 {
+		start.Xi = a.hist[n-1]
+	}
+	for id, c := range a.conns {
+		start.W0 = a.w0.Clone()
+		if err := c.Send(start); err != nil {
+			return 0, a.fail(id, err)
+		}
+	}
+
+	rho := a.cfg.Dist.Rho
+	z := a.w0.Clone()
+	var obj float64
+	for iter := 0; iter < a.cfg.Dist.MaxADMMIter; iter++ {
+		var roundStart time.Time
+		if a.cfg.Core.Obs != nil {
+			roundStart = time.Now()
+		}
+
+		// Fold the shard partials in shard order — with the identical
+		// floating-point shape a single coordinator running ReduceGroups
+		// over this partition would use.
+		sums := make([]mat.Vector, len(a.conns))
+		workers := 0
+		for id, c := range a.conns {
+			m, err := c.Recv()
+			if err != nil {
+				return 0, a.fail(id, err)
+			}
+			if m.Type == transport.MsgError {
+				return 0, a.fail(id, fmt.Errorf("%w: %s", ErrAborted, m.Reason))
+			}
+			if m.Type != transport.MsgShardSum || m.Round != iter || len(m.W0) != a.dim || m.Users <= 0 {
+				return 0, a.fail(id, fmt.Errorf("%w: got %v (round %d, %d users) awaiting shard-sum for iteration %d",
+					ErrUnexpectedMsg, m.Type, m.Round, m.Users, iter))
+			}
+			sums[id] = mat.Vector(m.W0)
+			workers += m.Users
+		}
+		zNew := admm.SquaredNormZ(shard.Fold(sums), workers, rho)
+		var res admm.Residuals
+		res.Dual = rho * math.Sqrt(2*float64(workers)) * mat.Dist2(zNew, z)
+
+		for id, c := range a.conns {
+			if err := c.Send(transport.Message{Type: transport.MsgShardZ, Round: iter, W0: zNew.Clone()}); err != nil {
+				return 0, a.fail(id, err)
+			}
+		}
+
+		primals := make([]float64, len(a.conns))
+		objPartials := make([]float64, len(a.conns))
+		for id, c := range a.conns {
+			m, err := c.Recv()
+			if err != nil {
+				return 0, a.fail(id, err)
+			}
+			if m.Type == transport.MsgError {
+				return 0, a.fail(id, fmt.Errorf("%w: %s", ErrAborted, m.Reason))
+			}
+			if m.Type != transport.MsgShardResid || m.Round != iter || len(m.W) != 1 {
+				return 0, a.fail(id, fmt.Errorf("%w: got %v (round %d) awaiting shard-resid for iteration %d",
+					ErrUnexpectedMsg, m.Type, m.Round, iter))
+			}
+			primals[id] = m.Xi
+			objPartials[id] = m.W[0]
+		}
+		res.Primal = math.Sqrt(shard.FoldScalars(primals))
+		z = zNew
+		obj = shard.FoldObjective(zNew.SquaredNorm(), objPartials)
+
+		info.ADMMIterations++
+		info.ADMMPrimal = res.Primal
+		info.ADMMDual = res.Dual
+		if r := a.cfg.Core.Obs; r != nil {
+			admm.ObserveRound(r, iter, roundStart, res)
+		}
+		if res.Converged(workers, a.cfg.Dist.EpsAbs) {
+			break
+		}
+		if iter+1 < a.cfg.Dist.MaxADMMIter {
+			for id, c := range a.conns {
+				if err := c.Send(transport.Message{Type: transport.MsgShardNext, Round: iter + 1}); err != nil {
+					return 0, a.fail(id, err)
+				}
+			}
+		}
+	}
+	a.w0 = z
+	return obj, nil
+}
+
+// SplitCheckpoint extracts the sub-checkpoint of the users keep selects (by
+// slot index and session token), renumbering them densely in original slot
+// order. Together with MergeCheckpoints and shard.Ring this is the offline
+// rebalance tool: merge the shard checkpoints, then split the result by
+// ring ownership into one checkpoint per new shard (see docs/SHARDING.md).
+func SplitCheckpoint(ck *Checkpoint, keep func(slot int, session int64) bool) (*Checkpoint, error) {
+	out := &Checkpoint{
+		Epoch:     ck.Epoch,
+		Dim:       ck.Dim,
+		Seed:      ck.Seed,
+		W0:        ck.W0.Clone(),
+		Objective: append([]float64(nil), ck.Objective...),
+	}
+	for t := range ck.Sessions {
+		if !keep(t, ck.Sessions[t]) {
+			continue
+		}
+		out.Sessions = append(out.Sessions, ck.Sessions[t])
+		out.Dropped = append(out.Dropped, ck.Dropped[t])
+		out.Stale = append(out.Stale, ck.Stale[t])
+		out.Us = append(out.Us, cloneVec(ck.Us[t]))
+		out.LastW = append(out.LastW, cloneVec(ck.LastW[t]))
+		out.LastV = append(out.LastV, cloneVec(ck.LastV[t]))
+		out.LastXi = append(out.LastXi, ck.LastXi[t])
+	}
+	if len(out.Sessions) == 0 {
+		return nil, fmt.Errorf("protocol: SplitCheckpoint selected no users")
+	}
+	return out, nil
+}
+
+// MergeCheckpoints concatenates shard checkpoints in argument order (the
+// shard-id order, so slot concatenation matches the plane's global slot
+// convention). All inputs must agree on epoch, dimension, w0, and objective
+// history, and session tokens must be globally unique.
+func MergeCheckpoints(cks ...*Checkpoint) (*Checkpoint, error) {
+	if len(cks) == 0 {
+		return nil, fmt.Errorf("protocol: MergeCheckpoints of nothing")
+	}
+	base := cks[0]
+	out := &Checkpoint{
+		Epoch:     base.Epoch,
+		Dim:       base.Dim,
+		Seed:      base.Seed,
+		W0:        base.W0.Clone(),
+		Objective: append([]float64(nil), base.Objective...),
+	}
+	seen := make(map[int64]bool)
+	for i, ck := range cks {
+		if ck.Epoch != base.Epoch || ck.Dim != base.Dim {
+			return nil, fmt.Errorf("protocol: MergeCheckpoints: checkpoint %d is at epoch %d/dim %d, want %d/%d",
+				i, ck.Epoch, ck.Dim, base.Epoch, base.Dim)
+		}
+		if !sameBits(ck.W0, base.W0) || !sameBits(ck.Objective, base.Objective) {
+			return nil, fmt.Errorf("protocol: MergeCheckpoints: checkpoint %d disagrees on global state", i)
+		}
+		for t := range ck.Sessions {
+			if s := ck.Sessions[t]; s != 0 {
+				if seen[s] {
+					return nil, fmt.Errorf("protocol: MergeCheckpoints: duplicate session token in checkpoint %d", i)
+				}
+				seen[s] = true
+			}
+			out.Sessions = append(out.Sessions, ck.Sessions[t])
+			out.Dropped = append(out.Dropped, ck.Dropped[t])
+			out.Stale = append(out.Stale, ck.Stale[t])
+			out.Us = append(out.Us, cloneVec(ck.Us[t]))
+			out.LastW = append(out.LastW, cloneVec(ck.LastW[t]))
+			out.LastV = append(out.LastV, cloneVec(ck.LastV[t]))
+			out.LastXi = append(out.LastXi, ck.LastXi[t])
+		}
+	}
+	return out, nil
+}

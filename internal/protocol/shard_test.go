@@ -1,0 +1,505 @@
+package protocol
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"plos/internal/core"
+	"plos/internal/obs"
+	"plos/internal/shard"
+	"plos/internal/transport"
+)
+
+// floatsIdentical is bit-exact slice equality, the currency of the sharded
+// plane's bit-identity contract.
+func floatsIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardedOut collects every side of a sharded run: the aggregator,
+// the shards (by shard id), and the devices (by global user index).
+type shardedOut struct {
+	agg        *AggResult
+	aggErr     error
+	shards     []*ServerResult
+	shardErrs  []error
+	clients    []*ClientResult
+	clientErrs []error
+}
+
+// runSharded wires a full sharded plane over in-process pipes: one
+// aggregator, one shard goroutine per partition entry, and one client per
+// user. partition maps shard id -> global user indices, in slot order.
+// wrapDevice optionally wraps the shard-side device connections. deliver,
+// when non-nil, receives each client-side connection instead of the helper
+// spawning RunClient (the caller then owns those clients and their results).
+func runSharded(t *testing.T, users []core.UserData, partition [][]int,
+	cfg AggConfig, shardCfg func(s int) ShardConfig,
+	wrapDevice func(u int, c transport.Conn) transport.Conn,
+	deliver func(u int, cc transport.Conn)) *shardedOut {
+	t.Helper()
+	k := len(partition)
+	out := &shardedOut{
+		shards: make([]*ServerResult, k), shardErrs: make([]error, k),
+		clients: make([]*ClientResult, len(users)), clientErrs: make([]error, len(users)),
+	}
+	aggConns := make([]transport.Conn, k)
+	var deviceConns []transport.Conn
+	var clientWg, shardWg sync.WaitGroup
+	for s := range partition {
+		aggSide, shardSide := transport.Pipe()
+		aggConns[s] = aggSide
+		conns := make([]transport.Conn, 0, len(partition[s]))
+		for _, u := range partition[s] {
+			sc, cc := transport.Pipe()
+			if wrapDevice != nil {
+				sc = wrapDevice(u, sc)
+			}
+			conns = append(conns, sc)
+			deviceConns = append(deviceConns, sc)
+			if deliver != nil {
+				deliver(u, cc)
+				continue
+			}
+			clientWg.Add(1)
+			go func(u int, cc transport.Conn) {
+				defer clientWg.Done()
+				out.clients[u], out.clientErrs[u] = RunClient(cc, users[u], ClientOptions{Seed: int64(u)})
+			}(u, cc)
+		}
+		sCfg := ShardConfig{Shard: s}
+		if shardCfg != nil {
+			sCfg = shardCfg(s)
+		}
+		shardWg.Add(1)
+		go func(s int, shardSide transport.Conn, conns []transport.Conn, sCfg ShardConfig) {
+			defer shardWg.Done()
+			out.shards[s], out.shardErrs[s] = RunShard(shardSide, conns, sCfg)
+		}(s, shardSide, conns, sCfg)
+	}
+	out.agg, out.aggErr = RunAggregator(aggConns, cfg)
+	for _, c := range aggConns {
+		_ = c.Close()
+	}
+	shardWg.Wait()
+	for _, c := range deviceConns {
+		_ = c.Close()
+	}
+	clientWg.Wait()
+	return out
+}
+
+// TestShardedBitIdenticalToSingleCoordinator is the pinned contract of the
+// sharded plane: at a fixed shard order, the final models (global and
+// per-user, server- and device-side) and the whole objective history must be
+// bit-identical to a single coordinator reducing over the same partition.
+func TestShardedBitIdenticalToSingleCoordinator(t *testing.T) {
+	users, _ := makeUsers(31, 9)
+	partition := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8}}
+
+	refCfg := sweepConfig()
+	refCfg.ReduceGroups = partition
+	ref, err, refClients, refClientErrs := runPipesFT(t, users, refCfg, nil, nil)
+	if err != nil {
+		t.Fatalf("grouped single-coordinator reference: %v", err)
+	}
+
+	sc := sweepConfig()
+	out := runSharded(t, users, partition, AggConfig{Core: sc.Core, Dist: sc.Dist}, nil, nil, nil)
+	if out.aggErr != nil {
+		t.Fatalf("aggregator: %v", out.aggErr)
+	}
+	for s, e := range out.shardErrs {
+		if e != nil {
+			t.Fatalf("shard %d: %v", s, e)
+		}
+	}
+	for u, e := range out.clientErrs {
+		if e != nil || refClientErrs[u] != nil {
+			t.Fatalf("client %d: sharded err %v, reference err %v", u, e, refClientErrs[u])
+		}
+	}
+
+	if !vecIdentical(out.agg.W0, ref.Model.W0) {
+		t.Errorf("aggregator w0 differs from single coordinator:\nsharded %v\n    ref %v",
+			out.agg.W0, ref.Model.W0)
+	}
+	if !floatsIdentical(out.agg.Info.ObjectiveHistory, ref.Info.ObjectiveHistory) {
+		t.Errorf("objective history differs: sharded %v, ref %v",
+			out.agg.Info.ObjectiveHistory, ref.Info.ObjectiveHistory)
+	}
+	if out.agg.Info.CCCPIterations != ref.Info.CCCPIterations ||
+		out.agg.Info.CCCPConverged != ref.Info.CCCPConverged {
+		t.Errorf("CCCP outcome differs: sharded (%d, %v), ref (%d, %v)",
+			out.agg.Info.CCCPIterations, out.agg.Info.CCCPConverged,
+			ref.Info.CCCPIterations, ref.Info.CCCPConverged)
+	}
+	if out.agg.Users != len(users) {
+		t.Errorf("aggregator counted %d users, want %d", out.agg.Users, len(users))
+	}
+	for s, res := range out.shards {
+		if !vecIdentical(res.Model.W0, out.agg.W0) {
+			t.Errorf("shard %d final w0 differs from the aggregator's", s)
+		}
+		if res.Info.CCCPIterations != out.agg.Info.CCCPIterations {
+			t.Errorf("shard %d counted %d rounds, aggregator %d",
+				s, res.Info.CCCPIterations, out.agg.Info.CCCPIterations)
+		}
+		for j, u := range partition[s] {
+			if res.Dropped[j] {
+				t.Fatalf("fault-free sharded run dropped user %d", u)
+			}
+			if !vecIdentical(res.Model.W[j], ref.Model.W[u]) {
+				t.Errorf("user %d hyperplane differs between sharded and single coordinator", u)
+			}
+		}
+	}
+	for u := range users {
+		if !vecIdentical(out.clients[u].W, refClients[u].W) {
+			t.Errorf("user %d device-side model differs between sharded and single coordinator", u)
+		}
+	}
+}
+
+// TestShardedSingleShardDegenerates: a one-shard plane and a single
+// coordinator with one reduce group are both the plain server in disguise —
+// all three must produce bit-identical models.
+func TestShardedSingleShardDegenerates(t *testing.T) {
+	users, _ := makeUsers(32, 5)
+	all := []int{0, 1, 2, 3, 4}
+
+	plain, err, _, _ := runPipesFT(t, users, sweepConfig(), nil, nil)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	grpCfg := sweepConfig()
+	grpCfg.ReduceGroups = [][]int{all}
+	grouped, err, _, _ := runPipesFT(t, users, grpCfg, nil, nil)
+	if err != nil {
+		t.Fatalf("grouped run: %v", err)
+	}
+	if !vecIdentical(grouped.Model.W0, plain.Model.W0) {
+		t.Error("one reduce group changed the global model vs the plain server")
+	}
+
+	sc := sweepConfig()
+	out := runSharded(t, users, [][]int{all}, AggConfig{Core: sc.Core, Dist: sc.Dist}, nil, nil, nil)
+	if out.aggErr != nil {
+		t.Fatalf("aggregator: %v", out.aggErr)
+	}
+	if e := out.shardErrs[0]; e != nil {
+		t.Fatalf("shard: %v", e)
+	}
+	if !vecIdentical(out.agg.W0, plain.Model.W0) {
+		t.Errorf("one-shard plane w0 differs from the plain server:\nsharded %v\n  plain %v",
+			out.agg.W0, plain.Model.W0)
+	}
+	for u := range users {
+		if !vecIdentical(out.shards[0].Model.W[u], plain.Model.W[u]) {
+			t.Errorf("user %d hyperplane differs between one-shard plane and plain server", u)
+		}
+	}
+}
+
+// loopClients starts one RunClientLoop per user fed by a dial channel, so a
+// device survives a coordinator hand-off by redialing the next process.
+func loopClients(users []core.UserData) (dials []chan transport.Conn,
+	wait func() ([]*ClientResult, []error)) {
+	n := len(users)
+	dials = make([]chan transport.Conn, n)
+	results := make([]*ClientResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		dials[i] = make(chan transport.Conn, 2)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dial := func() (transport.Conn, error) {
+				c, ok := <-dials[i]
+				if !ok {
+					return nil, errors.New("out of connections")
+				}
+				return c, nil
+			}
+			results[i], errs[i] = RunClientLoop(dial, users[i],
+				ClientOptions{Seed: int64(i), MaxRedials: 2,
+					RedialDelay: time.Millisecond, Sleep: ftNoSleep})
+		}(i)
+	}
+	wait = func() ([]*ClientResult, []error) {
+		wg.Wait()
+		return results, errs
+	}
+	return dials, wait
+}
+
+// TestShardedCheckpointHandoffBitIdentical: run one round on a two-shard
+// plane, crash every shard at the final broadcast, restore fresh shard
+// processes from the per-shard checkpoints with the same (still-running)
+// devices, and finish. The final model must be bit-identical to an
+// uninterrupted single-coordinator run over the same partition.
+func TestShardedCheckpointHandoffBitIdentical(t *testing.T) {
+	users, _ := makeUsers(33, 7)
+	partition := [][]int{{0, 1, 2, 3}, {4, 5, 6}}
+
+	refCfg := sweepConfig()
+	refCfg.ReduceGroups = partition
+	ref, err, _, _ := runPipesFT(t, users, refCfg, nil, nil)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	dir := t.TempDir()
+	paths := []string{dir + "/shard0.ckpt", dir + "/shard1.ckpt"}
+	dials, wait := loopClients(users)
+	deliver := func(u int, cc transport.Conn) { dials[u] <- cc }
+
+	// Phase 1: one CCCP round, checkpoint, crash at the done broadcast.
+	sc := sweepConfig()
+	sc.Core.MaxCCCPIter = 1
+	phase1 := runSharded(t, users, partition, AggConfig{Core: sc.Core, Dist: sc.Dist},
+		func(s int) ShardConfig {
+			return ShardConfig{Shard: s, FT: FTConfig{CheckpointPath: paths[s]}}
+		},
+		func(u int, c transport.Conn) transport.Conn { return &doneBlocker{Conn: c} },
+		deliver)
+	if phase1.aggErr != nil {
+		t.Fatalf("phase 1 aggregator: %v", phase1.aggErr)
+	}
+	for s, e := range phase1.shardErrs {
+		if e != nil {
+			t.Fatalf("phase 1 shard %d: %v", s, e)
+		}
+	}
+
+	cks := make([]*Checkpoint, 2)
+	for s, p := range paths {
+		if cks[s], err = LoadCheckpoint(p); err != nil {
+			t.Fatalf("load shard %d checkpoint: %v", s, err)
+		}
+		if cks[s].Epoch != 1 {
+			t.Fatalf("shard %d checkpoint epoch = %d, want 1", s, cks[s].Epoch)
+		}
+	}
+
+	// Phase 2: fresh shard processes restore the checkpoints; the devices
+	// redial and re-attach by session token.
+	sc2 := sweepConfig()
+	phase2 := runSharded(t, users, partition, AggConfig{Core: sc2.Core, Dist: sc2.Dist},
+		func(s int) ShardConfig {
+			return ShardConfig{Shard: s, FT: FTConfig{CheckpointPath: paths[s], Restore: cks[s]}}
+		}, nil, deliver)
+	for _, d := range dials {
+		close(d)
+	}
+	clients, clientErrs := wait()
+	if phase2.aggErr != nil {
+		t.Fatalf("phase 2 aggregator: %v", phase2.aggErr)
+	}
+	for s, e := range phase2.shardErrs {
+		if e != nil {
+			t.Fatalf("phase 2 shard %d: %v", s, e)
+		}
+	}
+	for u, e := range clientErrs {
+		if e != nil {
+			t.Fatalf("client %d: %v", u, e)
+		}
+		if clients[u].Session == 0 {
+			t.Errorf("client %d never held a session token", u)
+		}
+	}
+
+	if !vecIdentical(phase2.agg.W0, ref.Model.W0) {
+		t.Error("global model differs from the uninterrupted single-coordinator run")
+	}
+	if !floatsIdentical(phase2.agg.Info.ObjectiveHistory, ref.Info.ObjectiveHistory) {
+		t.Errorf("objective history differs: handoff %v, ref %v",
+			phase2.agg.Info.ObjectiveHistory, ref.Info.ObjectiveHistory)
+	}
+	for s, res := range phase2.shards {
+		for j, u := range partition[s] {
+			if res.Dropped[j] {
+				t.Fatalf("user %d dropped across the hand-off", u)
+			}
+			if !vecIdentical(res.Model.W[j], ref.Model.W[u]) {
+				t.Errorf("user %d model differs from the uninterrupted run", u)
+			}
+			if !vecIdentical(clients[u].W, ref.Model.W[u]) {
+				t.Errorf("user %d device-side model differs from the uninterrupted run", u)
+			}
+		}
+	}
+	for s, p := range paths {
+		final, err := LoadCheckpoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Epoch != 2 {
+			t.Errorf("shard %d final checkpoint epoch = %d, want 2", s, final.Epoch)
+		}
+	}
+}
+
+// TestShardedRebalanceViaRing: crash a two-shard plane after one round, then
+// rebalance — merge the shard checkpoints, re-partition every user by
+// consistent-hash ring ownership of its session token, split, and restore.
+// The re-homed users must be adopted (counted as migrations) and training
+// must finish with every device agreeing on the final model.
+func TestShardedRebalanceViaRing(t *testing.T) {
+	users, _ := makeUsers(34, 8)
+	partition := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+
+	dir := t.TempDir()
+	paths := []string{dir + "/shard0.ckpt", dir + "/shard1.ckpt"}
+	dials, wait := loopClients(users)
+	deliver := func(u int, cc transport.Conn) { dials[u] <- cc }
+
+	sc := sweepConfig()
+	sc.Core.MaxCCCPIter = 1
+	phase1 := runSharded(t, users, partition, AggConfig{Core: sc.Core, Dist: sc.Dist},
+		func(s int) ShardConfig {
+			return ShardConfig{Shard: s, FT: FTConfig{CheckpointPath: paths[s]}}
+		},
+		func(u int, c transport.Conn) transport.Conn { return &doneBlocker{Conn: c} },
+		deliver)
+	if phase1.aggErr != nil {
+		t.Fatalf("phase 1 aggregator: %v", phase1.aggErr)
+	}
+
+	// The rebalance runbook (docs/SHARDING.md): merge in shard order, then
+	// split by ring ownership of the session tokens.
+	ck0, err := LoadCheckpoint(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck1, err := LoadCheckpoint(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeCheckpoints(ck0, ck1)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	slotUser := append(append([]int(nil), partition[0]...), partition[1]...)
+	ring := shard.NewRing([]int{0, 1}, 0)
+	newPartition := make([][]int, 2)
+	for slot, sess := range merged.Sessions {
+		s := ring.Owner(sess)
+		newPartition[s] = append(newPartition[s], slotUser[slot])
+	}
+	if len(newPartition[0]) == 0 || len(newPartition[1]) == 0 {
+		t.Fatalf("degenerate ring partition %v; pick a different seed", newPartition)
+	}
+	if len(newPartition[0]) == len(partition[0]) {
+		same := true
+		for i, u := range newPartition[0] {
+			same = same && u == partition[0][i]
+		}
+		if same {
+			t.Fatal("ring partition equals the original; the test would not exercise migration")
+		}
+	}
+	splits := make([]*Checkpoint, 2)
+	for s := range splits {
+		s := s
+		if splits[s], err = SplitCheckpoint(merged, func(slot int, sess int64) bool {
+			return ring.Owner(sess) == s
+		}); err != nil {
+			t.Fatalf("split shard %d: %v", s, err)
+		}
+	}
+
+	regs := []*obs.Registry{obs.NewRegistry(), obs.NewRegistry()}
+	sc2 := sweepConfig()
+	phase2 := runSharded(t, users, newPartition, AggConfig{Core: sc2.Core, Dist: sc2.Dist},
+		func(s int) ShardConfig {
+			return ShardConfig{Shard: s, Core: core.Config{Obs: regs[s]},
+				FT: FTConfig{Restore: splits[s]}}
+		}, nil, deliver)
+	for _, d := range dials {
+		close(d)
+	}
+	clients, clientErrs := wait()
+	if phase2.aggErr != nil {
+		t.Fatalf("phase 2 aggregator: %v", phase2.aggErr)
+	}
+	for s, e := range phase2.shardErrs {
+		if e != nil {
+			t.Fatalf("phase 2 shard %d: %v", s, e)
+		}
+	}
+	for u, e := range clientErrs {
+		if e != nil {
+			t.Fatalf("client %d: %v", u, e)
+		}
+	}
+	for s, res := range phase2.shards {
+		if got := regs[s].CounterValue(obs.MetricShardMigrations); got != int64(len(newPartition[s])) {
+			t.Errorf("shard %d adopted %d users, %s = %d", s, len(newPartition[s]),
+				obs.MetricShardMigrations, got)
+		}
+		for j, u := range newPartition[s] {
+			if res.Dropped[j] {
+				t.Fatalf("user %d dropped across the rebalance", u)
+			}
+			if !vecIdentical(res.Model.W0, phase2.agg.W0) {
+				t.Errorf("shard %d w0 differs from the aggregator's", s)
+			}
+			if !vecIdentical(clients[u].W, res.Model.W[j]) {
+				t.Errorf("user %d device- and shard-side models disagree after the rebalance", u)
+			}
+		}
+	}
+	if phase2.agg.Info.CCCPIterations != sweepConfig().Core.MaxCCCPIter {
+		t.Errorf("rebalanced run finished %d rounds, want %d",
+			phase2.agg.Info.CCCPIterations, sweepConfig().Core.MaxCCCPIter)
+	}
+}
+
+// TestShardedDeviceFailureAbortsGlobally: losing a device below one shard's
+// MinActive floor must take down that shard, the aggregator, and the sibling
+// shard's devices — the plane has no partial-progress mode.
+func TestShardedDeviceFailureAbortsGlobally(t *testing.T) {
+	users, _ := makeUsers(35, 5)
+	partition := [][]int{{0, 1, 2}, {3, 4}}
+
+	sc := sweepConfig()
+	out := runSharded(t, users, partition, AggConfig{Core: sc.Core, Dist: sc.Dist},
+		func(s int) ShardConfig {
+			return ShardConfig{Shard: s, MinActive: len(partition[s])}
+		},
+		func(u int, c transport.Conn) transport.Conn {
+			if u == 0 {
+				return transport.FailAfter(c, 4)
+			}
+			return c
+		}, nil)
+
+	if out.aggErr == nil {
+		t.Error("aggregator survived a shard abort")
+	}
+	if out.shardErrs[0] == nil || !errors.Is(out.shardErrs[0], ErrTooFewActive) {
+		t.Errorf("shard 0 error = %v, want ErrTooFewActive", out.shardErrs[0])
+	}
+	if out.shardErrs[1] == nil {
+		t.Error("sibling shard survived the global abort")
+	}
+	for u, e := range out.clientErrs {
+		if e == nil {
+			t.Errorf("client %d finished despite the global abort", u)
+		}
+	}
+}

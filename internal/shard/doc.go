@@ -1,0 +1,20 @@
+// Package shard holds the building blocks of the sharded serving plane:
+// the consistent-hash ring that assigns devices (by session token) to
+// shard coordinators, and the grouped-reduction algebra that makes the
+// sharded ADMM bit-identical to a single coordinator.
+//
+// The paper's consensus step (Eq. 23) needs only Σ(x_t + u_t) and a count
+// from the whole population, so it decomposes into shard-local partial
+// sums plus one tiny cross-shard reduce per ADMM iteration. Because
+// floating-point addition is not associative, "the same sum" is not
+// automatic: this package fixes one summation shape — per-partition
+// partials folded in partition order — and both planes use it through the
+// same helpers (SumXU, ApplyZ, Fold, FoldInit). A single coordinator
+// configured with the matching ReduceGroups partition (see
+// protocol.ServerConfig) then reproduces the sharded result bit for bit,
+// which is what the pinned equivalence tests assert.
+//
+// The wire half of the plane lives in internal/protocol (RunShard,
+// RunAggregator, the MsgShard* kinds in internal/transport); the operator
+// view is docs/SHARDING.md.
+package shard

@@ -1,0 +1,124 @@
+package shard
+
+import "plos/internal/mat"
+
+// The helpers below fix the summation shape of every cross-user reduction
+// in the training protocol: a partition computes its partial with the same
+// per-element operations a single coordinator would use, and partials are
+// folded in partition order. Both the sharded plane and a single
+// coordinator running with ReduceGroups call these, so bit-identity
+// between the two is by construction rather than by luck. Keep the
+// floating-point operation sequences here in lockstep with
+// admm.Consensus.Step and core.FederatedInit.
+
+// SumXU is one partition's consensus partial Σ(x_i + u_i), accumulated in
+// index order exactly as admm.Consensus.Step does (x then u, per worker).
+// xs and us are aligned.
+func SumXU(xs, us []mat.Vector, dim int) mat.Vector {
+	sum := mat.NewVector(dim)
+	for i, x := range xs {
+		sum.Add(x)
+		sum.Add(us[i])
+	}
+	return sum
+}
+
+// ApplyZ folds a freshly reduced consensus z into one partition's scaled
+// duals (u_i += x_i − z, in place) and returns the partition's
+// primal-residual partial Σ‖x_i − z‖², mirroring the dual-update half of
+// admm.Consensus.Step.
+func ApplyZ(xs, us []mat.Vector, z mat.Vector) float64 {
+	var primalSq float64
+	for i, x := range xs {
+		du := mat.SubVec(x, z)
+		primalSq += du.SquaredNorm()
+		us[i].Add(du)
+	}
+	return primalSq
+}
+
+// Fold reduces per-partition vector partials in partition order. The
+// first partial is cloned rather than added to a zero vector so a single
+// partition folds to exactly its own bits (0 + (−0) would flip signed
+// zeros). Returns nil for no partials.
+func Fold(partials []mat.Vector) mat.Vector {
+	if len(partials) == 0 {
+		return nil
+	}
+	total := partials[0].Clone()
+	for _, p := range partials[1:] {
+		total.Add(p)
+	}
+	return total
+}
+
+// FoldScalars reduces per-partition scalar partials in partition order.
+func FoldScalars(partials []float64) float64 {
+	if len(partials) == 0 {
+		return 0
+	}
+	total := partials[0]
+	for _, p := range partials[1:] {
+		total += p
+	}
+	return total
+}
+
+// FoldObjective folds per-partition Eq. (23) objective partials onto the
+// global ‖w0‖² term in partition order — the objective shape shared by the
+// aggregator and a grouped single coordinator.
+func FoldObjective(w0Sq float64, partials []float64) float64 {
+	obj := w0Sq
+	for _, p := range partials {
+		obj += p
+	}
+	return obj
+}
+
+// InitPartial is one partition's contribution to the federated w0
+// initialization: the label-weighted sum of its local hyperplanes, the
+// plain sum (used only when no user in the whole population has labels),
+// and the partition's total label weight.
+type InitPartial struct {
+	Weighted mat.Vector
+	Plain    mat.Vector
+	Weight   float64
+}
+
+// NewInitPartial accumulates one partition's init contribution in slot
+// order, with the same skip-zero-weight structure as core.FederatedInit.
+func NewInitPartial(ws []mat.Vector, weights []float64, dim int) InitPartial {
+	p := InitPartial{Weighted: mat.NewVector(dim), Plain: mat.NewVector(dim)}
+	for i, w := range ws {
+		if weights[i] > 0 {
+			p.Weighted.AddScaled(weights[i], w)
+			p.Weight += weights[i]
+		}
+		p.Plain.Add(w)
+	}
+	return p
+}
+
+// FoldInit folds partition init contributions into the starting w0 for a
+// population of total users, reproducing core.FederatedInit's decision:
+// label-weighted average when any user has labels, plain average
+// otherwise. The result aliases no partial.
+func FoldInit(partials []InitPartial, total int) mat.Vector {
+	if len(partials) == 0 || total == 0 {
+		return nil
+	}
+	weighted := make([]mat.Vector, len(partials))
+	plain := make([]mat.Vector, len(partials))
+	wts := make([]float64, len(partials))
+	for i, p := range partials {
+		weighted[i], plain[i], wts[i] = p.Weighted, p.Plain, p.Weight
+	}
+	if wt := FoldScalars(wts); wt > 0 {
+		sum := Fold(weighted)
+		sum.Scale(1 / wt)
+		return sum
+	}
+	sum := Fold(plain)
+	sum.Scale(1 / float64(total))
+	return sum
+}

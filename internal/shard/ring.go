@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per shard when NewRing is
+// given a non-positive replica count. More replicas smooth the token
+// distribution; the value only changes placement, never correctness.
+const defaultReplicas = 64
+
+// Ring is a consistent-hash ring mapping session tokens to shard IDs.
+// Placement depends only on (shard IDs, replicas): two processes that
+// build a ring from the same inputs agree on every owner, so a restarted
+// operator tool re-derives the same assignment (pinned by
+// TestRingDeterministicAcrossBuilds). Adding or removing one shard moves
+// only the tokens whose arc changed hands; everything else keeps its
+// owner (TestRingMinimalMovement).
+//
+// Ring is not safe for concurrent mutation; build it up front or guard it.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over the given shard IDs. replicas <= 0 selects
+// the default virtual-node count. Duplicate IDs are collapsed.
+func NewRing(shards []int, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{replicas: replicas}
+	seen := make(map[int]bool, len(shards))
+	for _, s := range shards {
+		if !seen[s] {
+			seen[s] = true
+			r.add(s)
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].less(r.points[j]) })
+	return r
+}
+
+// less orders points by hash, breaking the (astronomically unlikely)
+// collision by shard ID so the ring layout is a pure function of its
+// inputs.
+func (p ringPoint) less(q ringPoint) bool {
+	if p.hash != q.hash {
+		return p.hash < q.hash
+	}
+	return p.shard < q.shard
+}
+
+func (r *Ring) add(shard int) {
+	for k := 0; k < r.replicas; k++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(shard, k), shard: shard})
+	}
+}
+
+// Add inserts a shard's virtual nodes. Adding a present shard is a no-op.
+func (r *Ring) Add(shard int) {
+	for _, p := range r.points {
+		if p.shard == shard {
+			return
+		}
+	}
+	r.add(shard)
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].less(r.points[j]) })
+}
+
+// Remove deletes a shard's virtual nodes. Removing an absent shard is a
+// no-op.
+func (r *Ring) Remove(shard int) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Shards returns the distinct shard IDs on the ring in ascending order.
+func (r *Ring) Shards() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, p := range r.points {
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Owner returns the shard that owns token: the first virtual node at or
+// clockwise of the token's hash, wrapping past zero. It panics on an
+// empty ring (no shards can own anything).
+func (r *Ring) Owner(token int64) int {
+	if len(r.points) == 0 {
+		panic("shard: Owner on empty ring")
+	}
+	h := tokenHash(token)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Partition groups tokens by owning shard, preserving the input order
+// within each shard — callers that feed tokens in global slot order get
+// slot-ordered partitions, the order the bit-identity contract fixes.
+func (r *Ring) Partition(tokens []int64) map[int][]int64 {
+	out := make(map[int][]int64)
+	for _, tok := range tokens {
+		s := r.Owner(tok)
+		out[s] = append(out[s], tok)
+	}
+	return out
+}
+
+// pointHash positions virtual node k of a shard: FNV-1a over the 8-byte
+// little-endian shard ID and replica index. FNV is stable across Go
+// versions and platforms, unlike maphash, which is what makes ring
+// placement reproducible between processes.
+func pointHash(shard, replica int) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(shard)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(replica)))
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// tokenHash positions a session token on the ring.
+func tokenHash(token int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(token))
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}

@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"plos/internal/rng"
+)
+
+func testTokens(n int) []int64 {
+	g := rng.New(77)
+	out := make([]int64, n)
+	for i := range out {
+		tok := g.SplitN("session", i).Int63()
+		if tok == 0 {
+			tok = 1
+		}
+		out[i] = tok
+	}
+	return out
+}
+
+// A single shard owns every token: the ring degenerates to today's
+// single-coordinator assignment.
+func TestRingSingleShardOwnsAll(t *testing.T) {
+	r := NewRing([]int{0}, 0)
+	tokens := testTokens(500)
+	for _, tok := range tokens {
+		if got := r.Owner(tok); got != 0 {
+			t.Fatalf("Owner(%d) = %d, want 0", tok, got)
+		}
+	}
+	parts := r.Partition(tokens)
+	if len(parts) != 1 || len(parts[0]) != len(tokens) {
+		t.Fatalf("Partition: %d shards, |shard 0| = %d; want 1 shard with all %d",
+			len(parts), len(parts[0]), len(tokens))
+	}
+	if !reflect.DeepEqual(parts[0], tokens) {
+		t.Fatal("Partition must preserve input order within a shard")
+	}
+}
+
+// Placement is a pure function of (shard set, replicas): two independently
+// built rings — including one built in a different insertion order — agree
+// on every owner, so restarted processes re-derive the same assignment.
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	a := NewRing([]int{0, 1, 2, 3}, 32)
+	b := NewRing([]int{3, 1, 0, 2}, 32)
+	for _, tok := range testTokens(2000) {
+		if a.Owner(tok) != b.Owner(tok) {
+			t.Fatalf("owner of %d differs between identically configured rings", tok)
+		}
+	}
+}
+
+// Adding a shard moves only the tokens the new shard takes over; removing
+// it restores exactly the old assignment. No unrelated token changes owner.
+func TestRingMinimalMovement(t *testing.T) {
+	tokens := testTokens(3000)
+	base := NewRing([]int{0, 1, 2}, 0)
+	before := make(map[int64]int, len(tokens))
+	for _, tok := range tokens {
+		before[tok] = base.Owner(tok)
+	}
+
+	grown := NewRing([]int{0, 1, 2, 3}, 0)
+	moved := 0
+	for _, tok := range tokens {
+		after := grown.Owner(tok)
+		if after != before[tok] {
+			if after != 3 {
+				t.Fatalf("token %d moved %d -> %d, but only the new shard 3 may gain tokens",
+					tok, before[tok], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no token moved to the new shard; ring is not spreading")
+	}
+	// Expect roughly 1/4 of tokens on the new shard; anything beyond half
+	// means far more than the new shard's arcs changed hands.
+	if moved > len(tokens)/2 {
+		t.Fatalf("%d of %d tokens moved on shard add; want ≈ 1/4", moved, len(tokens))
+	}
+
+	// Add/Remove must be inverses of building the smaller ring directly.
+	mutated := NewRing([]int{0, 1, 2}, 0)
+	mutated.Add(3)
+	for _, tok := range tokens {
+		if mutated.Owner(tok) != grown.Owner(tok) {
+			t.Fatalf("Add(3): owner of %d differs from freshly built 4-shard ring", tok)
+		}
+	}
+	mutated.Remove(3)
+	for _, tok := range tokens {
+		if mutated.Owner(tok) != before[tok] {
+			t.Fatalf("Remove(3): owner of %d did not return to its pre-add shard", tok)
+		}
+	}
+}
+
+func TestRingShardsAndDuplicates(t *testing.T) {
+	r := NewRing([]int{2, 0, 2, 1}, 8)
+	if got := r.Shards(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Shards() = %v, want [0 1 2]", got)
+	}
+	r.Add(1) // present: no-op
+	if got := len(r.points); got != 3*8 {
+		t.Fatalf("duplicate Add grew the ring to %d points, want %d", got, 3*8)
+	}
+	r.Remove(7) // absent: no-op
+	if got := r.Shards(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Shards() after no-op Remove = %v, want [0 1 2]", got)
+	}
+}
+
+func TestRingOwnerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Owner on an empty ring must panic")
+		}
+	}()
+	NewRing(nil, 0).Owner(42)
+}

@@ -27,6 +27,39 @@ const (
 	MsgDone
 	// MsgError aborts the protocol with a reason.
 	MsgError
+
+	// The shard↔aggregator reduce protocol (docs/SHARDING.md) reuses the
+	// existing Message fields, so these kinds need no codec change and are
+	// invisible to device peers: shards speak them only on their dedicated
+	// aggregator connection, negotiated by MsgShardHello in place of the
+	// device hello.
+
+	// MsgShardHello opens a shard's aggregator connection: Round is the
+	// shard index, Users/Samples the shard's total and live device counts,
+	// W/U/Xi the shard's federated-init partials (weighted sum, plain sum,
+	// weight total). Labeled=1 marks a checkpoint-restoring shard (the
+	// discriminator — codecs need not preserve nil-vs-empty vectors), with
+	// W carrying the restored w0 and V the prior objective history.
+	// The aggregator's reply carries the global T in Users and the
+	// training hyperparameters in Config.
+	MsgShardHello
+	// MsgShardRound starts CCCP round Round on a shard: carries w0.
+	MsgShardRound
+	// MsgShardSum is a shard's ADMM partial Σ(x_t+u_t) for iteration
+	// Round, with its live participant count in Users.
+	MsgShardSum
+	// MsgShardZ broadcasts the freshly reduced consensus z for iteration
+	// Round back to the shards.
+	MsgShardZ
+	// MsgShardResid is a shard's post-z partials for iteration Round: the
+	// primal-residual partial Σ‖x_t−z‖² in Xi and the objective partial
+	// Σ(λ/T·‖v_t‖²+ξ_t) in W[0], with the live count in Users.
+	MsgShardResid
+	// MsgShardNext advances a shard to ADMM iteration Round of the
+	// current CCCP round.
+	MsgShardNext
+	// MsgShardDone ends a sharded run: carries the final w0.
+	MsgShardDone
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -44,6 +77,20 @@ func (t MsgType) String() string {
 		return "done"
 	case MsgError:
 		return "error"
+	case MsgShardHello:
+		return "shard-hello"
+	case MsgShardRound:
+		return "shard-round"
+	case MsgShardSum:
+		return "shard-sum"
+	case MsgShardZ:
+		return "shard-z"
+	case MsgShardResid:
+		return "shard-resid"
+	case MsgShardNext:
+		return "shard-next"
+	case MsgShardDone:
+		return "shard-done"
 	default:
 		return fmt.Sprintf("msgtype(%d)", int(t))
 	}

@@ -1,0 +1,95 @@
+// checklinks is the docs link gate, run by scripts/ci.sh as
+// `go run ./scripts/checklinks` from the repo root. It scans the handbook
+// set — README.md, DESIGN.md and docs/*.md — for relative links and inline
+// path references, and fails when a target does not exist — so a moved or
+// renamed document cannot leave dangling pointers in the handbook set.
+// (Journal files like CHANGES.md and ISSUE.md are exempt: they narrate
+// history and may name documents from other branches or points in time.)
+//
+// Checked forms:
+//
+//   - markdown links `[text](target)` whose target is not an absolute URL
+//     or in-page anchor; a trailing `#fragment` is stripped before the
+//     existence check (fragments themselves are not validated);
+//   - prose references to sibling documents, `docs/NAME.md` or a bare
+//     `NAME.md`, which this repo's docs use heavily ("see
+//     docs/SHARDING.md").
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// docRef catches prose references like docs/SHARDING.md or DESIGN.md.
+	docRef = regexp.MustCompile(`(?:^|[\s(` + "`" + `])((?:docs/)?[A-Z][A-Za-z0-9_-]*\.md)`)
+)
+
+func main() {
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+	m, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checklinks: %v\n", err)
+		os.Exit(1)
+	}
+	files = append(files, m...)
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "checklinks: no markdown files found (run from the repo root)")
+		os.Exit(1)
+	}
+	sort.Strings(files)
+
+	fail := false
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checklinks: %v\n", err)
+			os.Exit(1)
+		}
+		doc := string(raw)
+
+		targets := map[string]bool{}
+		for _, m := range mdLink.FindAllStringSubmatch(doc, -1) {
+			t := m[1]
+			if strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#") {
+				continue
+			}
+			if i := strings.IndexByte(t, '#'); i >= 0 {
+				t = t[:i]
+			}
+			if t != "" {
+				targets[t] = true
+			}
+		}
+		for _, m := range docRef.FindAllStringSubmatch(doc, -1) {
+			targets[m[1]] = true
+		}
+
+		base := filepath.Dir(file)
+		for t := range targets {
+			checked++
+			// Markdown links resolve relative to the file; the prose form
+			// docs/NAME.md (or a root NAME.md) is written repo-root-relative
+			// everywhere in this repo, so accept either resolution.
+			if _, err := os.Stat(filepath.Join(base, t)); err == nil {
+				continue
+			}
+			if _, err := os.Stat(t); err == nil {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "checklinks: %s references %q, which does not exist\n", file, t)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("checklinks: %d references across %d markdown files all resolve\n", checked, len(files))
+}

@@ -8,6 +8,12 @@
 //     metric (or a known non-metric field), so renamed or deleted metrics
 //     cannot leave stale documentation behind.
 //
+// The sharded-plane handbook (docs/SHARDING.md) is held to the catalog the
+// same way: every `shard_*` metric must appear backticked there (the
+// operator doc owns those metrics' runbook meaning), and every backticked
+// snake_case token in it must be a cataloged metric — so the runbook
+// cannot reference a metric that was renamed away.
+//
 // The flight-recorder schema gets the same two-way treatment against
 // internal/obs.RecordCatalog: every record type must appear backticked in
 // the handbook's "## Flight recorder" section, and every hyphenated
@@ -136,9 +142,48 @@ func main() {
 		fail = true
 	}
 
+	// The sharding handbook: forward-require the shard_* metrics, reverse-
+	// check every snake_case token it uses.
+	const shardDocPath = "docs/SHARDING.md"
+	shardRaw, err := os.ReadFile(shardDocPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %v (run from the repo root)\n", err)
+		os.Exit(1)
+	}
+	shardDoc := string(shardRaw)
+	for _, d := range obs.Catalog {
+		if strings.HasPrefix(d.Name, "shard_") && !strings.Contains(shardDoc, "`"+d.Name+"`") {
+			fmt.Fprintf(os.Stderr,
+				"checkmetrics: shard metric %q (%s) is registered but missing from %s\n",
+				d.Name, d.Help, shardDocPath)
+			fail = true
+		}
+	}
+	shardStale := map[string]bool{}
+	for _, m := range tickToken.FindAllStringSubmatch(shardDoc, -1) {
+		if name := m[1]; !catalog[name] && !notMetrics[name] {
+			shardStale[name] = true
+		}
+	}
+	for _, n := range sortedKeys(shardStale) {
+		fmt.Fprintf(os.Stderr,
+			"checkmetrics: %s documents %q, which is not in the obs catalog (stale or typo)\n",
+			shardDocPath, n)
+		fail = true
+	}
+
 	if fail {
 		os.Exit(1)
 	}
-	fmt.Printf("checkmetrics: %d metrics and %d flight records documented, %s in sync with the catalogs\n",
-		len(obs.Catalog), len(obs.RecordCatalog), docPath)
+	fmt.Printf("checkmetrics: %d metrics and %d flight records documented, %s and %s in sync with the catalogs\n",
+		len(obs.Catalog), len(obs.RecordCatalog), docPath, shardDocPath)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

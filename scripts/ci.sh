@@ -22,6 +22,9 @@ go run ./scripts/checkmetrics
 echo "== checkperf (docs/PERFORMANCE.md vs benchmarks + BENCH_*.json) =="
 go run ./scripts/checkperf
 
+echo "== checklinks (handbook cross-references resolve) =="
+go run ./scripts/checklinks
+
 echo "== go build =="
 go build ./...
 
@@ -37,6 +40,11 @@ go run ./cmd/plos-trace cmd/plos-trace/testdata/fixture.jsonl > /dev/null
 echo "== FT smoke: seeded chaos soak + checkpoint kill/resume (race) =="
 go test -race -count=1 -v \
     -run 'TestChaosSoakTraining|TestCheckpointResumeBitIdentical' \
+    ./internal/protocol
+
+echo "== sharded-plane race smoke: 2-shard bit-identity + rebalance (docs/SHARDING.md) =="
+go test -race -count=1 \
+    -run 'TestShardedBitIdenticalToSingleCoordinator|TestShardedRebalanceViaRing' \
     ./internal/protocol
 
 echo "== compressed-mode race smoke: codec-v4 negotiation + mixed fleet =="

@@ -1,0 +1,235 @@
+package plos
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"plos/internal/compress"
+	"plos/internal/protocol"
+	"plos/internal/rng"
+	"plos/internal/transport"
+)
+
+// AggregateResult is the aggregator-side outcome of a sharded run. The
+// aggregator never holds per-user models — those stay on the shards (each
+// ServeShard returns its partition's ServeResult) — so this reports only the
+// global model and run-level accounting.
+type AggregateResult struct {
+	// Global is the consensus hyperplane w0 (bias-augmented when the run
+	// used WithBias, which is the default).
+	Global []float64
+	// Users is the global population size T, summed over the shard hellos.
+	Users int
+	// Rounds is the number of completed CCCP rounds; Converged reports
+	// whether the outer loop met its tolerance within the round budget.
+	Rounds    int
+	Converged bool
+	// Objective is the final global objective; ObjectiveHistory the
+	// per-round trajectory (restored rounds included after a resume).
+	Objective        float64
+	ObjectiveHistory []float64
+	// TrafficBytes[s] / TrafficMessages[s] account the aggregator's link to
+	// shard s.
+	TrafficBytes    []int64
+	TrafficMessages []int
+}
+
+// wrapShardLink layers the reliability stack over a shard↔aggregator
+// connection: the same timeouts, observability and seeded retry as
+// wrapConn, but never the codec-v4 compression layer. The aggregator link
+// carries exact partial sums (Σ(x_t+u_t), residual partials) whose fold
+// order pins the plane's bit-identity contract (docs/SHARDING.md); lossy
+// error-feedback quantization would corrupt those reduces, so compression
+// is a device-link-only concern even when WithCompression is configured.
+func wrapShardLink(c transport.Conn, o *options, seedLabel string, idx int) transport.Conn {
+	if o.ft.opTimeout > 0 {
+		transport.SetOpTimeout(c, o.ft.opTimeout)
+	}
+	wired := c
+	if o.core.Obs != nil {
+		wired = transport.Observe(c, o.core.Obs, -1)
+	}
+	if o.ft.retries > 1 {
+		wired = transport.Retry(wired, transport.RetryPolicy{
+			MaxAttempts: o.ft.retries,
+			Seed:        rng.New(o.core.Seed).SplitN(seedLabel, idx).Int63(),
+		}, o.core.Obs)
+	}
+	return wired
+}
+
+// ServeShard runs one shard of a sharded serving plane: it listens on addr
+// for exactly `devices` Join peers (its user partition), dials the
+// aggregator at aggAddr, and serves the partition exactly like Serve except
+// that every cross-user reduction is shipped to the aggregator and the
+// CCCP/ADMM control decisions arrive from there. shardID is this process's
+// 0-based shard index; it must be unique per aggregator and contiguous
+// across the deployment, because the aggregator folds shard partials in
+// shard-id order (the bit-identity contract of docs/SHARDING.md).
+//
+// Options behave as in Serve: WithCheckpoint resumes this shard from its
+// own checkpoint (or one produced by a rebalance split), WithSessionResume
+// keeps accepting device reconnections, and WithCompression applies to the
+// device links only — the aggregator link is never compressed (see
+// wrapShardLink). Hyperparameters (λ, Cl, Cu, ρ, …) are decided by the
+// aggregator and flow through the shard to its devices, so training knobs
+// passed here are ignored in favor of the aggregator's.
+func ServeShard(aggAddr string, shardID int, addr string, devices int, onListen func(addr string), opts ...Option) (*ServeResult, error) {
+	if shardID < 0 {
+		return nil, errors.New("plos: ServeShard: shard id must be >= 0")
+	}
+	if devices <= 0 {
+		return nil, errors.New("plos: ServeShard: need at least one device")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	comp, err := compress.Parse(o.compressSpec)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeShard: %w", err)
+	}
+	o.comp = comp
+
+	var restore *protocol.Checkpoint
+	if o.ft.checkpointPath != "" {
+		ck, err := protocol.LoadCheckpoint(o.ft.checkpointPath)
+		switch {
+		case err == nil:
+			restore = ck
+			devices = 0
+			for _, d := range ck.Dropped {
+				if !d {
+					devices++
+				}
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// No checkpoint yet: fresh run.
+		default:
+			return nil, fmt.Errorf("plos: ServeShard: %w", err)
+		}
+	}
+
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeShard: %w", err)
+	}
+	defer l.Close()
+	if onListen != nil {
+		onListen(l.Addr())
+	}
+	conns, err := l.AcceptN(devices)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeShard: %w", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	wired := make([]transport.Conn, len(conns))
+	for t, c := range conns {
+		wired[t] = wrapConn(c, &o, "retry-server", t, transport.CompressServer)
+	}
+
+	aggRaw, err := transport.Dial(aggAddr)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeShard: dial aggregator: %w", err)
+	}
+	agg := wrapShardLink(aggRaw, &o, "retry-shard-agg", shardID)
+	defer aggRaw.Close()
+
+	var rejoin chan protocol.Rejoin
+	if o.ft.resume {
+		rejoin = make(chan protocol.Rejoin, devices)
+		stop := make(chan struct{})
+		defer close(stop)
+		go acceptRejoins(l, &o, rejoin, stop)
+	}
+
+	res, err := protocol.RunShard(agg, wired, protocol.ShardConfig{
+		Shard: shardID, Core: o.core, FT: o.serverFT(rejoin, restore),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeShard: %w", err)
+	}
+	out := &ServeResult{
+		Model:     &Model{model: res.Model, info: res.Info, bias: o.bias},
+		Dropped:   res.Dropped,
+		DropCause: res.DropCause,
+	}
+	for _, s := range res.PerUser {
+		out.TrafficBytes = append(out.TrafficBytes, s.BytesSent+s.BytesReceived)
+		out.TrafficMessages = append(out.TrafficMessages, s.MessagesSent+s.MessagesReceived)
+	}
+	return out, nil
+}
+
+// ServeAggregator runs the top-level aggregator of a sharded serving plane
+// on addr and trains with exactly `shards` connected ServeShard peers. It
+// is the single source of hyperparameters and convergence decisions; pass
+// the training options (WithLambda, WithADMM, …) here, not to the shards.
+// Blocks until training completes. onListen, if non-nil, receives the bound
+// address before accepting starts (useful with ":0").
+//
+// The aggregator holds no user data and no per-user models: it sees only
+// shard-level partial sums, so the paper's privacy posture (raw data never
+// leaves the device; personalized models never leave the shard) is
+// preserved across the extra tier.
+func ServeAggregator(addr string, shards int, onListen func(addr string), opts ...Option) (*AggregateResult, error) {
+	if shards <= 0 {
+		return nil, errors.New("plos: ServeAggregator: need at least one shard")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	// Validate the spec for early feedback, but never compress: the shard
+	// links carry exact reduces (see wrapShardLink).
+	if _, err := compress.Parse(o.compressSpec); err != nil {
+		return nil, fmt.Errorf("plos: ServeAggregator: %w", err)
+	}
+
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeAggregator: %w", err)
+	}
+	defer l.Close()
+	if onListen != nil {
+		onListen(l.Addr())
+	}
+	conns, err := l.AcceptN(shards)
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeAggregator: %w", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	wired := make([]transport.Conn, len(conns))
+	for i, c := range conns {
+		wired[i] = wrapShardLink(c, &o, "retry-agg", i)
+	}
+
+	res, err := protocol.RunAggregator(wired, protocol.AggConfig{
+		Core: o.core, Dist: o.dist,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("plos: ServeAggregator: %w", err)
+	}
+	out := &AggregateResult{
+		Global:           append([]float64(nil), res.W0...),
+		Users:            res.Users,
+		Rounds:           res.Info.CCCPIterations,
+		Converged:        res.Info.CCCPConverged,
+		Objective:        res.Info.Objective,
+		ObjectiveHistory: append([]float64(nil), res.Info.ObjectiveHistory...),
+	}
+	for _, s := range res.PerShard {
+		out.TrafficBytes = append(out.TrafficBytes, s.BytesSent+s.BytesReceived)
+		out.TrafficMessages = append(out.TrafficMessages, s.MessagesSent+s.MessagesReceived)
+	}
+	return out, nil
+}
