@@ -49,6 +49,8 @@ func main() {
 		"run the sharded serving-plane scale scenario (docs/SHARDING.md) instead of figures and write the snapshot to this JSON file")
 	flag.IntVar(&o.shardDevices, "shard-devices", 10000, "total simulated devices for -shard-json")
 	flag.IntVar(&o.shardCount, "shard-count", 2, "shard worker processes for -shard-json (>= 2)")
+	flag.BoolVar(&o.shardKill, "shard-kill", false,
+		"with -shard-json: SIGKILL shard 0 mid-run and measure the checkpoint-restore rejoin (schema v2 snapshot)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-bench:", err)
@@ -70,6 +72,7 @@ type benchOptions struct {
 	shardJSON    string
 	shardDevices int
 	shardCount   int
+	shardKill    bool
 }
 
 func run(o benchOptions) error {
@@ -77,6 +80,9 @@ func run(o benchOptions) error {
 		return runBenchJSON(o.benchJSON, o.workers)
 	}
 	if o.shardJSON != "" {
+		if o.shardKill {
+			return runShardKillJSON(o)
+		}
 		return runShardJSON(o)
 	}
 	if o.compressJSON != "" {

@@ -14,7 +14,9 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/exec"
 	"runtime"
@@ -56,6 +58,9 @@ type shardReport struct {
 	// PerShardBytes splits it by shard id.
 	AggLinkBytes  int64   `json:"agg_link_bytes"`
 	PerShardBytes []int64 `json:"per_shard_bytes"`
+	// Recovery is present only in the -shard-kill variant (schema v2): the
+	// self-healing numbers of the kill-and-recover scenario.
+	Recovery *shardRecovery `json:"recovery,omitempty"`
 }
 
 // shardBenchConfig is the aggregator's training configuration for the
@@ -124,10 +129,8 @@ func runShardJSON(o benchOptions) error {
 			n++
 		}
 		spec := fmt.Sprintf("%d:%d:%d:%d:%s", s, from, from+n, seed, l.Addr())
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(), shardWorkerEnv+"="+spec)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
+		cmd, err := spawnWorker(exe, spec)
+		if err != nil {
 			return fmt.Errorf("shard-json: spawn shard %d: %w", s, err)
 		}
 		cmds[s] = cmd
@@ -167,14 +170,7 @@ func runShardJSON(o benchOptions) error {
 	for _, s := range res.PerShard {
 		report.PerShardBytes = append(report.PerShardBytes, s.BytesSent+s.BytesReceived)
 	}
-	f, err := os.Create(o.shardJSON)
-	if err != nil {
-		return fmt.Errorf("shard-json: %w", err)
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := writeShardReport(o.shardJSON, &report); err != nil {
 		return fmt.Errorf("shard-json: %w", err)
 	}
 	fmt.Fprintf(os.Stderr,
@@ -185,10 +181,48 @@ func runShardJSON(o benchOptions) error {
 	return nil
 }
 
+// spawnWorker re-executes the binary as a shard worker with the given spec.
+func spawnWorker(exe, spec string) (*exec.Cmd, error) {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), shardWorkerEnv+"="+spec)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// writeShardReport writes the snapshot with the indentation the committed
+// BENCH_<pr>.json files use.
+func writeShardReport(path string, report *shardReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
 // runShardWorker is the child entry point: spec is the shardWorkerEnv value
 // "id:from:to:seed:aggAddr". It dials the aggregator, hosts devices
 // [from, to) as in-process pipe clients, and drives protocol.RunShard.
+//
+// The kill-and-recover scenario (-shard-kill) appends "|<checkpoint path>"
+// to the victim's spec: the worker then checkpoints every round, and when
+// the file already exists — the respawn after a SIGKILL — it runs the
+// restore path instead, its devices presenting the checkpoint's session
+// tokens so the restore handshake can match them to their slots.
 func runShardWorker(spec string) error {
+	ckptPath := ""
+	if i := strings.IndexByte(spec, '|'); i >= 0 {
+		ckptPath = spec[i+1:]
+		spec = spec[:i]
+		if ckptPath == "" {
+			return fmt.Errorf("shard worker: empty checkpoint path in %q", spec)
+		}
+	}
 	parts := strings.SplitN(spec, ":", 5)
 	if len(parts) != 5 {
 		return fmt.Errorf("shard worker: malformed spec %q", spec)
@@ -215,29 +249,52 @@ func runShardWorker(spec string) error {
 		return fmt.Errorf("shard worker: empty device range in %q", spec)
 	}
 
+	n := to - from
+	var restore *protocol.Checkpoint
+	if ckptPath != "" {
+		ck, err := protocol.LoadCheckpoint(ckptPath)
+		switch {
+		case err == nil:
+			if len(ck.Sessions) != n {
+				return fmt.Errorf("shard worker %d: checkpoint has %d slots, want %d", id, len(ck.Sessions), n)
+			}
+			restore = ck
+		case errors.Is(err, fs.ErrNotExist):
+			// First incarnation: fresh run with checkpointing enabled.
+		default:
+			return fmt.Errorf("shard worker %d: %w", id, err)
+		}
+	}
+
 	agg, err := transport.Dial(aggAddr)
 	if err != nil {
 		return fmt.Errorf("shard worker %d: dial aggregator: %w", id, err)
 	}
 	defer agg.Close()
 
-	n := to - from
 	serverConns := make([]transport.Conn, n)
 	clientErrs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		sc, cc := transport.Pipe()
 		serverConns[i] = sc
+		opts := protocol.ClientOptions{Seed: int64(from + i)}
+		if restore != nil {
+			// Slot i held device from+i in the fresh run (hellos are
+			// collected in connection order), so its recorded token lets the
+			// restarted device reclaim exactly its own duals.
+			opts.Session = restore.Sessions[i]
+		}
 		wg.Add(1)
-		go func(i int, cc transport.Conn) {
+		go func(i int, cc transport.Conn, opts protocol.ClientOptions) {
 			defer wg.Done()
-			_, clientErrs[i] = protocol.RunClient(cc, shardBenchDevice(from+i, seed),
-				protocol.ClientOptions{Seed: int64(from + i)})
-		}(i, cc)
+			_, clientErrs[i] = protocol.RunClient(cc, shardBenchDevice(from+i, seed), opts)
+		}(i, cc, opts)
 	}
 
 	_, runErr := protocol.RunShard(agg, serverConns, protocol.ShardConfig{
 		Shard: id, Core: core.Config{Seed: seed},
+		FT: protocol.FTConfig{CheckpointPath: ckptPath, Restore: restore},
 	})
 	for _, c := range serverConns {
 		_ = c.Close()

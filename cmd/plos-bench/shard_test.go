@@ -64,9 +64,50 @@ func TestShardJSONScenario(t *testing.T) {
 	}
 }
 
+// TestShardKillRecover runs the -shard-kill scenario at reduced scale: a
+// real shard process is SIGKILLed mid-run, respawned from its checkpoint,
+// and must rejoin the consensus loop before the run completes. The gate in
+// shardkill.go makes the sequencing deterministic even at this scale.
+func TestShardKillRecover(t *testing.T) {
+	path := t.TempDir() + "/kill.json"
+	o := benchOptions{seed: 7, shardJSON: path, shardKill: true, shardDevices: 48, shardCount: 2}
+	if err := run(o); err != nil {
+		t.Fatalf("shard-kill run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep shardReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if rep.Schema != shardKillSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, shardKillSchema)
+	}
+	if rep.Recovery == nil {
+		t.Fatal("schema-v2 snapshot has no recovery block")
+	}
+	if rep.Recovery.KilledShard != 0 || rep.Recovery.Restarts != 1 {
+		t.Errorf("recovery = killed shard %d / %d restarts, want 0/1",
+			rep.Recovery.KilledShard, rep.Recovery.Restarts)
+	}
+	if rep.Recovery.RejoinSeconds <= 0 {
+		t.Errorf("rejoin time %g, want > 0", rep.Recovery.RejoinSeconds)
+	}
+	if rep.Recovery.StaleReduces < 1 {
+		t.Errorf("stale reduces = %d, want >= 1 (the outage was never carried)", rep.Recovery.StaleReduces)
+	}
+	// Round 0 is clean, the kill lands in round 1, and the rejoin needs a
+	// later boundary to attach — so at least three rounds must close.
+	if rep.Rounds < 3 {
+		t.Errorf("run finished %d rounds, want >= 3", rep.Rounds)
+	}
+}
+
 // TestShardWorkerRejectsMalformedSpec pins the worker entry's validation.
 func TestShardWorkerRejectsMalformedSpec(t *testing.T) {
-	for _, spec := range []string{"", "1:2", "a:0:4:7:x", "0:4:4:7:addr"} {
+	for _, spec := range []string{"", "1:2", "a:0:4:7:x", "0:4:4:7:addr", "0:0:4:7:addr|"} {
 		if err := runShardWorker(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}

@@ -27,6 +27,16 @@
 //	plos-server -role agg   -addr :7360 -shards 2 -lambda 100
 //	plos-server -role shard -shard-id 0 -agg-addr :7360 -addr :7350 -devices 3
 //	plos-server -role shard -shard-id 1 -agg-addr :7360 -addr :7351 -devices 2
+//
+// A sharded plane self-heals: give the aggregator -resume, -max-stale and
+// -shard-quorum, and each shard a -checkpoint file. A shard that dies is
+// carried on its last partial sums; restarted with the same flags it
+// auto-resumes from its checkpoint, dials back in, and rejoins the run at
+// the next round boundary (docs/FAULT_TOLERANCE.md):
+//
+//	plos-server -role agg -shards 2 -resume -max-stale 8 -shard-quorum 1
+//	plos-server -role shard -shard-id 0 -agg-addr :7360 -addr :7350 \
+//	    -devices 3 -resume -checkpoint shard0.ckpt
 package main
 
 import (
@@ -83,6 +93,8 @@ func main() {
 	flag.IntVar(&o.shardID, "shard-id", 0, "this process's shard index (with -role shard; 0-based, contiguous)")
 	flag.StringVar(&o.aggAddr, "agg-addr", "localhost:7360", "aggregator address to dial (with -role shard)")
 	flag.IntVar(&o.shards, "shards", 2, "number of shard processes to wait for (with -role agg)")
+	flag.IntVar(&o.shardQuorum, "shard-quorum", 0,
+		"abort when fewer than this many shards are represented in a reduce (with -role agg; 0 requires all shards)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-server:", err)
@@ -109,6 +121,7 @@ type serverOptions struct {
 	shardID                     int
 	aggAddr                     string
 	shards                      int
+	shardQuorum                 int
 	// onListen, when non-nil, receives the bound address (tests).
 	onListen func(addr string)
 }
@@ -140,6 +153,9 @@ func run(o serverOptions) error {
 	}
 	if o.resume {
 		opts = append(opts, plos.WithSessionResume(0))
+	}
+	if o.shardQuorum > 0 {
+		opts = append(opts, plos.WithShardQuorum(o.shardQuorum))
 	}
 	if o.checkpoint != "" {
 		opts = append(opts, plos.WithCheckpoint(o.checkpoint, o.checkpointEvery))
@@ -256,6 +272,14 @@ func runAgg(o serverOptions, opts []plos.Option, ob *plos.Observer) error {
 	for s := range res.TrafficBytes {
 		fmt.Printf("%5d %9.1f KB %11d\n",
 			s, float64(res.TrafficBytes[s])/1024, res.TrafficMessages[s])
+	}
+	if res.Restarts > 0 {
+		fmt.Printf("\nshard restarts via checkpoint rejoin: %d\n", res.Restarts)
+	}
+	for s, cause := range res.ShardCauses {
+		if cause != nil {
+			fmt.Printf("shard %d was detached: %v\n", s, cause)
+		}
 	}
 	return flightNote(o, ob)
 }

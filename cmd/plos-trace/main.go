@@ -139,7 +139,12 @@ type run struct {
 	devices map[int]*deviceAgg
 	drops   []record
 	quorums []record
-	end     *record
+	// Shard-tier supervision events on an aggregator stream: detaches,
+	// stale-carry reduces, and checkpoint-restore rejoins.
+	shardDowns    []record
+	shardStales   []record
+	shardRestores []record
+	end           *record
 
 	cur     *cccpRound
 	pending *admmRound
@@ -269,6 +274,12 @@ func parse(in io.Reader) ([]*run, error) {
 			current().drops = append(current().drops, rec)
 		case "quorum":
 			current().quorums = append(current().quorums, rec)
+		case "shard-down":
+			current().shardDowns = append(current().shardDowns, rec)
+		case "shard-stale":
+			current().shardStales = append(current().shardStales, rec)
+		case "shard-restore":
+			current().shardRestores = append(current().shardRestores, rec)
 		default:
 			// Unknown record types are skipped so old analyzers survive new
 			// recorders.
@@ -394,6 +405,7 @@ func printRun(w io.Writer, r *run, top, timeline int) {
 	for _, q := range r.quorums {
 		fmt.Fprintf(w, "quorum breach: %d active < %d required\n", q.Active, q.Need)
 	}
+	printShardHealth(w, r)
 	if r.end != nil {
 		fmt.Fprintf(w, "run end: converged=%v objective=%.6g rounds=%d\n",
 			r.end.Converged, r.end.Objective, r.end.Rounds)
@@ -428,6 +440,44 @@ func printRound(w io.Writer, ar *admmRound, top int) {
 		fmt.Fprintf(w, "  stale: u%d(%d)", s.User, s.Stale)
 	}
 	fmt.Fprintln(w)
+}
+
+// printShardHealth summarizes the aggregator's shard supervision: which
+// shards were detached and why, how many reduce legs ran on their carried
+// partials, and which came back through checkpoint-restore rejoin.
+func printShardHealth(w io.Writer, r *run) {
+	if len(r.shardDowns) == 0 && len(r.shardStales) == 0 && len(r.shardRestores) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== shard supervision ==\n")
+	for _, d := range r.shardDowns {
+		fmt.Fprintf(w, "shard %d detached: %s\n", d.Shard, d.Cause)
+	}
+	carries := map[int]int{}
+	deepest := map[int]int{}
+	for _, s := range r.shardStales {
+		carries[s.Shard]++
+		if s.Stale > deepest[s.Shard] {
+			deepest[s.Shard] = s.Stale
+		}
+	}
+	for _, id := range sortedKeys(carries) {
+		fmt.Fprintf(w, "shard %d carried stale: %d reduce legs (deepest carry %d)\n",
+			id, carries[id], deepest[id])
+	}
+	for _, rr := range r.shardRestores {
+		fmt.Fprintf(w, "shard %d rejoined via checkpoint restore at round %d after %d stale carries\n",
+			rr.Shard, rr.Round, rr.Stale)
+	}
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // printShardWait attributes a shard's waiting between its own devices

@@ -330,3 +330,43 @@ func TestStragglerAttribution(t *testing.T) {
 		t.Errorf("breakdown does not surface stale rounds:\n%s", got)
 	}
 }
+
+// TestShardSupervisionSection: an aggregator stream with shard-down,
+// shard-stale and shard-restore records gets a supervision summary naming
+// the failing shard, its carried reduces, and its rejoin.
+func TestShardSupervisionSection(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"rec":"run-start","trainer":"agg","users":6}`,
+		`{"rec":"shard-down","shard":1,"cause":"reduce deadline exceeded"}`,
+		`{"rec":"shard-stale","round":0,"shard":1,"stale":1}`,
+		`{"rec":"shard-stale","round":1,"shard":1,"stale":2}`,
+		`{"rec":"shard-restore","shard":1,"round":3,"stale":2}`,
+		`{"rec":"run-end","converged":true,"objective":0.5,"rounds":4}`,
+	}, "\n")
+	var out strings.Builder
+	if err := analyze(strings.NewReader(stream), &out, 3, 40); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== shard supervision ==",
+		"shard 1 detached: reduce deadline exceeded",
+		"shard 1 carried stale: 2 reduce legs (deepest carry 2)",
+		"shard 1 rejoined via checkpoint restore at round 3 after 2 stale carries",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A healthy stream prints no supervision section.
+	healthy := `{"rec":"run-start","trainer":"agg","users":6}` + "\n" +
+		`{"rec":"run-end","converged":true,"objective":0.5,"rounds":4}`
+	out.Reset()
+	if err := analyze(strings.NewReader(healthy), &out, 3, 40); err != nil {
+		t.Fatalf("analyze healthy: %v", err)
+	}
+	if strings.Contains(out.String(), "shard supervision") {
+		t.Errorf("healthy stream grew a supervision section:\n%s", out.String())
+	}
+}

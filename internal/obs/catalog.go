@@ -81,6 +81,10 @@ const (
 	MetricShardDevices         = "shard_devices"
 	MetricShardMigrations      = "shard_migrations_total"
 	MetricShardCrossBytesTotal = "shard_cross_bytes_total"
+
+	MetricShardRestarts     = "shard_restarts_total"
+	MetricAggLinkRetries    = "agg_link_retries_total"
+	MetricShardStaleReduces = "shard_stale_reduces_total"
 )
 
 // MetricDef describes one catalog entry.
@@ -149,4 +153,8 @@ var Catalog = []MetricDef{
 	{MetricShardDevices, KindGauge, "1", "Devices currently served by this shard process (live slots after the handshake or restore)."},
 	{MetricShardMigrations, KindCounter, "1", "Users adopted by this shard through a checkpoint-restore handoff (rebalance or shard replacement)."},
 	{MetricShardCrossBytesTotal, KindCounter, "bytes", "Bytes exchanged on the shard's aggregator connection (cross-shard reduce traffic; excludes device traffic)."},
+
+	{MetricShardRestarts, KindCounter, "1", "Crashed shards re-attached to the aggregator after a checkpoint-restore rejoin handshake."},
+	{MetricAggLinkRetries, KindCounter, "1", "Transient failures absorbed by the retry layer on shard-aggregator links specifically (also counted in transport_retries_total)."},
+	{MetricShardStaleReduces, KindCounter, "1", "Reduce legs the aggregator assembled from a detached shard's last partials instead of a fresh message."},
 }

@@ -54,6 +54,18 @@ const (
 	// iteration: how long the shard sat blocked on its aggregator
 	// connection (both reduce round-trips) and the bytes that crossed it.
 	RecordShardReduce
+	// RecordShardDown marks the aggregator detaching a shard mid-run (link
+	// failure, reduce-deadline miss, or a shard-reported abort) with the
+	// first recorded cause.
+	RecordShardDown
+	// RecordShardStale marks a reduce leg assembled from a detached shard's
+	// last partial sum instead of a fresh message (the shard-tier analogue
+	// of stale-reuse).
+	RecordShardStale
+	// RecordShardRestore marks a crashed shard re-attaching to the
+	// aggregator after a checkpoint-restore rejoin handshake: the epoch it
+	// restored from and how many reduce legs it was carried stale.
+	RecordShardRestore
 )
 
 // String returns the stable record-type name used in the JSONL stream.
@@ -81,6 +93,12 @@ func (k RecordKind) String() string {
 		return "run-end"
 	case RecordShardReduce:
 		return "shard-reduce"
+	case RecordShardDown:
+		return "shard-down"
+	case RecordShardStale:
+		return "shard-stale"
+	case RecordShardRestore:
+		return "shard-restore"
 	default:
 		return "record-unknown"
 	}
@@ -155,6 +173,9 @@ var RecordCatalog = []RecordDef{
 	{"quorum", "Active devices crossed the abort threshold.", []string{"active", "need"}},
 	{"run-end", "A training run finished.", []string{"converged", "objective", "rounds"}},
 	{"shard-reduce", "One shard's cross-shard reduce wait for an ADMM iteration.", []string{"round", "shard", "dur_ns", "bytes"}},
+	{"shard-down", "The aggregator detached a shard mid-run.", []string{"shard", "cause"}},
+	{"shard-stale", "A reduce leg reused a detached shard's last partials.", []string{"round", "shard", "stale"}},
+	{"shard-restore", "A crashed shard rejoined via checkpoint restore.", []string{"shard", "round", "stale"}},
 }
 
 // marshal renders the record's fixed per-kind JSON line (without the
@@ -252,6 +273,26 @@ func (rec Record) marshal() ([]byte, error) {
 			DurNS int64  `json:"dur_ns"`
 			Bytes int64  `json:"bytes"`
 		}{rec.Kind.String(), rec.Round, rec.Shard, rec.Dur.Nanoseconds(), rec.Bytes})
+	case RecordShardDown:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Shard int    `json:"shard"`
+			Cause string `json:"cause"`
+		}{rec.Kind.String(), rec.Shard, rec.Cause})
+	case RecordShardStale:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Round int    `json:"round"`
+			Shard int    `json:"shard"`
+			Stale int    `json:"stale"`
+		}{rec.Kind.String(), rec.Round, rec.Shard, rec.Stale})
+	case RecordShardRestore:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Shard int    `json:"shard"`
+			Round int    `json:"round"`
+			Stale int    `json:"stale"`
+		}{rec.Kind.String(), rec.Shard, rec.Round, rec.Stale})
 	default:
 		return json.Marshal(struct {
 			Rec string `json:"rec"`

@@ -29,7 +29,8 @@ func sampleRecord(kind RecordKind) Record {
 func TestRecordMarshalMatchesCatalog(t *testing.T) {
 	kinds := []RecordKind{RecordRunStart, RecordCCCPStart, RecordCCCPIteration,
 		RecordCutRound, RecordADMMRound, RecordDeviceRound, RecordStaleReuse,
-		RecordDeviceDrop, RecordQuorum, RecordRunEnd, RecordShardReduce}
+		RecordDeviceDrop, RecordQuorum, RecordRunEnd, RecordShardReduce,
+		RecordShardDown, RecordShardStale, RecordShardRestore}
 	if len(kinds) != len(RecordCatalog) {
 		t.Fatalf("catalog has %d entries for %d kinds", len(RecordCatalog), len(kinds))
 	}

@@ -161,6 +161,18 @@ func CCCP(step func(iter int) (float64, error), tol float64, maxIter int) (CCCPI
 // same decisions the uninterrupted run would have. A nil prior is a fresh
 // run.
 func CCCPResume(step func(iter int) (float64, error), tol float64, maxIter int, prior []float64) (CCCPInfo, error) {
+	return CCCPResumeGuarded(step, tol, maxIter, prior, nil)
+}
+
+// CCCPResumeGuarded is CCCPResume with a per-round cleanliness hint for
+// fault-tolerant callers. clean(k), consulted right after step(k) returns,
+// reports whether round k's objective is trustworthy; a degraded round (one
+// folded from stale partials while a worker was down) is not comparable to
+// its neighbours, so the monotonicity and convergence tests are skipped for
+// that round and for the first clean round after it — training keeps going
+// instead of mistaking the perturbation for convergence or ascent. A nil
+// clean treats every round as clean.
+func CCCPResumeGuarded(step func(iter int) (float64, error), tol float64, maxIter int, prior []float64, clean func(iter int) bool) (CCCPInfo, error) {
 	if tol <= 0 {
 		tol = 1e-4
 	}
@@ -176,6 +188,7 @@ func CCCPResume(step func(iter int) (float64, error), tol float64, maxIter int, 
 		prev = prior[len(prior)-1]
 		info.Objective = prev
 	}
+	prevClean := true
 	for k := len(prior); k < maxIter; k++ {
 		obj, err := step(k)
 		if err != nil {
@@ -184,7 +197,8 @@ func CCCPResume(step func(iter int) (float64, error), tol float64, maxIter int, 
 		info.Iterations = k + 1
 		info.Objective = obj
 		info.History = append(info.History, obj)
-		if k > 0 {
+		thisClean := clean == nil || clean(k)
+		if k > 0 && thisClean && prevClean {
 			delta := prev - obj
 			if delta < -tol*(1+abs(prev)) {
 				return info, fmt.Errorf("%w at round %d: %g -> %g", ErrNotDescending, k, prev, obj)
@@ -195,6 +209,7 @@ func CCCPResume(step func(iter int) (float64, error), tol float64, maxIter int, 
 			}
 		}
 		prev = obj
+		prevClean = thisClean
 	}
 	return info, nil
 }

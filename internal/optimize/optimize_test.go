@@ -224,3 +224,52 @@ func TestCCCPMaxIter(t *testing.T) {
 		t.Errorf("calls=%d info=%+v", calls, info)
 	}
 }
+
+// TestCCCPGuardedSkipsDegradedRounds: a degraded round's objective (folded
+// from stale partials) may rise or freeze without ending the run — the
+// monotonicity and convergence tests skip it and the first clean round after
+// it, then resume.
+func TestCCCPGuardedSkipsDegradedRounds(t *testing.T) {
+	// Rounds 1-2 are degraded: a big rise then a frozen value, either of
+	// which would terminate plain CCCPResume. Round 4 is the first checked
+	// round (3 is clean but follows a degraded one) and descends; round 5
+	// converges against round 4.
+	vals := []float64{5, 9, 9, 4, 3, 3}
+	dirty := map[int]bool{1: true, 2: true}
+	i := 0
+	step := func(int) (float64, error) {
+		v := vals[i]
+		i++
+		return v, nil
+	}
+	info, err := CCCPResumeGuarded(step, 1e-3, 10, nil,
+		func(k int) bool { return !dirty[k] })
+	if err != nil {
+		t.Fatalf("guarded run: %v", err)
+	}
+	if !info.Converged || info.Iterations != 6 {
+		t.Errorf("info = %+v, want convergence at round 5", info)
+	}
+
+	// The same sequence without the hint dies on the round-1 rise.
+	i = 0
+	if _, err := CCCPResume(step, 1e-3, 10, nil); !errors.Is(err, ErrNotDescending) {
+		t.Errorf("unguarded err = %v, want ErrNotDescending", err)
+	}
+}
+
+// TestCCCPGuardedStillChecksCleanRounds: the hint must not disable the
+// descent guarantee where it is meaningful — two consecutive clean rounds
+// that ascend still fail.
+func TestCCCPGuardedStillChecksCleanRounds(t *testing.T) {
+	vals := []float64{5, 9, 4, 8}
+	i := 0
+	_, err := CCCPResumeGuarded(func(int) (float64, error) {
+		v := vals[i]
+		i++
+		return v, nil
+	}, 1e-3, 10, nil, func(k int) bool { return k != 1 })
+	if !errors.Is(err, ErrNotDescending) {
+		t.Errorf("err = %v, want ErrNotDescending on the clean 4 -> 8 rise", err)
+	}
+}

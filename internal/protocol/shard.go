@@ -21,11 +21,21 @@
 //	    agg → shard   shard-next | shard-round | shard-done
 //	agg → shard   shard-done {final w0, rounds, converged, final objective}
 //
-// Failure policy: before the round loop both sides abort with MsgError;
-// mid-run the aggregator only ever *closes* shard connections on failure
-// (a Send to a peer blocked mid-reduce would deadlock a rendezvous pipe),
-// and a shard treats any error on its aggregator connection as a global
-// abort and shuts its devices down.
+// Failure policy (docs/FAULT_TOLERANCE.md): before the round loop both
+// sides abort with MsgError. Mid-run the aggregator runs one pump goroutine
+// per shard connection, so it is always parked in Recv — a shard can safely
+// Send a structured MsgError (shard id + cause code) when it fails locally,
+// and the aggregator Sends only to shards whose current reduce leg already
+// arrived (those are provably parked in Recv; everyone else is Closed,
+// which a rendezvous pipe treats as an unblocking error). A shard that
+// errors, lags past AggFTConfig.ReduceTimeout, or loses its link is
+// *detached*: its connection is closed, its last partials are reused for up
+// to MaxStale reduce iterations, and the run continues while at least
+// ShardQuorum shards stay represented. A detached shard recovers by
+// restarting from its checkpoint and re-running the restore handshake
+// through AggFTConfig.Rejoin; the aggregator fast-forwards it to the
+// current round. The zero AggFTConfig reproduces the strict PR 7 plane:
+// no deadline, no stale reuse, and any shard failure aborts globally.
 package protocol
 
 import (
@@ -63,6 +73,34 @@ type ShardConfig struct {
 	FT        FTConfig
 }
 
+// AggFTConfig is the shard-tier fault-tolerance envelope — the same knobs
+// FTConfig gives the device tier, lifted to whole shards. The zero value
+// disables every mechanism and reproduces the strict fail-fast plane
+// bit-for-bit.
+type AggFTConfig struct {
+	// ReduceTimeout bounds how long the aggregator waits for one reduce leg
+	// (all live shards' sums, or all live shards' residuals). Shards that
+	// miss it are detached: their connection is closed and they must rejoin
+	// via checkpoint restore. 0 waits forever (strict lockstep).
+	ReduceTimeout time.Duration
+	// ShardQuorum is the number of shards that must be represented in every
+	// fold (fresh message or stale carry); below it the run aborts with
+	// ErrTooFewActive naming the first dead shard. <= 0 requires all shards
+	// (strict).
+	ShardQuorum int
+	// MaxStale is how many consecutive ADMM iterations a detached shard's
+	// last partials (consensus sum, primal residual, objective partial) keep
+	// being folded before the shard stops being represented. 0 disables
+	// stale carry.
+	MaxStale int
+	// Rejoin delivers checkpoint-restore reconnection attempts from crashed
+	// shards (a restore shard-hello read off a fresh connection). Drained at
+	// CCCP round boundaries and once more before the final broadcast, so a
+	// shard that recovers as training ends still receives the final model;
+	// the reply fast-forwards the shard to the current round. May be nil.
+	Rejoin <-chan Rejoin
+}
+
 // AggConfig configures the top-level aggregator of a sharded serving plane.
 // Core and Dist carry the full training configuration — the aggregator is
 // the single source of hyperparameters and convergence decisions; shards
@@ -70,6 +108,8 @@ type ShardConfig struct {
 type AggConfig struct {
 	Core core.Config
 	Dist core.DistConfig
+	// FT configures shard-tier fault tolerance; the zero value disables it.
+	FT AggFTConfig
 }
 
 // AggResult is the aggregator's view of a finished sharded run. Per-user
@@ -80,9 +120,51 @@ type AggResult struct {
 	// Users is the global population size T (summed over shard hellos).
 	Users int
 	// PerShard is the aggregator-side traffic per shard connection, indexed
-	// by shard id; Total aggregates them.
+	// by shard id; Total aggregates them. A shard that rejoined contributes
+	// the traffic of every connection it used.
 	PerShard []transport.Stats
 	Total    transport.Stats
+	// ShardCauses[id] is the first fatal failure recorded for shard id
+	// (nil for shards that stayed healthy; non-nil for shards that were
+	// detached, even if they later rejoined).
+	ShardCauses []error
+	// Restarts counts shards re-attached through the rejoin handshake.
+	Restarts int
+}
+
+// Shard-tier MsgError cause codes carried in Message.Labeled: the shard id
+// rides in Message.Round (-1 when the aggregator itself originated the
+// abort), so plos-trace and the serve layer can name the failing shard.
+const (
+	shardCauseUnknown = 0
+	shardCauseTooFew  = 1
+)
+
+// shardErrorMessage encodes a shard-tier abort: Round carries the
+// originating shard id, Labeled the cause code, Reason the text.
+func shardErrorMessage(id int, err error) transport.Message {
+	code := shardCauseUnknown
+	if errors.Is(err, ErrTooFewActive) {
+		code = shardCauseTooFew
+	}
+	return transport.Message{Type: transport.MsgError, Round: id, Labeled: code, Reason: err.Error()}
+}
+
+// shardErrorCause reconstructs the error a structured shard-tier MsgError
+// carries. The result always matches ErrAborted (it crossed the wire), and
+// additionally matches the encoded cause (e.g. ErrTooFewActive) so callers
+// can errors.Is through the plane.
+func shardErrorCause(m transport.Message) error {
+	if m.Labeled == shardCauseTooFew {
+		if m.Round >= 0 {
+			return fmt.Errorf("%w: shard %d: %w: %s", ErrAborted, m.Round, ErrTooFewActive, m.Reason)
+		}
+		return fmt.Errorf("%w: %w: %s", ErrAborted, ErrTooFewActive, m.Reason)
+	}
+	if m.Round >= 0 {
+		return fmt.Errorf("%w: shard %d: %s", ErrAborted, m.Round, m.Reason)
+	}
+	return fmt.Errorf("%w: %s", ErrAborted, m.Reason)
 }
 
 // RunShard drives one shard of a sharded serving plane: it serves conns
@@ -187,6 +269,14 @@ func RunShard(agg transport.Conn, conns []transport.Conn, cfg ShardConfig) (*Ser
 			return nil, err
 		}
 		st = stateFromCheckpoint(sCfg, users, ck)
+		// A rejoin reply fast-forwards a restarted shard past the rounds it
+		// missed while detached: adopt the aggregator's current w0 and
+		// objective history (the aggregator validated that the checkpoint's
+		// history is a bitwise prefix before replying).
+		if rep.Round > len(st.objHistory) && len(rep.V) == rep.Round && len(rep.W) == dim {
+			st.w0 = mat.Vector(rep.W).Clone()
+			st.objHistory = append([]float64(nil), rep.V...)
+		}
 		for _, u := range users {
 			if !u.dropped {
 				migrated++
@@ -222,13 +312,13 @@ func RunShard(agg transport.Conn, conns []transport.Conn, cfg ShardConfig) (*Ser
 	done, err := sh.loop(&info)
 	if err != nil {
 		st.abort(err.Error())
-		_ = agg.Close()
+		sh.fatal(err)
 		return nil, err
 	}
 	if len(done.W0) != st.dim {
 		err := fmt.Errorf("%w: final w0 has %d entries, dim %d", ErrDimMismatch, len(done.W0), st.dim)
 		st.abort(err.Error())
-		_ = agg.Close()
+		sh.fatal(err)
 		return nil, err
 	}
 	st.w0 = mat.Vector(done.W0)
@@ -276,8 +366,25 @@ type shardRun struct {
 	mBytes      *obs.Counter
 }
 
+// errAggLink marks failures of the aggregator link itself, as opposed to
+// shard-local failures the aggregator should still be told about.
+var errAggLink = errors.New("aggregator link failed")
+
 func (sh *shardRun) aggLost(err error) error {
-	return fmt.Errorf("protocol: shard %d: aggregator lost: %w", sh.id, err)
+	return fmt.Errorf("protocol: shard %d: aggregator lost: %w: %w", sh.id, errAggLink, err)
+}
+
+// fatal ends the shard's participation after a failure. Locally-originated
+// errors (a device quorum abort, a malformed decision) are reported to the
+// aggregator as a structured MsgError first — the aggregator's pump is
+// always parked in Recv, so the Send cannot deadlock a rendezvous pipe —
+// then the link is closed. Failures that arrived *from* the aggregator
+// (ErrAborted, a lost link) are not echoed back.
+func (sh *shardRun) fatal(err error) {
+	if !errors.Is(err, ErrAborted) && !errors.Is(err, errAggLink) {
+		_ = sh.agg.Send(shardErrorMessage(sh.id, err))
+	}
+	_ = sh.agg.Close()
 }
 
 // loop processes aggregator decisions until the run ends, returning the
@@ -302,7 +409,7 @@ func (sh *shardRun) loop(info *core.TrainInfo) (transport.Message, error) {
 			}
 			return m, nil
 		case transport.MsgError:
-			return transport.Message{}, fmt.Errorf("%w: %s", ErrAborted, m.Reason)
+			return transport.Message{}, shardErrorCause(m)
 		default:
 			return transport.Message{}, fmt.Errorf("%w: got %v from aggregator", ErrUnexpectedMsg, m.Type)
 		}
@@ -415,7 +522,7 @@ func (sh *shardRun) round(round int, w0 mat.Vector, info *core.TrainInfo) (trans
 		}
 		wait := time.Since(waitStart)
 		if zm.Type == transport.MsgError {
-			return transport.Message{}, fmt.Errorf("%w: %s", ErrAborted, zm.Reason)
+			return transport.Message{}, shardErrorCause(zm)
 		}
 		if zm.Type != transport.MsgShardZ || zm.Round != iter || len(zm.W0) != st.dim {
 			return transport.Message{}, fmt.Errorf("%w: got %v (round %d), want shard-z for iteration %d",
@@ -467,29 +574,322 @@ func (sh *shardRun) round(round int, w0 mat.Vector, info *core.TrainInfo) (trans
 	}
 }
 
-// aggRun is RunAggregator's state: the shard connections indexed by shard
-// id — the deterministic fold order — and the global consensus.
-type aggRun struct {
-	cfg   AggConfig
-	conns []transport.Conn
-	dim   int
-	w0    mat.Vector
-	hist  []float64
+// aggShard is the aggregator's supervision state for one shard: its current
+// connection (replaced on rejoin; gen guards against inbox messages from a
+// replaced connection), liveness, the last partials it delivered (the
+// stale-carry material), and the first fatal failure.
+type aggShard struct {
+	conn transport.Conn
+	gen  int
+	live bool
+	// cause is the first fatal failure recorded for this shard; it is kept
+	// even after a successful rejoin and feeds AggResult.ShardCauses.
+	cause error
+	// prev accumulates the traffic of closed or replaced connections.
+	prev transport.Stats
+
+	// Stale-carry material: the most recent consensus partials this shard
+	// delivered, reusable for up to MaxStale iterations while detached.
+	lastSum    mat.Vector
+	lastUsers  int
+	lastPrimal float64
+	lastObj    float64
+	haveResid  bool
+	// stale counts consecutive iterations carried since the detach; fresh
+	// and carried describe how the current iteration's sum leg was filled.
+	stale   int
+	fresh   bool
+	carried bool
 }
 
-// fail handles a shard connection failure (or any mid-run error): every
-// shard connection is closed and the run fails. Nothing is written to the
-// shards — a Send to a peer blocked mid-reduce would deadlock a rendezvous
-// pipe; a shard treats its lost aggregator connection as a global abort.
-func (a *aggRun) fail(id int, err error) error {
+// aggMsg is one pump delivery: a message (or terminal receive error) from
+// shard id's generation-gen connection.
+type aggMsg struct {
+	id, gen int
+	m       transport.Message
+	err     error
+}
+
+// aggRun is RunAggregator's state: the shard supervision table indexed by
+// shard id — the deterministic fold order — and the global consensus.
+type aggRun struct {
+	cfg     AggConfig
+	shards  []*aggShard
+	dim     int
+	globalT int
+	wire    *transport.WireConfig
+	w0      mat.Vector
+	hist    []float64
+	quorum  int
+
+	inbox chan aggMsg
+	stop  chan struct{}
+
+	mStale    *obs.Counter
+	mRestarts *obs.Counter
+	restarts  int
+
+	// degraded flags the round in flight as having folded at least one
+	// carried (stale) partial: its objective mixes state from different
+	// rounds, so the CCCP descent and convergence tests skip it.
+	degraded bool
+}
+
+func newAggRun(cfg AggConfig, conns []transport.Conn, dim, globalT int,
+	wire *transport.WireConfig, w0 mat.Vector, prior []float64) *aggRun {
+	a := &aggRun{
+		cfg: cfg, dim: dim, globalT: globalT, wire: wire,
+		w0: w0, hist: append([]float64(nil), prior...),
+		quorum:    cfg.FT.ShardQuorum,
+		inbox:     make(chan aggMsg, 2*len(conns)),
+		stop:      make(chan struct{}),
+		mStale:    cfg.Core.Obs.Counter(obs.MetricShardStaleReduces, ""),
+		mRestarts: cfg.Core.Obs.Counter(obs.MetricShardRestarts, ""),
+	}
+	if a.quorum <= 0 || a.quorum > len(conns) {
+		a.quorum = len(conns)
+	}
+	for _, c := range conns {
+		a.shards = append(a.shards, &aggShard{conn: c, live: true})
+	}
+	for id, s := range a.shards {
+		go a.pump(id, s.gen, s.conn)
+	}
+	return a
+}
+
+// pump forwards one connection's receive stream into the shared inbox so
+// the aggregator is always effectively parked in Recv on every link (which
+// is what makes a shard's mid-run MsgError Send safe on a rendezvous pipe).
+// It exits on the first receive error — the detach path closes the
+// connection, which surfaces here — or when the run stops.
+func (a *aggRun) pump(id, gen int, c transport.Conn) {
+	for {
+		m, err := c.Recv()
+		select {
+		case a.inbox <- aggMsg{id: id, gen: gen, m: m, err: err}:
+		case <-a.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// detach removes a failing or lagging shard from the live set: its first
+// cause is recorded and its connection closed, unblocking the shard process,
+// which treats the lost link as its cue to restart from checkpoint and
+// rejoin. Idempotent.
+func (a *aggRun) detach(id int, err error) {
+	s := a.shards[id]
+	if !s.live {
+		return
+	}
+	s.live = false
+	if s.cause == nil {
+		s.cause = err
+	}
+	s.prev = s.prev.Add(s.conn.Stats())
+	_ = s.conn.Close()
+	if r := a.cfg.Core.Obs; r.FlightEnabled() {
+		r.FlightRecord(obs.Record{Kind: obs.RecordShardDown, Shard: id, Cause: err.Error()})
+	}
+}
+
+// validateLeg checks one reduce-leg message against the expected shape.
+func validateLeg(m transport.Message, want transport.MsgType, iter, dim int) error {
+	if m.Type != want || m.Round != iter {
+		return fmt.Errorf("%w: got %v (round %d), want %v for iteration %d",
+			ErrUnexpectedMsg, m.Type, m.Round, want, iter)
+	}
+	switch want {
+	case transport.MsgShardSum:
+		if len(m.W0) != dim || m.Users <= 0 {
+			return fmt.Errorf("%w: malformed shard-sum (%d entries, %d users)",
+				ErrUnexpectedMsg, len(m.W0), m.Users)
+		}
+	case transport.MsgShardResid:
+		if len(m.W) != 1 {
+			return fmt.Errorf("%w: malformed shard-resid (%d objective partials)",
+				ErrUnexpectedMsg, len(m.W))
+		}
+	}
+	return nil
+}
+
+// collect gathers one reduce-leg message of type want (for ADMM iteration
+// iter) from every live shard. Shards that error, send garbage, or miss the
+// ReduceTimeout deadline are detached; the survivors' messages come back
+// keyed by shard id. Messages from replaced or already-detached connections
+// are discarded by generation and liveness.
+func (a *aggRun) collect(iter int, want transport.MsgType) map[int]transport.Message {
+	got := make(map[int]transport.Message)
+	pending := 0
+	for _, s := range a.shards {
+		if s.live {
+			pending++
+		}
+	}
+	var deadline <-chan time.Time
+	if a.cfg.FT.ReduceTimeout > 0 {
+		t := time.NewTimer(a.cfg.FT.ReduceTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for pending > 0 {
+		select {
+		case msg := <-a.inbox:
+			s := a.shards[msg.id]
+			if msg.gen != s.gen || !s.live {
+				continue
+			}
+			_, had := got[msg.id]
+			var ferr error
+			switch {
+			case msg.err != nil:
+				ferr = msg.err
+			case msg.m.Type == transport.MsgError:
+				ferr = shardErrorCause(msg.m)
+			default:
+				ferr = validateLeg(msg.m, want, iter, a.dim)
+			}
+			if ferr != nil {
+				a.detach(msg.id, ferr)
+			} else {
+				got[msg.id] = msg.m
+			}
+			if !had {
+				pending--
+			}
+		case <-deadline:
+			// Lagging is indistinguishable from dead: every live shard that
+			// has not delivered this leg is detached and must rejoin via
+			// checkpoint restore.
+			for id, s := range a.shards {
+				if _, ok := got[id]; s.live && !ok {
+					a.detach(id, fmt.Errorf("protocol: aggregator: shard %d missed the %v reduce deadline (%v)",
+						id, want, a.cfg.FT.ReduceTimeout))
+				}
+			}
+			return got
+		}
+	}
+	return got
+}
+
+// quorumErr builds the degraded-quorum abort: ErrTooFewActive naming the
+// first dead shard and wrapping its cause.
+func (a *aggRun) quorumErr(repr int) error {
+	for id, s := range a.shards {
+		if s.cause != nil {
+			return fmt.Errorf("%w: %d of %d shards represented (quorum %d); first failure on shard %d: %w",
+				ErrTooFewActive, repr, len(a.shards), a.quorum, id, s.cause)
+		}
+	}
+	return fmt.Errorf("%w: %d of %d shards represented (quorum %d)",
+		ErrTooFewActive, repr, len(a.shards), a.quorum)
+}
+
+// abort ends the run after err: live shards — parked in Recv, their current
+// leg already delivered — get a structured MsgError naming the failing
+// shard; everything else is closed.
+func (a *aggRun) abort(err error) error {
+	failed := -1
+	for id, s := range a.shards {
+		if s.cause != nil {
+			failed = id
+			break
+		}
+	}
+	m := shardErrorMessage(failed, err)
+	for _, s := range a.shards {
+		if s.live {
+			_ = s.conn.Send(m)
+		}
+	}
 	a.close()
-	return fmt.Errorf("protocol: aggregator: shard %d: %w", id, err)
+	return fmt.Errorf("protocol: aggregator: %w", err)
 }
 
 func (a *aggRun) close() {
-	for _, c := range a.conns {
-		_ = c.Close()
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
 	}
+	for _, s := range a.shards {
+		_ = s.conn.Close()
+	}
+}
+
+// drainRejoins attaches queued checkpoint-restore rejoin attempts. Called
+// at CCCP round boundaries, where len(a.hist) is the round about to start —
+// the round a rejoining shard is fast-forwarded to.
+func (a *aggRun) drainRejoins() {
+	if a.cfg.FT.Rejoin == nil {
+		return
+	}
+	for {
+		select {
+		case rj := <-a.cfg.FT.Rejoin:
+			a.attach(rj)
+		default:
+			return
+		}
+	}
+}
+
+// attach validates one rejoin attempt and, on success, re-arms the shard's
+// slot: new connection, new pump generation, stale counter reset, and a
+// fast-forward hello reply carrying the current global state (w0 plus the
+// full objective history) so the shard resumes at round len(a.hist).
+func (a *aggRun) attach(rj Rejoin) {
+	m := rj.Hello
+	id := m.Round
+	if m.Type != transport.MsgShardHello || m.Labeled != 1 {
+		abortConn(rj.Conn, "rejoin must be a checkpoint-restore shard-hello")
+		return
+	}
+	if id < 0 || id >= len(a.shards) {
+		abortConn(rj.Conn, fmt.Sprintf("rejoin for unknown shard id %d", id))
+		return
+	}
+	if a.shards[id].live {
+		abortConn(rj.Conn, fmt.Sprintf("shard %d is still attached", id))
+		return
+	}
+	if m.Dim != a.dim {
+		abortConn(rj.Conn, fmt.Sprintf("rejoin dimension mismatch: shard %d has %d, want %d", id, m.Dim, a.dim))
+		return
+	}
+	if m.Users <= 0 {
+		abortConn(rj.Conn, fmt.Sprintf("rejoining shard %d serves no users", id))
+		return
+	}
+	if len(m.V) > len(a.hist) || !sameBits(m.V, a.hist[:len(m.V)]) {
+		abortConn(rj.Conn, fmt.Sprintf("shard %d restored a diverged objective history", id))
+		return
+	}
+	reply := transport.Message{Type: transport.MsgShardHello, Users: a.globalT,
+		Dim: a.dim, Config: a.wire, Round: len(a.hist),
+		W: append([]float64(nil), a.w0...), V: append([]float64(nil), a.hist...)}
+	if err := rj.Conn.Send(reply); err != nil {
+		_ = rj.Conn.Close()
+		return
+	}
+	s := a.shards[id]
+	gone := s.stale
+	s.conn = rj.Conn
+	s.gen++
+	s.live = true
+	s.stale = 0
+	a.restarts++
+	a.mRestarts.Inc()
+	if r := a.cfg.Core.Obs; r.FlightEnabled() {
+		r.FlightRecord(obs.Record{Kind: obs.RecordShardRestore, Shard: id, Round: len(a.hist), Stale: gone})
+	}
+	go a.pump(id, s.gen, rj.Conn)
 }
 
 // sameBits reports whether two float slices are bitwise identical.
@@ -621,10 +1021,9 @@ func RunAggregator(conns []transport.Conn, cfg AggConfig) (*AggResult, error) {
 		r.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "agg", Users: globalT})
 	}
 
-	a := &aggRun{cfg: cfg, conns: shards, dim: dim, w0: w0,
-		hist: append([]float64(nil), prior...)}
+	a := newAggRun(cfg, shards, dim, globalT, wire, w0, prior)
 	info := core.TrainInfo{}
-	cccpInfo, err := optimize.CCCPResume(func(round int) (float64, error) {
+	cccpInfo, err := optimize.CCCPResumeGuarded(func(round int) (float64, error) {
 		var start time.Time
 		if cfg.Core.Obs != nil {
 			start = time.Now()
@@ -645,10 +1044,16 @@ func RunAggregator(conns []transport.Conn, cfg AggConfig) (*AggResult, error) {
 		}
 		a.hist = append(a.hist, obj)
 		return obj, nil
-	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter, prior)
+	}, cfg.Core.CCCPTol, cfg.Core.MaxCCCPIter, prior, func(int) bool {
+		// A reduce that folded carried partials reports a mixed-round
+		// objective; CCCPResumeGuarded skips the descent and convergence
+		// tests around it so a shard outage cannot masquerade as
+		// convergence (or ascent) and end training early.
+		return !a.degraded
+	})
 	if err != nil && !errors.Is(err, optimize.ErrNotDescending) {
-		// Mid-run failure: close-only (see fail); conns may already be
-		// closed, which double-Close tolerates.
+		// Mid-run failure: abort already notified the delivered shards and
+		// closed the rest; a.close is idempotent.
 		a.close()
 		return nil, fmt.Errorf("protocol: RunAggregator: %w", err)
 	}
@@ -661,39 +1066,73 @@ func RunAggregator(conns []transport.Conn, cfg AggConfig) (*AggResult, error) {
 			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
 	}
 
+	// One last drain before the final broadcast: a shard that finished its
+	// checkpoint restore while the last round was closing is fast-forwarded
+	// to the (now final) state and receives the done like everyone else.
+	a.drainRejoins()
+
 	conv := 0
 	if cccpInfo.Converged {
 		conv = 1
 	}
 	done := transport.Message{Type: transport.MsgShardDone, W0: a.w0,
 		Round: cccpInfo.Iterations, Users: conv, Xi: cccpInfo.Objective}
-	for _, c := range shards {
-		_ = c.Send(done) // a shard lost at the very end cannot be helped
+	for _, s := range a.shards {
+		if s.live {
+			_ = s.conn.Send(done) // parked in Recv awaiting the decision
+		}
 	}
 
 	res := &AggResult{W0: a.w0, Info: info, Users: globalT,
-		PerShard: make([]transport.Stats, k)}
-	for id, c := range shards {
-		res.PerShard[id] = c.Stats()
-		res.Total = res.Total.Add(res.PerShard[id])
+		PerShard: make([]transport.Stats, k), ShardCauses: make([]error, k),
+		Restarts: a.restarts}
+	for id, s := range a.shards {
+		st := s.prev
+		if s.live {
+			st = st.Add(s.conn.Stats())
+		}
+		res.PerShard[id] = st
+		res.Total = res.Total.Add(st)
+		res.ShardCauses[id] = s.cause
 	}
+	// Late rejoin attempts cannot be honored any more; reject them with a
+	// reason instead of leaving the dialer parked in Recv.
+	if cfg.FT.Rejoin != nil {
+	drain:
+		for {
+			select {
+			case rj := <-cfg.FT.Rejoin:
+				abortConn(rj.Conn, "training already finished")
+			default:
+				break drain
+			}
+		}
+	}
+	a.close()
 	return res, nil
 }
 
-// cccpRound runs one global CCCP round: announce it to the shards, then
-// iterate the cross-shard ADMM reduce until the residual rule fires.
-// Returns the objective L of Eq. (23).
+// cccpRound runs one global CCCP round: attach any queued rejoins, announce
+// the round to the live shards, then iterate the cross-shard ADMM reduce
+// until the residual rule fires. Returns the objective L of Eq. (23).
 func (a *aggRun) cccpRound(round int, info *core.TrainInfo) (float64, error) {
-	// The round announcement carries the objective that closed the
-	// previous round so shards can complete their histories/checkpoints.
+	a.drainRejoins()
+	a.degraded = false
+
+	// The round announcement carries the objective that closed the previous
+	// round so shards can complete their histories/checkpoints. Only live
+	// shards hear it; a shard rejoining later is fast-forwarded instead.
 	start := transport.Message{Type: transport.MsgShardRound, Round: round}
 	if n := len(a.hist); n > 0 {
 		start.Xi = a.hist[n-1]
 	}
-	for id, c := range a.conns {
+	for id, s := range a.shards {
+		if !s.live {
+			continue
+		}
 		start.W0 = a.w0.Clone()
-		if err := c.Send(start); err != nil {
-			return 0, a.fail(id, err)
+		if err := s.conn.Send(start); err != nil {
+			a.detach(id, err)
 		}
 	}
 
@@ -706,52 +1145,73 @@ func (a *aggRun) cccpRound(round int, info *core.TrainInfo) (float64, error) {
 			roundStart = time.Now()
 		}
 
-		// Fold the shard partials in shard order — with the identical
-		// floating-point shape a single coordinator running ReduceGroups
-		// over this partition would use.
-		sums := make([]mat.Vector, len(a.conns))
-		workers := 0
-		for id, c := range a.conns {
-			m, err := c.Recv()
-			if err != nil {
-				return 0, a.fail(id, err)
+		// Leg 1: fold the consensus sums in shard order — with the identical
+		// floating-point shape a single coordinator running ReduceGroups over
+		// this partition would use. A detached shard contributes its last
+		// delivered partial for up to MaxStale iterations.
+		got := a.collect(iter, transport.MsgShardSum)
+		var sums []mat.Vector
+		workers, repr := 0, 0
+		for id, s := range a.shards {
+			s.fresh, s.carried = false, false
+			if m, ok := got[id]; ok {
+				s.fresh = true
+				s.lastSum = mat.Vector(m.W0)
+				s.lastUsers = m.Users
+			} else if !s.live && s.lastSum != nil && s.stale < a.cfg.FT.MaxStale {
+				s.stale++
+				s.carried = true
+				a.degraded = true
+				a.mStale.Inc()
+				if r := a.cfg.Core.Obs; r.FlightEnabled() {
+					r.FlightRecord(obs.Record{Kind: obs.RecordShardStale, Round: iter, Shard: id, Stale: s.stale})
+				}
+			} else {
+				continue
 			}
-			if m.Type == transport.MsgError {
-				return 0, a.fail(id, fmt.Errorf("%w: %s", ErrAborted, m.Reason))
-			}
-			if m.Type != transport.MsgShardSum || m.Round != iter || len(m.W0) != a.dim || m.Users <= 0 {
-				return 0, a.fail(id, fmt.Errorf("%w: got %v (round %d, %d users) awaiting shard-sum for iteration %d",
-					ErrUnexpectedMsg, m.Type, m.Round, m.Users, iter))
-			}
-			sums[id] = mat.Vector(m.W0)
-			workers += m.Users
+			sums = append(sums, s.lastSum)
+			workers += s.lastUsers
+			repr++
+		}
+		if repr < a.quorum {
+			return 0, a.abort(a.quorumErr(repr))
 		}
 		zNew := admm.SquaredNormZ(shard.Fold(sums), workers, rho)
 		var res admm.Residuals
 		res.Dual = rho * math.Sqrt(2*float64(workers)) * mat.Dist2(zNew, z)
 
-		for id, c := range a.conns {
-			if err := c.Send(transport.Message{Type: transport.MsgShardZ, Round: iter, W0: zNew.Clone()}); err != nil {
-				return 0, a.fail(id, err)
+		for id, s := range a.shards {
+			if !s.live {
+				continue
+			}
+			if err := s.conn.Send(transport.Message{Type: transport.MsgShardZ, Round: iter, W0: zNew.Clone()}); err != nil {
+				a.detach(id, err)
 			}
 		}
 
-		primals := make([]float64, len(a.conns))
-		objPartials := make([]float64, len(a.conns))
-		for id, c := range a.conns {
-			m, err := c.Recv()
-			if err != nil {
-				return 0, a.fail(id, err)
+		// Leg 2: fold the primal residuals and objective partials the same
+		// way; a shard lost mid-iteration falls back to its previous residual
+		// leg when stale carry allows it.
+		got = a.collect(iter, transport.MsgShardResid)
+		var primals, objPartials []float64
+		repr = 0
+		for id, s := range a.shards {
+			if m, ok := got[id]; ok {
+				s.lastPrimal = m.Xi
+				s.lastObj = m.W[0]
+				s.haveResid = true
+			} else if !s.live && s.haveResid && (s.carried || (s.fresh && a.cfg.FT.MaxStale > 0)) {
+				a.degraded = true
+				a.mStale.Inc()
+			} else {
+				continue
 			}
-			if m.Type == transport.MsgError {
-				return 0, a.fail(id, fmt.Errorf("%w: %s", ErrAborted, m.Reason))
-			}
-			if m.Type != transport.MsgShardResid || m.Round != iter || len(m.W) != 1 {
-				return 0, a.fail(id, fmt.Errorf("%w: got %v (round %d) awaiting shard-resid for iteration %d",
-					ErrUnexpectedMsg, m.Type, m.Round, iter))
-			}
-			primals[id] = m.Xi
-			objPartials[id] = m.W[0]
+			primals = append(primals, s.lastPrimal)
+			objPartials = append(objPartials, s.lastObj)
+			repr++
+		}
+		if repr < a.quorum {
+			return 0, a.abort(a.quorumErr(repr))
 		}
 		res.Primal = math.Sqrt(shard.FoldScalars(primals))
 		z = zNew
@@ -767,9 +1227,12 @@ func (a *aggRun) cccpRound(round int, info *core.TrainInfo) (float64, error) {
 			break
 		}
 		if iter+1 < a.cfg.Dist.MaxADMMIter {
-			for id, c := range a.conns {
-				if err := c.Send(transport.Message{Type: transport.MsgShardNext, Round: iter + 1}); err != nil {
-					return 0, a.fail(id, err)
+			for id, s := range a.shards {
+				if !s.live {
+					continue
+				}
+				if err := s.conn.Send(transport.Message{Type: transport.MsgShardNext, Round: iter + 1}); err != nil {
+					a.detach(id, err)
 				}
 			}
 		}

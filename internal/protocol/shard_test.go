@@ -48,6 +48,18 @@ func runSharded(t *testing.T, users []core.UserData, partition [][]int,
 	wrapDevice func(u int, c transport.Conn) transport.Conn,
 	deliver func(u int, cc transport.Conn)) *shardedOut {
 	t.Helper()
+	return runShardedLinks(t, users, partition, cfg, shardCfg, wrapDevice, deliver, nil)
+}
+
+// runShardedLinks is runSharded with an extra hook on the shard↔aggregator
+// links: wrapAgg, when non-nil, may wrap either end of shard s's link (the
+// chaos and fault-injection surface of the shard tier).
+func runShardedLinks(t *testing.T, users []core.UserData, partition [][]int,
+	cfg AggConfig, shardCfg func(s int) ShardConfig,
+	wrapDevice func(u int, c transport.Conn) transport.Conn,
+	deliver func(u int, cc transport.Conn),
+	wrapAgg func(s int, aggSide, shardSide transport.Conn) (transport.Conn, transport.Conn)) *shardedOut {
+	t.Helper()
 	k := len(partition)
 	out := &shardedOut{
 		shards: make([]*ServerResult, k), shardErrs: make([]error, k),
@@ -58,6 +70,9 @@ func runSharded(t *testing.T, users []core.UserData, partition [][]int,
 	var clientWg, shardWg sync.WaitGroup
 	for s := range partition {
 		aggSide, shardSide := transport.Pipe()
+		if wrapAgg != nil {
+			aggSide, shardSide = wrapAgg(s, aggSide, shardSide)
+		}
 		aggConns[s] = aggSide
 		conns := make([]transport.Conn, 0, len(partition[s]))
 		for _, u := range partition[s] {

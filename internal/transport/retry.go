@@ -28,6 +28,10 @@ type RetryPolicy struct {
 	// Sleep is the delay function, replaceable in tests; nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// Counter, when non-empty, names an additional registry counter
+	// incremented alongside transport_retries_total for every retry on this
+	// connection (e.g. agg_link_retries_total on shard-aggregator links).
+	Counter string
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -64,7 +68,7 @@ func Retry(inner Conn, p RetryPolicy, r *obs.Registry) Conn {
 	}
 	p = p.withDefaults()
 	root := rng.New(p.Seed)
-	return &retryConn{
+	c := &retryConn{
 		inner:    inner,
 		p:        p,
 		sendRng:  root.Split("retry-send"),
@@ -73,6 +77,10 @@ func Retry(inner Conn, p RetryPolicy, r *obs.Registry) Conn {
 		timeouts: r.Counter(obs.MetricTransportOpTimeouts, ""),
 		dups:     r.Counter(obs.MetricTransportDupsDropped, ""),
 	}
+	if p.Counter != "" {
+		c.extra = r.Counter(p.Counter, "")
+	}
+	return c
 }
 
 type retryConn struct {
@@ -88,6 +96,7 @@ type retryConn struct {
 	lastSeen int64 // highest sequence number accepted from the peer
 
 	retries, timeouts, dups *obs.Counter
+	extra                   *obs.Counter // optional per-link counter (RetryPolicy.Counter)
 }
 
 // backoff returns the jittered delay before attempt+1 (attempt counts from 1).
@@ -128,6 +137,7 @@ func (c *retryConn) Send(m Message) error {
 			return err
 		}
 		c.retries.Inc()
+		c.extra.Inc()
 		c.p.Sleep(c.backoff(attempt, c.sendRng))
 	}
 }
@@ -156,6 +166,7 @@ func (c *retryConn) Recv() (Message, error) {
 			return Message{}, err
 		}
 		c.retries.Inc()
+		c.extra.Inc()
 		c.p.Sleep(c.backoff(attempt, c.recvRng))
 		attempt++
 	}

@@ -70,6 +70,7 @@ type ftOptions struct {
 	retries         int
 	roundTimeout    time.Duration
 	quorum          float64
+	shardQuorum     int
 	maxStale        int
 	resume          bool
 	maxRedials      int
@@ -204,8 +205,20 @@ func WithQuorum(frac float64) Option {
 	return func(o *options) { o.ft.quorum = frac }
 }
 
+// WithQuorum's device-tier rule lifted to shards: WithShardQuorum sets the
+// minimum number of shards that must be represented in every ServeAggregator
+// reduce — by a fresh partial or a stale carry within WithMaxStale rounds.
+// Below it the run aborts with an error naming the first dead shard. n <= 0
+// (the default) requires every shard (strict lockstep). It has no effect
+// outside ServeAggregator.
+func WithShardQuorum(n int) Option {
+	return func(o *options) { o.ft.shardQuorum = n }
+}
+
 // WithMaxStale sets how many consecutive rounds a straggler's last local
-// solution may be reused before the device is dropped (default 3).
+// solution may be reused before the device is dropped (default 3). On
+// ServeAggregator the same knob bounds how long a detached shard's last
+// partial sums keep being folded while it restarts (docs/SHARDING.md).
 func WithMaxStale(k int) Option {
 	return func(o *options) { o.ft.maxStale = k }
 }

@@ -47,6 +47,15 @@ go test -race -count=1 \
     -run 'TestShardedBitIdenticalToSingleCoordinator|TestShardedRebalanceViaRing' \
     ./internal/protocol
 
+echo "== shard-FT race smoke: fault-free bit-identity + agg-link chaos + degraded quorum =="
+go test -race -count=1 \
+    -run 'TestShardFTFaultFreeBitIdentical|TestShardedAggLinkChaosBitIdentical|TestShardedDegradedQuorumCompletes' \
+    ./internal/protocol
+
+echo "== shard kill/restore smoke: kill-9 soak (race) + real SIGKILL on a worker process =="
+go test -race -count=1 -v -run 'TestShardedKillRestoreRejoins' ./internal/protocol
+go test -count=1 -v -run 'TestShardKillRecover' ./cmd/plos-bench
+
 echo "== compressed-mode race smoke: codec-v4 negotiation + mixed fleet =="
 go test -race -count=1 \
     -run 'TestCompressionInteropMatrix|TestCompressionMixedFleet' \

@@ -6,6 +6,7 @@ import (
 	"io/fs"
 
 	"plos/internal/compress"
+	"plos/internal/obs"
 	"plos/internal/protocol"
 	"plos/internal/rng"
 	"plos/internal/transport"
@@ -33,6 +34,14 @@ type AggregateResult struct {
 	// shard s.
 	TrafficBytes    []int64
 	TrafficMessages []int
+	// ShardCauses[s] is the first fatal failure recorded for shard s — nil
+	// for shards that stayed healthy, non-nil for shards that were detached
+	// (reduce-deadline miss, dead link), even if they later rejoined via
+	// checkpoint restore.
+	ShardCauses []error
+	// Restarts counts shards re-attached through the checkpoint-restore
+	// rejoin handshake during this run.
+	Restarts int
 }
 
 // wrapShardLink layers the reliability stack over a shard↔aggregator
@@ -54,9 +63,56 @@ func wrapShardLink(c transport.Conn, o *options, seedLabel string, idx int) tran
 		wired = transport.Retry(wired, transport.RetryPolicy{
 			MaxAttempts: o.ft.retries,
 			Seed:        rng.New(o.core.Seed).SplitN(seedLabel, idx).Int63(),
+			Counter:     obs.MetricAggLinkRetries,
 		}, o.core.Obs)
 	}
 	return wired
+}
+
+// acceptShardRejoins is acceptRejoins for the shard tier: connections
+// arriving at the aggregator's listener during training are wrapped with the
+// shard-link stack (never compression — see wrapShardLink) and their first
+// message, a checkpoint-restore shard-hello, is queued for the aggregator's
+// round-boundary drain.
+func acceptShardRejoins(l *transport.Listener, o *options, rejoin chan<- protocol.Rejoin, stop <-chan struct{}) {
+	for i := 0; ; i++ {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed: training is over
+		}
+		conn := wrapShardLink(c, o, "retry-agg-rejoin", i)
+		go func() {
+			if o.ft.opTimeout <= 0 {
+				transport.SetOpTimeout(c, rejoinHelloTimeout)
+			}
+			m, err := conn.Recv()
+			if o.ft.opTimeout <= 0 {
+				transport.SetOpTimeout(c, 0)
+			}
+			if err != nil {
+				_ = conn.Close()
+				return
+			}
+			select {
+			case rejoin <- protocol.Rejoin{Conn: conn, Hello: m}:
+			case <-stop:
+				_ = conn.Close()
+			}
+		}()
+	}
+}
+
+// aggFT assembles the shard-tier fault-tolerance envelope from the same
+// options that drive the device tier: WithRoundTimeout bounds each reduce
+// leg, WithMaxStale bounds stale carries, WithShardQuorum sets the abort
+// floor, and WithSessionResume enables the rejoin accept loop.
+func (o *options) aggFT(rejoin <-chan protocol.Rejoin) protocol.AggFTConfig {
+	return protocol.AggFTConfig{
+		ReduceTimeout: o.ft.roundTimeout,
+		ShardQuorum:   o.ft.shardQuorum,
+		MaxStale:      o.ft.maxStale,
+		Rejoin:        rejoin,
+	}
 }
 
 // ServeShard runs one shard of a sharded serving plane: it listens on addr
@@ -177,6 +233,13 @@ func ServeShard(aggAddr string, shardID int, addr string, devices int, onListen 
 // shard-level partial sums, so the paper's privacy posture (raw data never
 // leaves the device; personalized models never leave the shard) is
 // preserved across the extra tier.
+//
+// Shard-tier fault tolerance reuses the device-tier options:
+// WithRoundTimeout bounds each reduce leg, WithMaxStale lets a detached
+// shard's last partials keep being folded while it restarts, WithShardQuorum
+// sets the abort floor, and WithSessionResume keeps the listener accepting
+// so a shard restarted with WithCheckpoint can rejoin mid-run (see
+// docs/SHARDING.md and docs/FAULT_TOLERANCE.md).
 func ServeAggregator(addr string, shards int, onListen func(addr string), opts ...Option) (*AggregateResult, error) {
 	if shards <= 0 {
 		return nil, errors.New("plos: ServeAggregator: need at least one shard")
@@ -213,8 +276,18 @@ func ServeAggregator(addr string, shards int, onListen func(addr string), opts .
 		wired[i] = wrapShardLink(c, &o, "retry-agg", i)
 	}
 
+	// With session resume, the listener keeps accepting for the whole run so
+	// a crashed shard can dial back in with its checkpoint-restore hello.
+	var rejoin chan protocol.Rejoin
+	if o.ft.resume {
+		rejoin = make(chan protocol.Rejoin, shards)
+		stop := make(chan struct{})
+		defer close(stop)
+		go acceptShardRejoins(l, &o, rejoin, stop)
+	}
+
 	res, err := protocol.RunAggregator(wired, protocol.AggConfig{
-		Core: o.core, Dist: o.dist,
+		Core: o.core, Dist: o.dist, FT: o.aggFT(rejoin),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("plos: ServeAggregator: %w", err)
@@ -226,6 +299,8 @@ func ServeAggregator(addr string, shards int, onListen func(addr string), opts .
 		Converged:        res.Info.CCCPConverged,
 		Objective:        res.Info.Objective,
 		ObjectiveHistory: append([]float64(nil), res.Info.ObjectiveHistory...),
+		ShardCauses:      append([]error(nil), res.ShardCauses...),
+		Restarts:         res.Restarts,
 	}
 	for _, s := range res.PerShard {
 		out.TrafficBytes = append(out.TrafficBytes, s.BytesSent+s.BytesReceived)
