@@ -1,0 +1,319 @@
+package main
+
+// The -async-json mode: the straggler scenario behind docs/ASYNC.md,
+// committed as BENCH_9.json. Three arms train the reduced Fig. 5 HAR
+// workload over in-process pipes:
+//
+//   sync-clean   lockstep wire protocol, healthy fleet — the reference
+//                objective and the median device solve time,
+//   sync-stale   lockstep with device 0 delayed 10x the median healthy
+//                round and the round deadline just under that delay (the
+//                smallest deadline at which the straggler's solutions keep
+//                folding), so every round that launches the straggler
+//                burns ~the whole delay before carrying it stale,
+//   async        the DJAM mode with the same straggler: everyone else
+//                keeps folding, the straggler's updates land damped.
+//
+// The generator enforces the headline bars instead of just reporting them:
+// the async arm must finish at least 2x faster than sync-with-stale-reuse,
+// land within 5% of the sync-clean objective, drop nobody, and its wall
+// clock must stay bounded by the straggler's per-round delay — if the
+// coordinator ever serializes on the slow device, the run fails.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plos/internal/core"
+	"plos/internal/eval"
+	"plos/internal/obs"
+	"plos/internal/protocol"
+	"plos/internal/transport"
+)
+
+// asyncSchema versions the snapshot layout; checkperf requires the field.
+const asyncSchema = "plos-bench/async-v1"
+
+type asyncArm struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Objective   float64 `json:"objective"`
+	Accuracy    float64 `json:"accuracy"`
+	// ADMMRounds counts lockstep rounds in the sync arms and folded
+	// updates in the async arm (the async plane has no round clock).
+	ADMMRounds int `json:"admm_rounds"`
+	CCCPRounds int `json:"cccp_rounds"`
+	Drops      int `json:"drops"`
+}
+
+type asyncReport struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload"`
+	// StragglerDelayMS is the injected per-update delay on device 0 (10x
+	// the median healthy round measured in the sync-clean arm);
+	// RoundTimeoutMS the sync-stale arm's deadline (0.9x the delay).
+	StragglerDelayMS float64    `json:"straggler_delay_ms"`
+	RoundTimeoutMS   float64    `json:"round_timeout_ms"`
+	Arms             []asyncArm `json:"arms"`
+	// Speedup is the headline bar: sync-stale wall over async wall (>= 2
+	// enforced); ObjGapRel the async objective's relative gap to
+	// sync-clean (<= 0.05 enforced).
+	Speedup   float64 `json:"speedup"`
+	ObjGapRel float64 `json:"obj_gap_rel"`
+}
+
+// slowDevice models a straggler whose solve takes `delay`: every MsgParams
+// after the first sleeps before reaching the solver, so each reply lands
+// `delay` after the coordinator asked for it. The first solve goes through
+// clean so the lockstep arms can carry the device stale instead of
+// blocking round 0 on a device with no solution at all.
+type slowDevice struct {
+	transport.Conn
+	delay time.Duration
+	mu    sync.Mutex
+	seen  int
+}
+
+func (c *slowDevice) Recv() (transport.Message, error) {
+	m, err := c.Conn.Recv()
+	if err == nil && m.Type == transport.MsgParams {
+		c.mu.Lock()
+		c.seen++
+		late := c.seen > 1
+		c.mu.Unlock()
+		if late {
+			time.Sleep(c.delay)
+		}
+	}
+	return m, err
+}
+
+// runAsyncArm trains one arm over pipes and reports its outcome. delay > 0
+// throttles device 0. flight, when non-nil, receives the server's flight
+// stream (used by the sync-clean arm to measure the median solve).
+func runAsyncArm(users []core.UserData, truths [][]float64, cfg protocol.ServerConfig,
+	name string, delay time.Duration, flight *strings.Builder) (asyncArm, error) {
+	if flight != nil {
+		reg := obs.NewRegistry()
+		reg.SetFlightRecorder(obs.NewFlightRecorder(flight, 0))
+		cfg.Core.Obs = reg
+	}
+	n := len(users)
+	serverConns := make([]transport.Conn, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sc, cc := transport.Pipe()
+		serverConns[i] = sc
+		if i == 0 && delay > 0 {
+			cc = &slowDevice{Conn: cc, delay: delay}
+		}
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			_, _ = protocol.RunClient(conn, users[i], protocol.ClientOptions{
+				Seed: int64(i), Async: cfg.Async,
+			})
+		}(i, cc)
+	}
+	start := time.Now()
+	res, err := protocol.RunServer(serverConns, cfg)
+	wall := time.Since(start)
+	for _, c := range serverConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		return asyncArm{}, fmt.Errorf("%s: %w", name, err)
+	}
+	arm := asyncArm{
+		Name:        name,
+		WallSeconds: wall.Seconds(),
+		Objective:   res.Info.Objective,
+		ADMMRounds:  res.Info.ADMMIterations,
+		CCCPRounds:  res.Info.CCCPIterations,
+	}
+	for _, d := range res.Dropped {
+		if d {
+			arm.Drops++
+		}
+	}
+	correct, total := 0, 0
+	for t := range users {
+		if res.Model.W[t] == nil {
+			continue // dropped: no personalized hyperplane to score
+		}
+		for i, y := range truths[t] {
+			pred := 1.0
+			if res.Model.ScoreUser(t, users[t].X.Row(i)) < 0 {
+				pred = -1
+			}
+			if pred == y {
+				correct++
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		arm.Accuracy = float64(correct) / float64(total)
+	}
+	return arm, nil
+}
+
+// medianRound extracts the median lockstep round duration from a flight
+// stream's admm-round records. On parallel hardware a healthy round's wall
+// is the median device solve; on a serialized single-core runner it is the
+// whole fleet's, so calibrating the straggler against the measured round
+// keeps the scenario honest on both.
+func medianRound(stream string) (time.Duration, error) {
+	var durs []int64
+	for _, line := range strings.Split(stream, "\n") {
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Rec   string `json:"rec"`
+			DurNS int64  `json:"dur_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return 0, fmt.Errorf("flight stream: %w", err)
+		}
+		if rec.Rec == "admm-round" && rec.DurNS > 0 {
+			durs = append(durs, rec.DurNS)
+		}
+	}
+	if len(durs) == 0 {
+		return 0, fmt.Errorf("flight stream carries no round durations")
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return time.Duration(durs[len(durs)/2]), nil
+}
+
+// asyncBenchConfig is the shared training configuration of the three arms;
+// only FT/Async differ per arm.
+func asyncBenchConfig(seed int64) protocol.ServerConfig {
+	return protocol.ServerConfig{
+		Core: core.Config{
+			Lambda: 100, Cl: 1, Cu: 0.2, Seed: seed,
+			MaxCCCPIter: 3, MaxCutIter: 20, QPMaxIter: 800,
+		},
+		Dist: core.DistConfig{MaxADMMIter: 12, EpsAbs: 1e-2},
+	}
+}
+
+// runAsyncJSON runs the straggler scenario and writes the snapshot,
+// enforcing the headline bars (see the package comment above).
+func runAsyncJSON(path string, seed int64) error {
+	users, truths, err := eval.HARCohort(eval.CompressionOptions{
+		CohortOptions: eval.CohortOptions{Trials: 1, Seed: seed, Lambda: 100, Cl: 1, Cu: 0.2},
+	})
+	if err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+
+	var flight strings.Builder
+	clean, err := runAsyncArm(users, truths, asyncBenchConfig(seed), "sync-clean", 0, &flight)
+	if err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+	median, err := medianRound(flight.String())
+	if err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+	if median < time.Millisecond {
+		// Floor against degenerate schedulers: the scenario needs a delay
+		// that dwarfs transport noise.
+		median = time.Millisecond
+	}
+	delay := 10 * median
+
+	staleCfg := asyncBenchConfig(seed)
+	staleCfg.FT = protocol.FTConfig{
+		// The most generous deadline that still carries the straggler stale
+		// instead of serializing every round on it: just under the injected
+		// delay. Every round that launches the straggler burns ~the whole
+		// deadline before reusing its stale solution; its late replies land
+		// after the round closed and are discarded, the lockstep protocol's
+		// documented behavior.
+		RoundTimeout: delay * 98 / 100,
+		MaxStale:     1 << 20, // carried forever, never dropped
+	}
+	stale, err := runAsyncArm(users, truths, staleCfg, "sync-stale", delay, nil)
+	if err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+
+	asyncCfg := asyncBenchConfig(seed)
+	asyncCfg.Async = true
+	asyncCfg.FT = protocol.FTConfig{MaxStale: 8} // DJAM damping floor γ = 1/9
+	async, err := runAsyncArm(users, truths, asyncCfg, "async", delay, nil)
+	if err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+
+	report := asyncReport{
+		Schema:           asyncSchema,
+		Workload:         "fig5-har reduced (10 users x 24 samples x dim 120, 5 providers @ 25%), device 0 delayed 10x the median healthy round",
+		StragglerDelayMS: float64(delay) / 1e6,
+		RoundTimeoutMS:   float64(staleCfg.FT.RoundTimeout) / 1e6,
+		Arms:             []asyncArm{clean, stale, async},
+		Speedup:          stale.WallSeconds / async.WallSeconds,
+		ObjGapRel:        relGap(async.Objective, clean.Objective),
+	}
+	for _, a := range report.Arms {
+		fmt.Fprintf(os.Stderr, "async %-10s wall=%7.3fs obj=%.4f acc=%.3f admm=%d drops=%d\n",
+			a.Name, a.WallSeconds, a.Objective, a.Accuracy, a.ADMMRounds, a.Drops)
+	}
+
+	if stale.Drops > 0 || async.Drops > 0 {
+		return fmt.Errorf("async-json: straggler was dropped (sync-stale %d, async %d drops); the scenario requires no quorum aborts",
+			stale.Drops, async.Drops)
+	}
+	if report.Speedup < 2 {
+		return fmt.Errorf("async-json: async wall %.3fs is only %.2fx faster than sync-stale %.3fs, want >= 2x",
+			async.WallSeconds, report.Speedup, stale.WallSeconds)
+	}
+	if report.ObjGapRel > 0.05 {
+		return fmt.Errorf("async-json: async objective gap %.4f vs sync-clean, want <= 0.05", report.ObjGapRel)
+	}
+	// The async plane must not serialize on the straggler: one delayed
+	// reply per CCCP round (plus handshake/drain slack) is the worst case.
+	bound := float64(async.CCCPRounds+2)*delay.Seconds() + 3*clean.WallSeconds
+	if async.WallSeconds > bound {
+		return fmt.Errorf("async-json: async wall %.3fs exceeds the straggler bound %.3fs — the coordinator is serializing on the slow device",
+			async.WallSeconds, bound)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fmt.Errorf("async-json: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "async snapshot written to", path)
+	return nil
+}
+
+func relGap(got, ref float64) float64 {
+	gap := got - ref
+	if gap < 0 {
+		gap = -gap
+	}
+	den := ref
+	if den < 0 {
+		den = -den
+	}
+	if den < 1e-9 {
+		den = 1e-9
+	}
+	return gap / den
+}

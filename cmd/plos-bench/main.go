@@ -43,6 +43,8 @@ func main() {
 		"write the aggregate solver/transport metrics of the whole run to this JSON file")
 	flag.StringVar(&o.benchJSON, "bench-json", "",
 		"run the perf-trajectory suite (CutRound, TrainParallel) instead of figures and write the snapshot to this JSON file")
+	flag.StringVar(&o.asyncJSON, "async-json", "",
+		"run the asynchronous-wire straggler scenario (docs/ASYNC.md) instead of figures and write the snapshot to this JSON file")
 	flag.StringVar(&o.compressJSON, "compress-json", "",
 		"run the codec-v4 accuracy-vs-bytes sweep (Fig. 5 workload, one run per compression scheme) instead of figures and write the snapshot to this JSON file")
 	flag.StringVar(&o.shardJSON, "shard-json", "",
@@ -68,6 +70,7 @@ type benchOptions struct {
 	format       string
 	metricsJSON  string
 	benchJSON    string
+	asyncJSON    string
 	compressJSON string
 	shardJSON    string
 	shardDevices int
@@ -84,6 +87,9 @@ func run(o benchOptions) error {
 			return runShardKillJSON(o)
 		}
 		return runShardJSON(o)
+	}
+	if o.asyncJSON != "" {
+		return runAsyncJSON(o.asyncJSON, o.seed)
 	}
 	if o.compressJSON != "" {
 		return runCompressJSON(o.compressJSON, o.seed, o.workers)

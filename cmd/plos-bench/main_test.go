@@ -129,6 +129,53 @@ func TestRunCompressJSON(t *testing.T) {
 	}
 }
 
+func TestAsyncJSONSchema(t *testing.T) {
+	// Shape-only check; TestRunAsyncJSON runs the three straggler arms
+	// behind PLOS_BENCH_E2E.
+	rep := asyncReport{Schema: asyncSchema, Workload: "w",
+		StragglerDelayMS: 100, RoundTimeoutMS: 98,
+		Arms: []asyncArm{{Name: "async", WallSeconds: 0.2, Objective: 0.8,
+			Accuracy: 0.84, ADMMRounds: 240, CCCPRounds: 3}},
+		Speedup: 2.9, ObjGapRel: 0.013}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["schema"] != asyncSchema {
+		t.Errorf("schema field = %v", back["schema"])
+	}
+	if back["speedup"].(float64) != 2.9 {
+		t.Errorf("speedup field = %v", back["speedup"])
+	}
+}
+
+func TestRunAsyncJSON(t *testing.T) {
+	if os.Getenv("PLOS_BENCH_E2E") == "" {
+		t.Skip("set PLOS_BENCH_E2E=1 to run the straggler scenario")
+	}
+	path := t.TempDir() + "/async.json"
+	o := bench("all", "table")
+	o.asyncJSON = path
+	if err := run(o); err != nil {
+		t.Fatalf("run with -async-json: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep asyncReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if rep.Schema != asyncSchema || len(rep.Arms) != 3 || rep.Speedup < 2 {
+		t.Fatalf("unexpected snapshot: %+v", rep)
+	}
+}
+
 func TestRunMetricsJSON(t *testing.T) {
 	path := t.TempDir() + "/metrics.json"
 	o := bench("9", "csv")

@@ -39,6 +39,7 @@ type clientOptions struct {
 	retries     int
 	sessionFile string
 	compress    string
+	async       bool
 }
 
 func main() {
@@ -58,6 +59,9 @@ func main() {
 	flag.StringVar(&o.compress, "compress", "",
 		"codec-v4 parameter compression offer, e.g. q8, q16, topk:0.25, delta, or compositions like q8,topk:0.25; "+
 			"active only when the coordinator offers the same schemes (empty or 'off' disables)")
+	flag.BoolVar(&o.async, "async", false,
+		"require the fully asynchronous DJAM mode (pair with plos-server -async; "+
+			"the join fails fast against a lockstep coordinator — see docs/ASYNC.md)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "plos-client:", err)
@@ -88,6 +92,9 @@ func run(o clientOptions) error {
 	}
 	if o.compress != "" {
 		opts = append(opts, plos.WithCompression(o.compress))
+	}
+	if o.async {
+		opts = append(opts, plos.WithAsync())
 	}
 	if o.sessionFile != "" {
 		if tok, err := readSessionFile(o.sessionFile); err != nil {

@@ -18,6 +18,13 @@
 //	plos-server -devices 5 -round-timeout 30s -quorum 0.5 -resume \
 //	    -checkpoint run.ckpt
 //
+// Asynchronous mode (see docs/ASYNC.md): -async removes the global ADMM
+// round clock — each device update folds into the consensus the moment it
+// arrives, weighted down by its staleness, so one slow device no longer
+// stalls the fleet. Pair with plos-client -async:
+//
+//	plos-server -devices 5 -async -max-stale 4
+//
 // Sharded serving plane (see docs/SHARDING.md): -role selects what this
 // process is. The default "single" is the classic one-coordinator server;
 // "agg" runs the top-level aggregator for -shards shard processes (this is
@@ -88,6 +95,9 @@ func main() {
 	flag.StringVar(&o.compress, "compress", "",
 		"codec-v4 parameter compression offer, e.g. q8, q16, topk:0.25, delta, or compositions like q8,topk:0.25; "+
 			"active only on connections whose peer offers the same schemes (empty or 'off' disables)")
+	flag.BoolVar(&o.async, "async", false,
+		"fully asynchronous DJAM mode: fold each device update on arrival under the staleness-weighted rule "+
+			"instead of lockstep ADMM iterations (role single only; see docs/ASYNC.md)")
 	flag.StringVar(&o.role, "role", "single",
 		"process role in the serving plane: single (classic coordinator), shard, or agg (see docs/SHARDING.md)")
 	flag.IntVar(&o.shardID, "shard-id", 0, "this process's shard index (with -role shard; 0-based, contiguous)")
@@ -117,6 +127,7 @@ type serverOptions struct {
 	checkpointEvery             int
 	flight                      string
 	compress                    string
+	async                       bool
 	role                        string
 	shardID                     int
 	aggAddr                     string
@@ -159,6 +170,12 @@ func run(o serverOptions) error {
 	}
 	if o.checkpoint != "" {
 		opts = append(opts, plos.WithCheckpoint(o.checkpoint, o.checkpointEvery))
+	}
+	if o.async {
+		if o.role != "" && o.role != "single" {
+			return fmt.Errorf("-async requires -role single (the sharded plane is lockstep; see docs/ASYNC.md)")
+		}
+		opts = append(opts, plos.WithAsync())
 	}
 	var ob *plos.Observer
 	if o.metricsAddr != "" || o.flight != "" {

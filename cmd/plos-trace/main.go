@@ -84,6 +84,9 @@ type record struct {
 	Bytes      int64   `json:"bytes"`
 	EnergyJ    float64 `json:"energy_j"`
 	Stale      int     `json:"stale"`
+	Epoch      int     `json:"epoch"`
+	Staleness  float64 `json:"staleness"`
+	Weight     float64 `json:"weight"`
 	Cause      string  `json:"cause"`
 	Permanent  bool    `json:"permanent"`
 	Active     int     `json:"active"`
@@ -131,12 +134,40 @@ type deviceAgg struct {
 	stale   int
 }
 
+// asyncAgg is the per-device rollup of an asynchronous (DJAM) run: how many
+// consensus snapshots the device was handed, how many of its solutions were
+// folded, and the staleness each fold arrived with. Staleness is the fold's
+// normalized lag — epochs the snapshot fell behind divided by fleet size —
+// so s≈1 means the whole fleet folded once while this solve was in flight.
+type asyncAgg struct {
+	user      int
+	snapshots int
+	folds     int
+	staleSum  float64
+	weightSum float64
+	maxStale  float64
+	hist      [len(staleBuckets) + 1]int
+}
+
+// staleBuckets are the histogram upper bounds; the last bucket is open.
+var staleBuckets = [...]float64{0, 1, 2, 4}
+
+func staleBucket(s float64) int {
+	for i, ub := range staleBuckets {
+		if s <= ub {
+			return i
+		}
+	}
+	return len(staleBuckets)
+}
+
 // run is one run-start..run-end slice of the stream.
 type run struct {
 	trainer string
 	users   int
 	cccp    []*cccpRound
 	devices map[int]*deviceAgg
+	async   map[int]*asyncAgg
 	drops   []record
 	quorums []record
 	// Shard-tier supervision events on an aggregator stream: detaches,
@@ -151,7 +182,16 @@ type run struct {
 }
 
 func newRun(trainer string, users int) *run {
-	return &run{trainer: trainer, users: users, devices: map[int]*deviceAgg{}}
+	return &run{trainer: trainer, users: users, devices: map[int]*deviceAgg{}, async: map[int]*asyncAgg{}}
+}
+
+func (r *run) asyncDevice(u int) *asyncAgg {
+	a := r.async[u]
+	if a == nil {
+		a = &asyncAgg{user: u}
+		r.async[u] = a
+	}
+	return a
 }
 
 func (r *run) device(u int) *deviceAgg {
@@ -270,6 +310,17 @@ func parse(in io.Reader) ([]*run, error) {
 			ar.stales = append(ar.stales, rec)
 			d := r.device(rec.User)
 			d.stale++
+		case "async-snapshot":
+			current().asyncDevice(rec.User).snapshots++
+		case "async-fold":
+			a := current().asyncDevice(rec.User)
+			a.folds++
+			a.staleSum += rec.Staleness
+			a.weightSum += rec.Weight
+			if rec.Staleness > a.maxStale {
+				a.maxStale = rec.Staleness
+			}
+			a.hist[staleBucket(rec.Staleness)]++
 		case "device-drop":
 			current().drops = append(current().drops, rec)
 		case "quorum":
@@ -366,6 +417,7 @@ func printRun(w io.Writer, r *run, top, timeline int) {
 		}
 	}
 
+	printAsync(w, r)
 	printShardWait(w, r)
 
 	fmt.Fprintf(w, "\n== convergence summary ==\n")
@@ -440,6 +492,36 @@ func printRound(w io.Writer, ar *admmRound, top int) {
 		fmt.Fprintf(w, "  stale: u%d(%d)", s.User, s.Stale)
 	}
 	fmt.Fprintln(w)
+}
+
+// printAsync summarizes an asynchronous (DJAM) run: per-device snapshot and
+// fold counts plus a staleness histogram — the footprint of the damping rule
+// γ(s) = 1/(1+min(s, MaxStale)). A device whose folds pile up in the high
+// buckets is the fleet's straggler; its updates arrived heavily damped.
+// Printed only for streams carrying async-fold records.
+func printAsync(w io.Writer, r *run) {
+	if len(r.async) == 0 {
+		return
+	}
+	devs := make([]*asyncAgg, 0, len(r.async))
+	for _, a := range r.async {
+		devs = append(devs, a)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i].user < devs[j].user })
+	fmt.Fprintf(w, "\n== async folds (staleness = epochs behind / fleet size) ==\n")
+	fmt.Fprintf(w, "%6s %6s %6s %8s %8s %8s  %6s %6s %6s %6s %6s\n",
+		"device", "snaps", "folds", "mean s", "max s", "mean γ",
+		"s=0", "s≤1", "s≤2", "s≤4", "s>4")
+	for _, a := range devs {
+		meanS, meanW := 0.0, 0.0
+		if a.folds > 0 {
+			meanS = a.staleSum / float64(a.folds)
+			meanW = a.weightSum / float64(a.folds)
+		}
+		fmt.Fprintf(w, "%6d %6d %6d %8.2f %8.2f %8.2f  %6d %6d %6d %6d %6d\n",
+			a.user, a.snapshots, a.folds, meanS, a.maxStale, meanW,
+			a.hist[0], a.hist[1], a.hist[2], a.hist[3], a.hist[4])
+	}
 }
 
 // printShardHealth summarizes the aggregator's shard supervision: which

@@ -253,6 +253,105 @@ func TestShardWaitAttribution(t *testing.T) {
 	}
 }
 
+// TestAsyncFoldSection: a stream from an asynchronous (DJAM) run carries
+// async-snapshot/async-fold records; the analyzer must render the per-device
+// staleness histogram, rank the damped straggler's folds into the high
+// buckets, and stay silent for synchronous streams.
+func TestAsyncFoldSection(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"rec":"run-start","trainer":"server","users":2}`,
+		`{"rec":"async-snapshot","round":0,"user":0,"epoch":0}`,
+		`{"rec":"async-snapshot","round":0,"user":1,"epoch":0}`,
+		`{"rec":"async-fold","round":0,"user":0,"epoch":0,"staleness":0,"weight":1,"primal":0.5,"dual":0.2}`,
+		`{"rec":"async-snapshot","round":0,"user":0,"epoch":1}`,
+		`{"rec":"async-fold","round":0,"user":0,"epoch":1,"staleness":0.5,"weight":0.6666,"primal":0.4,"dual":0.1}`,
+		`{"rec":"async-fold","round":0,"user":1,"epoch":2,"staleness":4.5,"weight":0.1818,"primal":0.3,"dual":0.1}`,
+		`{"rec":"run-end","converged":true,"objective":0.5,"rounds":1}`,
+	}, "\n")
+	var out strings.Builder
+	if err := analyze(strings.NewReader(stream), &out, 3, 40); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== async folds (staleness = epochs behind / fleet size) ==",
+		"mean s",
+		"mean γ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Device 0: 2 snapshots, 2 folds, one in s=0 and one in 0<s≤1.
+	// Device 1: 1 snapshot, 1 fold at s=4.5 → the open s>4 bucket.
+	for _, row := range []string{
+		"     0      2      2     0.25     0.50     0.83       1      1      0      0      0",
+		"     1      1      1     4.50     4.50     0.18       0      0      0      0      1",
+	} {
+		if !strings.Contains(got, row) {
+			t.Errorf("histogram row %q missing:\n%s", row, got)
+		}
+	}
+
+	// A synchronous stream grows no async section.
+	sync := `{"rec":"run-start","trainer":"server","users":2}` + "\n" +
+		`{"rec":"run-end","converged":true,"objective":0.5,"rounds":1}`
+	out.Reset()
+	if err := analyze(strings.NewReader(sync), &out, 3, 40); err != nil {
+		t.Fatalf("analyze sync: %v", err)
+	}
+	if strings.Contains(out.String(), "async folds") {
+		t.Errorf("synchronous stream grew an async section:\n%s", out.String())
+	}
+}
+
+// TestAsyncLiveTrace drives a real asynchronous run over pipes through the
+// analyzer: the histogram section must appear with a row per device.
+func TestAsyncLiveTrace(t *testing.T) {
+	users := genUsers(13, 3)
+	reg := obs.NewRegistry()
+	var buf strings.Builder
+	reg.SetFlightRecorder(obs.NewFlightRecorder(&buf, 0))
+	cfg := fixtureConfig()
+	cfg.Core.Obs = reg
+	cfg.Async = true
+
+	n := len(users)
+	serverConns := make([]transport.Conn, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sc, cc := transport.Pipe()
+		serverConns[i] = sc
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			_, _ = protocol.RunClient(conn, users[i], protocol.ClientOptions{Seed: int64(i), Async: true})
+		}(i, cc)
+	}
+	_, err := protocol.RunServer(serverConns, cfg)
+	for _, c := range serverConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunServer: %v", err)
+	}
+	var out strings.Builder
+	if err := analyze(strings.NewReader(buf.String()), &out, 3, 40); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== async folds") {
+		t.Fatalf("no async section on a DJAM stream:\n%s", got)
+	}
+	for u := 0; u < n; u++ {
+		if !strings.Contains(got, fmt.Sprintf("\n%6d ", u)) {
+			t.Errorf("device %d missing from the histogram:\n%s", u, got)
+		}
+	}
+}
+
 // lateChaos routes the first `after` operations straight to the plain
 // connection and everything later through the seeded chaos wrapper — the
 // device behaves until it has delivered one solution (so the server can

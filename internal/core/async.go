@@ -25,8 +25,8 @@ type AsyncConfig struct {
 	// barriers a fast device's re-solves replace, not stack, its pending
 	// contribution. Barrier = T reproduces the synchronous schedule.
 	Barrier int
-	// MaxUpdatesPerRound bounds the total device solves per CCCP round
-	// (default 40·T), the async analogue of MaxADMMIter.
+	// MaxUpdatesPerRound bounds the folded device solves per CCCP round
+	// (default 60·T), the async analogue of MaxADMMIter.
 	MaxUpdatesPerRound int
 	// Rho is the ADMM penalty (default 1).
 	Rho float64
@@ -41,7 +41,10 @@ type AsyncConfig struct {
 	Delay func(user, solves int) time.Duration
 }
 
-func (a AsyncConfig) withDefaults(t int) AsyncConfig {
+// WithDefaults fills the zero fields with the documented defaults for a
+// t-device fleet. Exported because the asynchronous wire protocol
+// (internal/protocol) shares the same budget and tolerance defaults.
+func (a AsyncConfig) WithDefaults(t int) AsyncConfig {
 	if a.Barrier <= 0 {
 		a.Barrier = t / 4
 		if a.Barrier < 1 {
@@ -75,7 +78,7 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 	}
 	cfg = cfg.withDefaults()
 	tCount := len(users)
-	acfg = acfg.withDefaults(tCount)
+	acfg = acfg.WithDefaults(tCount)
 
 	workers := make([]*Worker, tCount)
 	for t, u := range users {
@@ -105,8 +108,9 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 		for _, wk := range workers {
 			flips += wk.RefreshSigns(w0)
 		}
-		z, obj, updates, res, err := asyncRound(workers, w0, cfg, acfg, dim)
+		z, obj, updates, sweep, res, err := asyncRound(workers, w0, cfg, acfg, dim)
 		info.ADMMIterations += updates
+		info.AsyncSweepSolves += sweep
 		info.ADMMPrimal = res.Primal
 		info.ADMMDual = res.Dual
 		if err != nil {
@@ -156,11 +160,12 @@ func TrainAsync(users []UserData, cfg Config, acfg AsyncConfig) (*Model, TrainIn
 
 // asyncState is the server's shared view, guarded by one mutex: device
 // goroutines snapshot (z, u_t) under it and deliver results through a
-// channel, so the consensus algebra itself stays single-threaded.
+// channel, so the consensus algebra itself stays single-threaded. The
+// algebra lives in admm.AsyncFold, shared with the asynchronous wire
+// protocol (internal/protocol).
 type asyncState struct {
-	mu sync.Mutex
-	z  mat.Vector
-	us []mat.Vector
+	mu   sync.Mutex
+	fold *admm.AsyncFold
 }
 
 type asyncUpdate struct {
@@ -171,17 +176,16 @@ type asyncUpdate struct {
 }
 
 // asyncRound runs one CCCP round of asynchronous ADMM and returns the
-// final consensus, the objective L of Eq. (23), the update count, and the
-// residuals of the last barrier fold (the async analogue of Eq. 24).
-func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, dim int) (mat.Vector, float64, int, admm.Residuals, error) {
+// final consensus, the objective L of Eq. (23), the folded update count,
+// the final-sweep solve count, and the residuals of the last barrier fold
+// (the async analogue of Eq. 24).
+func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, dim int) (mat.Vector, float64, int, int, admm.Residuals, error) {
 	tCount := len(workers)
-	st := &asyncState{z: w0.Clone(), us: make([]mat.Vector, tCount)}
-	for t := range st.us {
-		st.us[t] = mat.NewVector(dim)
+	fold, err := admm.NewAsyncFold(w0, tCount, acfg.Rho, nil)
+	if err != nil {
+		return nil, 0, 0, 0, admm.Residuals{}, err
 	}
-	latestX := make([]mat.Vector, tCount)
-	latestV := make([]mat.Vector, tCount)
-	latestXi := make([]float64, tCount)
+	st := &asyncState{fold: fold}
 
 	updatesCh := make(chan asyncUpdate)
 	stop := make(chan struct{})
@@ -207,8 +211,8 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 					}
 				}
 				st.mu.Lock()
-				z := st.z.Clone()
-				u := st.us[t].Clone()
+				z := st.fold.Z.Clone()
+				u := st.fold.Us[t].Clone()
 				st.mu.Unlock()
 				w, v, xi, err := workers[t].Solve(z, u, acfg.Rho)
 				solves++
@@ -253,44 +257,21 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 			continue
 		}
 
-		st.mu.Lock()
+		// Barrier fold: the z-update runs over every device's freshest
+		// solution (stale ones participate with their standing x and u —
+		// bounded staleness) and the dual updates touch only this
+		// barrier's fresh participants, exactly the sync rule restricted
+		// to them. The algebra is admm.AsyncFold, unweighted here.
+		entries := make([]admm.FoldEntry, 0, len(fresh))
 		for t, f := range fresh {
-			latestX[t] = f.x
-			latestV[t] = f.v
-			latestXi[t] = f.xi
+			entries = append(entries, admm.FoldEntry{User: t, X: f.x})
 		}
-		// z-update over every device's freshest solution (stale ones
-		// participate with their standing x and u — bounded staleness).
-		sum := mat.NewVector(dim)
-		contributors := 0
-		for t := range workers {
-			if latestX[t] != nil {
-				sum.Add(latestX[t])
-				sum.Add(st.us[t])
-				contributors++
-			}
-		}
-		zPrev := st.z
-		if contributors > 0 {
-			st.z = admm.SquaredNormZ(sum, contributors, acfg.Rho)
-		}
-		// Dual updates only for the devices that reported fresh solutions
-		// this barrier, against the new consensus (exactly the sync rule,
-		// restricted to the participants).
-		for t := range fresh {
-			st.us[t].Add(mat.SubVec(latestX[t], st.z))
-		}
-		everyoneReported = everyoneReported || contributors == tCount
-		var primalSq float64
-		for t := range workers {
-			if latestX[t] != nil {
-				primalSq += mat.SquaredDist(latestX[t], st.z)
-			}
-		}
-		dual := acfg.Rho * mat.Dist2(st.z, zPrev)
+		st.mu.Lock()
+		res, contributors := st.fold.Fold(entries)
 		st.mu.Unlock()
 		fresh = make(map[int]asyncUpdate, tCount)
-		lastRes = admm.Residuals{Primal: math.Sqrt(primalSq), Dual: dual}
+		everyoneReported = everyoneReported || contributors == tCount
+		lastRes = res
 		if r := cfg.Obs; r != nil {
 			admm.ObserveRound(r, barrier, barrierStart, lastRes)
 			barrier++
@@ -298,8 +279,8 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 		}
 
 		if everyoneReported &&
-			math.Sqrt(primalSq) <= math.Sqrt(float64(tCount))*acfg.EpsAbs &&
-			dual <= acfg.EpsAbs {
+			res.Primal <= math.Sqrt(float64(tCount))*acfg.EpsAbs &&
+			res.Dual <= acfg.EpsAbs {
 			break
 		}
 	}
@@ -312,31 +293,33 @@ func asyncRound(workers []*Worker, w0 mat.Vector, cfg Config, acfg AsyncConfig, 
 	wg.Wait()
 	close(updatesCh)
 	if loopErr != nil {
-		return nil, 0, totalUpdates, lastRes, loopErr
+		return nil, 0, totalUpdates, 0, lastRes, loopErr
 	}
 
 	st.mu.Lock()
-	z := st.z.Clone()
-	us := st.us
+	z := st.fold.Z.Clone()
+	us := st.fold.Us
 	st.mu.Unlock()
 	// Final synchronous sweep: every device re-solves against the settled
 	// consensus so the personalized hyperplanes (and the objective) are
 	// consistent with z, not with whatever stale snapshot a device last
-	// saw mid-flight.
+	// saw mid-flight. These solves are not folded into the consensus, so
+	// they count under their own metric, not async_updates_total.
+	sweepSolves := 0
+	sweepCounter := cfg.Obs.Counter(obs.MetricAsyncSweepSolves, "")
 	obj := z.SquaredNorm()
 	lambdaOverT := cfg.Lambda / float64(tCount)
 	for t, wk := range workers {
 		_, v, xi, err := wk.Solve(z, us[t], acfg.Rho)
 		if err != nil {
-			return nil, 0, totalUpdates, lastRes, fmt.Errorf("core: TrainAsync: final sweep user %d: %w", t, err)
+			return nil, 0, totalUpdates, sweepSolves, lastRes, fmt.Errorf("core: TrainAsync: final sweep user %d: %w", t, err)
 		}
-		latestV[t], latestXi[t] = v, xi
 		obj += lambdaOverT*v.SquaredNorm() + xi
-		totalUpdates++
-		asyncUpdates.Inc()
+		sweepSolves++
+		sweepCounter.Inc()
 	}
 	if math.IsNaN(obj) {
-		return nil, 0, totalUpdates, lastRes, errors.New("core: TrainAsync: objective diverged")
+		return nil, 0, totalUpdates, sweepSolves, lastRes, errors.New("core: TrainAsync: objective diverged")
 	}
-	return z, obj, totalUpdates, lastRes, nil
+	return z, obj, totalUpdates, sweepSolves, lastRes, nil
 }

@@ -144,7 +144,13 @@ type TrainInfo struct {
 	CutRounds      int // total cutting-plane rounds across CCCP rounds
 	Constraints    int // final total working-set size across users
 	QPIterations   int // cumulative inner QP iterations (centralized)
-	ADMMIterations int // cumulative ADMM iterations (distributed)
+	ADMMIterations int // cumulative ADMM iterations (distributed); folded solves only for the async trainer
+	// AsyncSweepSolves counts the final-synchronous-sweep re-solves that
+	// close each asynchronous CCCP round — bookkeeping solves that are
+	// never folded into the consensus, reported separately so
+	// ADMMIterations means the same thing it does for the synchronous
+	// trainer. Zero outside TrainAsync.
+	AsyncSweepSolves int
 	// ADMMPrimal and ADMMDual are the residuals of the final ADMM round
 	// (paper Eq. 24); zero for the centralized trainer.
 	ADMMPrimal, ADMMDual float64

@@ -69,6 +69,26 @@ type CompressionPoint struct {
 	EFNorm float64 `json:"ef_norm"`
 }
 
+// HARCohort assembles the reduced Fig. 5 HAR workload shared by the
+// codec-v4 sweep and the async wire bench: Users HAR users, Providers of
+// them labeling a Rate fraction. The returned truths carry every user's
+// full ground truth for accuracy scoring.
+func HARCohort(o CompressionOptions) ([]core.UserData, [][]float64, error) {
+	o = o.withDefaults()
+	g := rng.New(o.Seed)
+	bases, err := HAROptions{CohortOptions: o.CohortOptions,
+		Users: o.Users, PerClass: o.PerClass, Dim: o.Dim}.genBases(g.Split("cohort"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: HARCohort: %w", err)
+	}
+	providers := randomProviders(o.Providers, len(bases), g.Split("providers"))
+	users, truths, err := Assemble(bases, providers, o.Rate, g.Split("assemble"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: HARCohort: %w", err)
+	}
+	return users, truths, nil
+}
+
 // CompressionSweep trains the same Fig. 5 HAR workload once dense and once
 // per compression scheme, reporting bytes, objective drift, and accuracy
 // for each — the data behind the accuracy-vs-bytes trade-off. The solver
@@ -76,14 +96,7 @@ type CompressionPoint struct {
 // them, so the comparison stays apples to apples.
 func CompressionSweep(o CompressionOptions) ([]CompressionPoint, error) {
 	o = o.withDefaults()
-	g := rng.New(o.Seed)
-	bases, err := HAROptions{CohortOptions: o.CohortOptions,
-		Users: o.Users, PerClass: o.PerClass, Dim: o.Dim}.genBases(g.Split("cohort"))
-	if err != nil {
-		return nil, fmt.Errorf("eval: CompressionSweep: %w", err)
-	}
-	providers := randomProviders(o.Providers, len(bases), g.Split("providers"))
-	users, truths, err := Assemble(bases, providers, o.Rate, g.Split("assemble"))
+	users, truths, err := HARCohort(o)
 	if err != nil {
 		return nil, fmt.Errorf("eval: CompressionSweep: %w", err)
 	}

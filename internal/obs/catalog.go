@@ -46,6 +46,8 @@ const (
 	MetricADMMDualResidual   = "admm_dual_residual"
 	MetricADMMRoundSeconds   = "admm_round_seconds"
 	MetricAsyncUpdates       = "async_updates_total"
+	MetricAsyncSweepSolves   = "async_sweep_solves_total"
+	MetricAsyncStaleFolds    = "async_stale_folds_total"
 
 	MetricMessagesSent     = "transport_messages_sent_total"
 	MetricMessagesReceived = "transport_messages_received_total"
@@ -118,6 +120,8 @@ var Catalog = []MetricDef{
 	{MetricADMMDualResidual, KindGauge, "1", "Dual residual of the most recent ADMM round (paper Eq. 24)."},
 	{MetricADMMRoundSeconds, KindHistogram, "seconds", "Wall-clock duration of one ADMM round."},
 	{MetricAsyncUpdates, KindCounter, "1", "Device solutions folded in by the asynchronous trainer."},
+	{MetricAsyncSweepSolves, KindCounter, "1", "Device re-solves in the final synchronous sweep that closes each asynchronous CCCP round (not folded into the consensus)."},
+	{MetricAsyncStaleFolds, KindCounter, "1", "Asynchronous wire folds whose arriving solution was computed against a consensus at least one full fleet round old."},
 
 	{MetricMessagesSent, KindCounter, "1", "Protocol messages sent on observed connections."},
 	{MetricMessagesReceived, KindCounter, "1", "Protocol messages received on observed connections."},

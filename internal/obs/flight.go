@@ -66,6 +66,15 @@ const (
 	// aggregator after a checkpoint-restore rejoin handshake: the epoch it
 	// restored from and how many reduce legs it was carried stale.
 	RecordShardRestore
+	// RecordAsyncFold is one asynchronous-mode consensus fold: a device's
+	// update arrived and was folded into w0 under the staleness-weighted
+	// DJAM rule (docs/ASYNC.md) — the arrival's staleness in fleet rounds,
+	// the damping weight applied, and the post-fold residuals.
+	RecordAsyncFold
+	// RecordAsyncSnapshot marks the coordinator handing a device its
+	// personalized consensus snapshot (z, u_t) in asynchronous mode — the
+	// per-device replacement for the lockstep params broadcast.
+	RecordAsyncSnapshot
 )
 
 // String returns the stable record-type name used in the JSONL stream.
@@ -99,6 +108,10 @@ func (k RecordKind) String() string {
 		return "shard-stale"
 	case RecordShardRestore:
 		return "shard-restore"
+	case RecordAsyncFold:
+		return "async-fold"
+	case RecordAsyncSnapshot:
+		return "async-snapshot"
 	default:
 		return "record-unknown"
 	}
@@ -148,6 +161,12 @@ type Record struct {
 	Active    int
 	Need      int
 	Converged bool
+	// Epoch is the asynchronous fold counter (async-fold, async-snapshot);
+	// Staleness is an arrival's age in fleet rounds and Weight the DJAM
+	// damping factor applied to its fold.
+	Epoch     int
+	Staleness float64
+	Weight    float64
 }
 
 // RecordDef describes one record type for the docs-freshness gate
@@ -176,6 +195,8 @@ var RecordCatalog = []RecordDef{
 	{"shard-down", "The aggregator detached a shard mid-run.", []string{"shard", "cause"}},
 	{"shard-stale", "A reduce leg reused a detached shard's last partials.", []string{"round", "shard", "stale"}},
 	{"shard-restore", "A crashed shard rejoined via checkpoint restore.", []string{"shard", "round", "stale"}},
+	{"async-fold", "One staleness-weighted consensus fold of an asynchronous-mode arrival.", []string{"round", "user", "epoch", "staleness", "weight", "primal", "dual"}},
+	{"async-snapshot", "A device received its per-device consensus snapshot in asynchronous mode.", []string{"round", "user", "epoch"}},
 }
 
 // marshal renders the record's fixed per-kind JSON line (without the
@@ -293,6 +314,24 @@ func (rec Record) marshal() ([]byte, error) {
 			Round int    `json:"round"`
 			Stale int    `json:"stale"`
 		}{rec.Kind.String(), rec.Shard, rec.Round, rec.Stale})
+	case RecordAsyncFold:
+		return json.Marshal(struct {
+			Rec       string  `json:"rec"`
+			Round     int     `json:"round"`
+			User      int     `json:"user"`
+			Epoch     int     `json:"epoch"`
+			Staleness float64 `json:"staleness"`
+			Weight    float64 `json:"weight"`
+			Primal    float64 `json:"primal"`
+			Dual      float64 `json:"dual"`
+		}{rec.Kind.String(), rec.Round, rec.User, rec.Epoch, rec.Staleness, rec.Weight, rec.Primal, rec.Dual})
+	case RecordAsyncSnapshot:
+		return json.Marshal(struct {
+			Rec   string `json:"rec"`
+			Round int    `json:"round"`
+			User  int    `json:"user"`
+			Epoch int    `json:"epoch"`
+		}{rec.Kind.String(), rec.Round, rec.User, rec.Epoch})
 	default:
 		return json.Marshal(struct {
 			Rec string `json:"rec"`

@@ -20,6 +20,7 @@ func sampleRecord(kind RecordKind) Record {
 		Arrive: time.Millisecond, Solve: 500 * time.Microsecond,
 		QPIters: 11, Cuts: 3, WarmHits: 2, Msgs: 12, Bytes: 4096, EnergyJ: 0.5,
 		Stale: 2, Cause: "boom", Permanent: true, Active: 3, Need: 4, Converged: true,
+		Epoch: 5, Staleness: 1.5, Weight: 0.4,
 	}
 }
 
@@ -30,7 +31,8 @@ func TestRecordMarshalMatchesCatalog(t *testing.T) {
 	kinds := []RecordKind{RecordRunStart, RecordCCCPStart, RecordCCCPIteration,
 		RecordCutRound, RecordADMMRound, RecordDeviceRound, RecordStaleReuse,
 		RecordDeviceDrop, RecordQuorum, RecordRunEnd, RecordShardReduce,
-		RecordShardDown, RecordShardStale, RecordShardRestore}
+		RecordShardDown, RecordShardStale, RecordShardRestore,
+		RecordAsyncFold, RecordAsyncSnapshot}
 	if len(kinds) != len(RecordCatalog) {
 		t.Fatalf("catalog has %d entries for %d kinds", len(RecordCatalog), len(kinds))
 	}

@@ -1,0 +1,391 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"plos/internal/admm"
+	"plos/internal/core"
+	"plos/internal/mat"
+	"plos/internal/obs"
+	"plos/internal/transport"
+)
+
+// Asynchronous protocol mode (DJAM; see docs/ASYNC.md).
+//
+// The mode is negotiated inside the existing hello exchange with no codec
+// change: a device offers it by setting the otherwise-unused Users field of
+// its hello to asyncHello, and the coordinator confirms by setting the
+// otherwise-unused Samples field of its hello reply. Synchronous peers
+// leave both fields zero, so sync-mode wire bytes are byte-identical to the
+// pre-async protocol (pinned by TestSyncHandshakeBytesUnchanged).
+//
+// In asynchronous mode there is no global ADMM round clock. The
+// coordinator hands each device a personalized consensus snapshot
+// (MsgParams with z and u_t), and whenever a device's MsgUpdate arrives it
+// is folded into w0 immediately under the staleness-weighted DJAM rule of
+// admm.AsyncFold — weight γ(s) = 1/(1 + min(s, MaxStale)) where s is the
+// arrival's age in fleet rounds — and the device is immediately re-armed
+// with a fresh snapshot. The outer CCCP loop keeps its per-round
+// start-round broadcast (the linearization point is global by
+// construction), and a CCCP round ends once every attached device has
+// folded at least one solution against this round's signs and the
+// residual rule fires, or the fold budget — Dist.MaxADMMIter barrier
+// rounds' worth of device updates, the same compute the lockstep mode
+// would have spent — runs out. Devices still mid-solve at the boundary
+// are carried: their reply is recorded and seeded as a standing solution,
+// never folded across the linearization change.
+const asyncHello = 1
+
+// asyncGrace bounds how long the asynchronous round loop waits for a
+// rejoin when every participant is detached, and how long the final drain
+// waits for in-flight solves before giving up on a connection.
+const asyncGrace = 30 * time.Second
+
+// asyncRejoinGrace returns the wait budget used when no exchange is in
+// flight: the configured round timeout, or asyncGrace without one.
+func (st *serverState) asyncRejoinGrace() time.Duration {
+	if d := st.cfg.FT.RoundTimeout; d > 0 {
+		return d
+	}
+	return asyncGrace
+}
+
+// pendingCount is the number of exchange goroutines currently in flight.
+func (st *serverState) pendingCount() int {
+	n := 0
+	for _, u := range st.users {
+		if u.pending {
+			n++
+		}
+	}
+	return n
+}
+
+// attachedActive counts live devices whose connection is usable (attached
+// or owned by an in-flight exchange) — the fleet size staleness is
+// normalized by.
+func (st *serverState) attachedActive() int {
+	n := 0
+	for _, t := range st.active() {
+		if st.users[t].conn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// asyncLaunch arms user t with a personalized consensus snapshot: the
+// current (z, u_t) of the fold, preceded by this round's start-round when
+// the device has not frozen this round's signs yet. Epochs are recorded so
+// the arrival's staleness can be measured when it folds.
+func (st *serverState) asyncLaunch(t, round int, roundW0 mat.Vector, fold *admm.AsyncFold) {
+	u := st.users[t]
+	params := transport.Message{Type: transport.MsgParams, Round: fold.Epoch(),
+		W0: fold.Z.Clone(), U: cloneVec(fold.Us[t])}
+	var start *transport.Message
+	if u.needSync {
+		start = &transport.Message{Type: transport.MsgStartRound, Round: round, W0: roundW0.Clone()}
+		u.needSync = false
+	}
+	st.asyncEpoch[t] = fold.Epoch()
+	u.pending = true
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordAsyncSnapshot,
+			Round: round, User: t, Epoch: fold.Epoch()})
+	}
+	go st.exchange(t, round, u.conn, start, params)
+}
+
+// asyncSweepLaunch re-arms every idle attached participant. reported is
+// consulted only for bookkeeping symmetry — fast devices keep re-solving
+// even after they reported, exactly like the in-process trainer's device
+// goroutines.
+func (st *serverState) asyncSweepLaunch(round int, roundW0 mat.Vector, fold *admm.AsyncFold) {
+	for _, t := range st.active() {
+		u := st.users[t]
+		if u.conn != nil && !u.pending {
+			st.asyncLaunch(t, round, roundW0, fold)
+		}
+	}
+}
+
+// asyncCCCPRound is the asynchronous replacement for cccpRound: one outer
+// CCCP round driven by per-arrival staleness-weighted folds instead of
+// lockstep ADMM iterations. It returns the Eq. (23) objective computed
+// from every live device's last reported (v_t, ξ_t), like the synchronous
+// driver.
+func (st *serverState) asyncCCCPRound(round int, info *core.TrainInfo) (float64, error) {
+	cfg := st.cfg
+	st.epoch = round
+	if fr := st.flight(); fr != nil {
+		fr.FlightRecord(obs.Record{Kind: obs.RecordCCCPStart, Round: round})
+	}
+	st.drainRejoins()
+
+	roundW0 := st.w0.Clone()
+	for _, t := range st.active() {
+		st.users[t].needSync = true
+	}
+
+	// The fold budget is the arrival-ordered analogue of the lockstep
+	// iteration cap: at most MaxADMMIter barrier rounds' worth of device
+	// updates per CCCP round, so the two wire modes spend the same compute
+	// and differ only in who they wait for.
+	live := len(st.active())
+	acfg := core.AsyncConfig{Rho: cfg.Dist.Rho, EpsAbs: cfg.Dist.EpsAbs,
+		MaxUpdatesPerRound: cfg.Dist.MaxADMMIter * live,
+	}.WithDefaults(live)
+	weight := admm.DJAMWeight(float64(cfg.FT.MaxStale))
+	fold, err := admm.NewAsyncFold(st.w0, len(st.users), cfg.Dist.Rho, weight)
+	if err != nil {
+		return 0, err
+	}
+	// Warm-start: duals persist across CCCP rounds (like the synchronous
+	// driver) and each device's last solution is carried as its standing
+	// contribution, so rounds after the first never block on a straggler
+	// to reach full-fleet consensus coverage.
+	for _, t := range st.active() {
+		u := st.users[t]
+		if d, ok := st.us[t]; ok {
+			fold.Us[t] = d
+		}
+		if u.lastW != nil && u.lastV != nil {
+			fold.Seed(t, mat.SubVec(u.lastW, u.lastV))
+		}
+	}
+
+	asyncUpdates := cfg.Core.Obs.Counter(obs.MetricAsyncUpdates, "")
+	staleFolds := cfg.Core.Obs.Counter(obs.MetricAsyncStaleFolds, "")
+	reported := make([]bool, len(st.users))
+	folded := 0
+	var lastRes admm.Residuals
+	lastContributors := 0
+	roundStart := time.Now()
+	foldStart := roundStart
+
+	// roundDone: every attached live device folded a solution computed
+	// against this round's linearization at least once (detached devices
+	// are carried on their standing solutions — the stale-reuse analogue)
+	// and the in-process trainer's residual rule fires.
+	roundDone := func() bool {
+		if folded == 0 {
+			return false
+		}
+		for _, t := range st.active() {
+			if st.users[t].conn != nil && !reported[t] {
+				return false
+			}
+		}
+		return lastRes.Primal <= math.Sqrt(float64(lastContributors))*acfg.EpsAbs &&
+			lastRes.Dual <= acfg.EpsAbs
+	}
+
+	st.asyncSweepLaunch(round, roundW0, fold)
+	for folded < acfg.MaxUpdatesPerRound && !roundDone() {
+		if st.pendingCount() == 0 {
+			// Every remaining participant is detached: wait for a rejoin
+			// within the grace budget, then re-arm whoever attached.
+			if !st.asyncAwaitRejoin() {
+				break
+			}
+			st.asyncSweepLaunch(round, roundW0, fold)
+			continue
+		}
+		r := <-st.replies
+		u := st.users[r.user]
+		u.pending = false
+		if u.dropped {
+			continue
+		}
+		if r.err != nil {
+			st.noteConnFailure(r.user, r.conn, r.err)
+			if !cfg.FT.Resume {
+				if err := st.drop(r.user, 0, nil, r.err); err != nil {
+					return 0, err
+				}
+				fold.Drop(r.user)
+			}
+			// A rejoin may already have replaced the connection.
+			st.asyncSweepLaunch(round, roundW0, fold)
+			continue
+		}
+		u.fresh = true
+		u.stale = 0
+		u.lastW = mat.Vector(r.msg.W)
+		u.lastV = mat.Vector(r.msg.V)
+		u.lastXi = r.msg.Xi
+		st.recordDeviceTelemetry(r, roundStart)
+		x := mat.SubVec(u.lastW, u.lastV)
+		if r.iter != round {
+			// Solved against a previous round's linearization: carry it as
+			// a standing solution (bounded staleness), never fold it across
+			// the sign change, and re-arm the device with this round's
+			// start-round (needSync was re-set at the round boundary).
+			fold.Seed(r.user, x)
+			st.drainRejoins()
+			st.asyncSweepLaunch(round, roundW0, fold)
+			continue
+		}
+		fleet := st.attachedActive()
+		if fleet < 1 {
+			fleet = 1
+		}
+		stale := float64(fold.Epoch()-st.asyncEpoch[r.user]) / float64(fleet)
+		res, contributors := fold.Fold([]admm.FoldEntry{{User: r.user, X: x, Stale: stale}})
+		folded++
+		info.ADMMIterations++
+		info.ADMMPrimal = res.Primal
+		info.ADMMDual = res.Dual
+		asyncUpdates.Inc()
+		if stale >= 1 {
+			staleFolds.Inc()
+		}
+		lastRes, lastContributors = res, contributors
+		reported[r.user] = true
+		st.us[r.user] = fold.Us[r.user]
+		if r := cfg.Core.Obs; r != nil {
+			admm.ObserveRound(r, fold.Epoch()-1, foldStart, res)
+			foldStart = time.Now()
+		}
+		if fr := st.flight(); fr != nil {
+			fr.FlightRecord(obs.Record{Kind: obs.RecordAsyncFold,
+				Round: round, User: r.user, Epoch: fold.Epoch() - 1,
+				Staleness: stale, Weight: weight(stale),
+				Primal: res.Primal, Dual: res.Dual})
+		}
+		st.drainRejoins()
+		st.asyncSweepLaunch(round, roundW0, fold)
+	}
+
+	// Straggler policy at the round boundary: a live device that never
+	// folded against this round's linearization was served from its
+	// standing solution; that costs one unit of stale budget, and a device
+	// out of budget with no connection to answer on is dropped.
+	for _, t := range st.active() {
+		u := st.users[t]
+		if reported[t] {
+			continue
+		}
+		if u.lastW != nil && u.stale < cfg.FT.MaxStale {
+			u.stale++
+			st.mStale.Inc()
+			if fr := st.flight(); fr != nil {
+				fr.FlightRecord(obs.Record{Kind: obs.RecordStaleReuse,
+					Round: round, User: t, Stale: u.stale})
+			}
+			continue
+		}
+		if u.conn != nil || u.pending {
+			continue // still reachable: give the straggler the next round
+		}
+		cause := u.cause
+		if cause == nil {
+			cause = fmt.Errorf("no asynchronous update within %d rounds (stale budget exhausted)", cfg.FT.MaxStale)
+		}
+		if err := st.drop(t, 0, nil, cause); err != nil {
+			return 0, err
+		}
+		fold.Drop(t)
+	}
+	if folded == 0 && fold.Standing() == 0 {
+		return 0, fmt.Errorf("%w: no device delivered an asynchronous update", ErrTooFewActive)
+	}
+
+	st.w0 = fold.Z.Clone()
+	for _, t := range st.active() {
+		st.us[t] = fold.Us[t]
+	}
+
+	obj := st.w0.SquaredNorm()
+	lambdaOverT := cfg.Core.Lambda / float64(len(st.users))
+	for _, t := range st.active() {
+		u := st.users[t]
+		if u.lastV != nil {
+			obj += lambdaOverT*u.lastV.SquaredNorm() + u.lastXi
+		}
+	}
+	return obj, nil
+}
+
+// asyncAwaitRejoin blocks for one rejoin attempt when no exchange is in
+// flight, bounded by the grace budget. Reports whether anything attached.
+func (st *serverState) asyncAwaitRejoin() bool {
+	if !st.cfg.FT.Resume || st.cfg.FT.Rejoin == nil {
+		return false
+	}
+	timer := time.NewTimer(st.asyncRejoinGrace())
+	defer timer.Stop()
+	for {
+		select {
+		case rj := <-st.cfg.FT.Rejoin:
+			before := st.attachedActive()
+			st.attach(rj)
+			if st.attachedActive() > before {
+				return true
+			}
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+// asyncDrain collects the exchanges still in flight when training ends so
+// the done broadcast reaches every connection (broadcast skips pending
+// conns). Final arrivals update the device's last solution — they are the
+// freshest personalized hyperplanes — but nothing is folded.
+func (st *serverState) asyncDrain() {
+	timer := time.NewTimer(asyncGrace)
+	defer timer.Stop()
+	for st.pendingCount() > 0 {
+		select {
+		case r := <-st.replies:
+			u := st.users[r.user]
+			u.pending = false
+			if r.err != nil {
+				st.noteConnFailure(r.user, r.conn, r.err)
+				continue
+			}
+			if !u.dropped {
+				u.lastW = mat.Vector(r.msg.W)
+				u.lastV = mat.Vector(r.msg.V)
+				u.lastXi = r.msg.Xi
+			}
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// recordDeviceTelemetry merges one update's telemetry piggyback into the
+// flight stream (shared by the synchronous gather and the asynchronous
+// fold loop).
+func (st *serverState) recordDeviceTelemetry(r exchangeReply, roundStart time.Time) {
+	fr := st.flight()
+	if fr == nil || r.msg.Telemetry == nil {
+		return
+	}
+	u := st.users[r.user]
+	// The arrival offset is measured on the server's round clock; the
+	// telemetry block carries only device-local durations, so no clock
+	// synchronization is assumed.
+	tel := r.msg.Telemetry
+	// Compression savings are read from the server-side conn wrapper
+	// (cumulative raw vs encoded payload bytes) — the device's telemetry
+	// block stays at its v3 shape.
+	var rawB, compB int64
+	if cs, ok := u.conn.(transport.CompressionStats); ok {
+		rawB, compB = cs.CompStats()
+	}
+	fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound,
+		Round: r.iter, User: r.user,
+		Arrive: time.Since(roundStart), Solve: time.Duration(tel.SolveNS),
+		QPIters: tel.QPIters, Cuts: tel.Cuts, WarmHits: tel.WarmHits,
+		SignFlips: int(tel.SignFlips),
+		Msgs:      tel.MsgsSent + tel.MsgsRecv,
+		Bytes:     tel.BytesSent + tel.BytesRecv,
+		RawBytes:  rawB,
+		CompBytes: compB,
+		EnergyJ:   tel.EnergyJ})
+}

@@ -1,0 +1,398 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plos/internal/core"
+	"plos/internal/obs"
+	"plos/internal/transport"
+)
+
+// runPipesAsync is runPipesFT with every client offering asynchronous mode
+// in its hello.
+func runPipesAsync(t *testing.T, users []core.UserData, cfg ServerConfig,
+	wrapServer, wrapClient func(i int, c transport.Conn) transport.Conn) (*ServerResult, error, []*ClientResult, []error) {
+	t.Helper()
+	n := len(users)
+	serverConns := make([]transport.Conn, n)
+	clientResults := make([]*ClientResult, n)
+	clientErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sc, cc := transport.Pipe()
+		if wrapServer != nil {
+			sc = wrapServer(i, sc)
+		}
+		if wrapClient != nil {
+			cc = wrapClient(i, cc)
+		}
+		serverConns[i] = sc
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			// Close on exit so a client that fails its handshake (e.g. the
+			// negotiation test) unblocks the server instead of deadlocking
+			// the pipe.
+			defer conn.Close()
+			clientResults[i], clientErrs[i] = RunClient(conn, users[i], ClientOptions{Seed: int64(i), Async: true})
+		}(i, cc)
+	}
+	res, err := RunServer(serverConns, cfg)
+	for _, c := range serverConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	return res, err, clientResults, clientErrs
+}
+
+// TestAsyncWireMatchesSyncAccuracy: the asynchronous wire protocol must
+// train to the same neighborhood as the synchronous one — personalized
+// accuracy within noise and the Eq. (23) objective within 10% — while
+// folding updates per arrival (async_updates_total > 0).
+func TestAsyncWireMatchesSyncAccuracy(t *testing.T) {
+	users, truths := makeUsers(21, 4)
+	base := ServerConfig{Core: core.Config{Lambda: 50, Cl: 1, Cu: 0.2, MaxCCCPIter: 6}}
+
+	syncRes, err, _, syncErrs := runPipesFT(t, users, base, nil, nil)
+	if err != nil {
+		t.Fatalf("sync run: %v", err)
+	}
+	for i, e := range syncErrs {
+		if e != nil {
+			t.Fatalf("sync client %d: %v", i, e)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	cfg := base
+	cfg.Async = true
+	cfg.Core.Obs = reg
+	asyncRes, err, clients, clientErrs := runPipesAsync(t, users, cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("async run: %v", err)
+	}
+	for i, e := range clientErrs {
+		if e != nil {
+			t.Fatalf("async client %d: %v", i, e)
+		}
+	}
+	var accSync, accAsync float64
+	for i := range users {
+		if asyncRes.Dropped[i] {
+			t.Fatalf("user %d dropped in a fault-free async run", i)
+		}
+		accSync += accuracy(syncRes.Model.W[i], users[i], truths[i])
+		accAsync += accuracy(asyncRes.Model.W[i], users[i], truths[i])
+		if !vecIdentical(clients[i].W, asyncRes.Model.W[i]) {
+			t.Errorf("user %d: client's personalized model differs from the server's", i)
+		}
+	}
+	accSync /= float64(len(users))
+	accAsync /= float64(len(users))
+	if accAsync < 0.8 {
+		t.Errorf("async wire accuracy = %v", accAsync)
+	}
+	if math.Abs(accSync-accAsync) > 0.1 {
+		t.Errorf("sync acc %v vs async acc %v", accSync, accAsync)
+	}
+	objSync, objAsync := syncRes.Info.Objective, asyncRes.Info.Objective
+	if gap := math.Abs(objSync-objAsync) / math.Abs(objSync); gap > 0.10 {
+		t.Errorf("objective gap %.1f%%: sync %v vs async %v", 100*gap, objSync, objAsync)
+	}
+	if reg.CounterValue(obs.MetricAsyncUpdates) == 0 {
+		t.Error("async run folded nothing (async_updates_total = 0)")
+	}
+	if asyncRes.Info.ADMMIterations == 0 {
+		t.Error("TrainInfo.ADMMIterations should count the folds")
+	}
+}
+
+// TestAsyncModeNegotiation pins the handshake contract: a device that
+// offers asynchronous mode fails fast against a synchronous server, and an
+// asynchronous server still serves devices that never offered (their flow
+// is identical — params in, update out).
+func TestAsyncModeNegotiation(t *testing.T) {
+	users, _ := makeUsers(22, 2)
+
+	// Async clients against a sync server: the missing confirmation must
+	// fail the client handshake rather than silently training lockstep.
+	_, err, _, clientErrs := runPipesAsync(t, users, sweepConfig(), nil, nil)
+	if err == nil {
+		t.Error("sync server should fail once async clients hang up")
+	}
+	for i, e := range clientErrs {
+		if e == nil || !strings.Contains(e.Error(), "asynchronous") {
+			t.Errorf("client %d should reject the unconfirmed handshake, got %v", i, e)
+		}
+	}
+
+	// Sync clients against an async server: served normally.
+	cfg := sweepConfig()
+	cfg.Async = true
+	res, err2, _, syncErrs := runPipesFT(t, users, cfg, nil, nil)
+	if err2 != nil {
+		t.Fatalf("async server with sync clients: %v", err2)
+	}
+	for i, e := range syncErrs {
+		if e != nil {
+			t.Fatalf("sync client %d against async server: %v", i, e)
+		}
+	}
+	for i := range users {
+		if res.Dropped[i] {
+			t.Errorf("user %d dropped", i)
+		}
+	}
+}
+
+// TestSyncHandshakeBytesUnchanged pins the synchronous handshake frames to
+// their exact pre-async bytes: the negotiation reuses the hello's Users
+// field and the reply's Samples field, both zero for sync peers, so
+// enabling the feature must not move a single sync-mode wire byte.
+func TestSyncHandshakeBytesUnchanged(t *testing.T) {
+	hello := transport.Message{
+		Type:    transport.MsgHello,
+		Dim:     3,
+		Samples: 24,
+		Labeled: 10,
+		W:       []float64{0.5, -0.25, 1},
+		Session: 7,
+	}
+	reply := transport.Message{
+		Type:  transport.MsgHello,
+		Users: 4,
+		Dim:   3,
+		Config: &transport.WireConfig{
+			Lambda: 100, Cl: 1, Cu: 0.2, Epsilon: 1e-3, Rho: 1,
+			MaxCutIter: 60, QPMaxIter: 5000,
+		},
+		Session: 7,
+	}
+	const wantHello = "5003010000000000000000000000000000000300000000000000180000000000" +
+		"00000a000000000000000000000000000000000000000000000007000000000000000000000000000000" +
+		"00000000000000000000000003000000000000000000e03f000000000000d0bf000000000000f03f0000000000"
+	const wantReply = "50030100000000000000000000000000000003000000000000000000000000000000000000000000000004000000000000000000000000000000070000000000000000000000000000000000000000000000000000000000000000000000010000000000005940000000000000f03f9a9999999999c93ffca9f1d24d62503f000000000000f03f3c000000000000008813000000000000000000"
+	for _, c := range []struct {
+		name string
+		msg  transport.Message
+		want string
+	}{{"client hello", hello, wantHello}, {"server reply", reply, wantReply}} {
+		got := transport.EncodeMessage(c.msg)
+		want, err := hex.DecodeString(c.want)
+		if err != nil {
+			t.Fatalf("bad pinned hex for %s: %v", c.name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s bytes changed:\n got %s\nwant %s", c.name, hex.EncodeToString(got), c.want)
+		}
+	}
+
+	// Sanity: the async offer/confirm occupies exactly the reused fields.
+	aHello := hello
+	aHello.Users = asyncHello
+	aReply := reply
+	aReply.Samples = asyncHello
+	if bytes.Equal(transport.EncodeMessage(aHello), transport.EncodeMessage(hello)) {
+		t.Error("async hello offer should change the encoded Users field")
+	}
+	if bytes.Equal(transport.EncodeMessage(aReply), transport.EncodeMessage(reply)) {
+		t.Error("async hello confirm should change the encoded Samples field")
+	}
+}
+
+// TestAsyncChaosSoak: PR 3's chaos harness must hold in asynchronous mode —
+// the retry layer absorbs every injected fault, nobody is dropped, and the
+// run still trains. Bit-identity with a clean run is NOT asserted (fold
+// order is arrival order by design); convergence is.
+func TestAsyncChaosSoak(t *testing.T) {
+	users, truths := makeUsers(40, 3)
+	reg := obs.NewRegistry()
+	cfg := sweepConfig()
+	cfg.Async = true
+	cfg.Core.Obs = reg
+	policy := func(seed int64) transport.RetryPolicy {
+		return transport.RetryPolicy{MaxAttempts: 10, Seed: seed, Sleep: ftNoSleep}
+	}
+	res, err, _, clientErrs := runPipesAsync(t, users, cfg,
+		func(i int, c transport.Conn) transport.Conn {
+			return transport.Retry(c, policy(1000+int64(i)), reg)
+		},
+		func(i int, c transport.Conn) transport.Conn {
+			chaos := transport.Chaos(c, transport.ChaosConfig{
+				Seed:        100 + int64(i),
+				DropProb:    0.05,
+				DupProb:     0.05,
+				CorruptProb: 0.03,
+				DelayProb:   0.10,
+				MaxDelay:    time.Millisecond,
+				FlapProb:    0.01,
+				Sleep:       ftNoSleep,
+			}, reg)
+			return transport.Retry(chaos, policy(int64(i)), reg)
+		})
+	if err != nil {
+		t.Fatalf("async chaos run: %v", err)
+	}
+	for i, e := range clientErrs {
+		if e != nil {
+			t.Fatalf("async chaos client %d: %v", i, e)
+		}
+	}
+	var acc float64
+	for i := range users {
+		if res.Dropped[i] {
+			t.Fatalf("user %d dropped under chaos — retry budget should absorb every fault", i)
+		}
+		acc += accuracy(res.Model.W[i], users[i], truths[i])
+	}
+	if acc/float64(len(users)) < 0.75 {
+		t.Errorf("accuracy under chaos = %v", acc/float64(len(users)))
+	}
+	if reg.CounterValue(obs.MetricChaosFaults) == 0 {
+		t.Fatal("chaos injected no faults; the soak proved nothing")
+	}
+}
+
+// TestAsyncClientResumeMidTraining: session resume must work unchanged in
+// asynchronous mode — a device whose connection dies mid-run redials with
+// its token, re-attaches, and finishes without being dropped.
+func TestAsyncClientResumeMidTraining(t *testing.T) {
+	users, _ := makeUsers(23, 3)
+	reg := obs.NewRegistry()
+	rejoinCh := make(chan Rejoin, 1)
+	cfg := ServerConfig{
+		Core:  core.Config{Lambda: 50, Cl: 1, Cu: 0.2, MaxCCCPIter: 2, MaxCutIter: 8, Obs: reg},
+		Async: true,
+		// A tolerance the fold cannot reach keeps each round folding up to
+		// its MaxADMMIter·T budget, so the redial always lands mid-round.
+		Dist: core.DistConfig{EpsAbs: 1e-12},
+		FT:   FTConfig{Resume: true, Rejoin: rejoinCh, MaxStale: 1000},
+	}
+
+	const victim = 0
+	n := len(users)
+	serverConns := make([]transport.Conn, n)
+	clientConns := make([]transport.Conn, n)
+	for i := 0; i < n; i++ {
+		sc, cc := transport.Pipe()
+		serverConns[i] = sc
+		clientConns[i] = cc
+	}
+
+	var wg sync.WaitGroup
+	clientResults := make([]*ClientResult, n)
+	clientErrs := make([]error, n)
+
+	// The victim's first connection dies at its 10th operation (a few
+	// exchanges into round 0); its redial builds a fresh pipe whose server
+	// end is fed to the rejoin channel the way plos.Serve's accept loop
+	// would. The asynchronous round loop drains rejoins after every fold,
+	// so no gating choreography is needed.
+	dialCount := 0
+	victimDial := func() (transport.Conn, error) {
+		dialCount++
+		switch dialCount {
+		case 1:
+			return transport.FailAfter(clientConns[victim], 9), nil
+		case 2:
+			sc, cc := transport.Pipe()
+			go func() {
+				m, err := sc.Recv()
+				if err != nil {
+					_ = sc.Close()
+					return
+				}
+				rejoinCh <- Rejoin{Conn: sc, Hello: m}
+			}()
+			return cc, nil
+		default:
+			return nil, errors.New("no third connection in this test")
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		clientResults[victim], clientErrs[victim] = RunClientLoop(victimDial, users[victim],
+			ClientOptions{Seed: int64(victim), Async: true, MaxRedials: 2,
+				RedialDelay: time.Millisecond, Sleep: ftNoSleep})
+	}()
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			clientResults[i], clientErrs[i] = RunClient(conn, users[i],
+				ClientOptions{Seed: int64(i), Async: true})
+		}(i, clientConns[i])
+	}
+
+	res, err := RunServer(serverConns, cfg)
+	for _, c := range serverConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunServer: %v", err)
+	}
+	for i, e := range clientErrs {
+		if e != nil {
+			t.Fatalf("client %d: %v", i, e)
+		}
+	}
+	if res.Dropped[victim] {
+		t.Fatal("victim dropped despite resume")
+	}
+	if reg.CounterValue(obs.MetricProtocolReconnects) == 0 {
+		t.Error("no reconnect recorded — the victim never re-attached")
+	}
+	if clientResults[victim].W == nil {
+		t.Error("victim finished without a personalized model")
+	}
+}
+
+// TestAsyncFlightRecords: asynchronous runs must leave an analyzable trail —
+// an async-snapshot record per personalized launch and an async-fold record
+// per folded arrival, carrying the staleness and applied weight.
+func TestAsyncFlightRecords(t *testing.T) {
+	users, _ := makeUsers(24, 3)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	reg.SetFlightRecorder(obs.NewFlightRecorder(&buf, 64))
+	cfg := sweepConfig()
+	cfg.Async = true
+	cfg.Core.Obs = reg
+	if _, err, _, _ := runPipesAsync(t, users, cfg, nil, nil); err != nil {
+		t.Fatalf("async run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"rec":"async-snapshot"`) {
+		t.Error("no async-snapshot records in the flight stream")
+	}
+	if !strings.Contains(out, `"rec":"async-fold"`) {
+		t.Error("no async-fold records in the flight stream")
+	}
+	if !strings.Contains(out, `"staleness":`) || !strings.Contains(out, `"weight":`) {
+		t.Error("async-fold records should carry staleness and weight")
+	}
+}
+
+// TestAsyncRejectsReduceGroups: the sharded plane is lockstep by
+// construction; combining it with Async must fail loudly up front.
+func TestAsyncRejectsReduceGroups(t *testing.T) {
+	sc, cc := transport.Pipe()
+	defer sc.Close()
+	defer cc.Close()
+	_, err := RunServer([]transport.Conn{sc}, ServerConfig{
+		Async:        true,
+		ReduceGroups: [][]int{{0}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("want incompatibility error, got %v", err)
+	}
+}

@@ -50,6 +50,12 @@ type ClientOptions struct {
 	// Obs receives the device's local observations (QP/Gram spans, solver
 	// metrics). Nil disables, as everywhere.
 	Obs *obs.Registry
+	// Async offers asynchronous DJAM mode in the hello (the otherwise-unused
+	// Users field; see docs/ASYNC.md) and fails the handshake unless the
+	// server confirms it — a device expecting push-whenever semantics must
+	// not silently train lockstep. The device's message flow is identical in
+	// both modes, so this is an assertion, not a behavior switch.
+	Async bool
 }
 
 // connError marks failures of the connection itself — the only class of
@@ -127,6 +133,11 @@ func (st *clientState) run(conn transport.Conn) (res *ClientResult, err error) {
 		W:       st.initW,
 		Session: st.session,
 	}
+	if st.opts.Async {
+		// Offer asynchronous mode in the hello's otherwise-unused Users
+		// field; sync hellos keep it zero (byte-identical wire).
+		hello.Users = asyncHello
+	}
 	if err := conn.Send(hello); err != nil {
 		return nil, connFail("protocol: RunClient hello: %w", err)
 	}
@@ -143,6 +154,9 @@ func (st *clientState) run(conn transport.Conn) (res *ClientResult, err error) {
 	}
 	if reply.Config == nil || reply.Users <= 0 {
 		return nil, fmt.Errorf("%w: hello reply missing config", ErrUnexpectedMsg)
+	}
+	if st.opts.Async && reply.Samples != asyncHello {
+		return nil, fmt.Errorf("%w: server did not confirm asynchronous mode", ErrUnexpectedMsg)
 	}
 	if reply.Session != 0 && reply.Session != st.session {
 		st.session = reply.Session

@@ -109,6 +109,15 @@ type ServerConfig struct {
 	MinActive int
 	// FT configures the fault-tolerance layer; the zero value disables it.
 	FT FTConfig
+	// Async switches the server to the fully asynchronous DJAM protocol
+	// mode (docs/ASYNC.md): devices push updates whenever a local solve
+	// finishes and each arrival folds into w0 immediately under the
+	// staleness-weighted rule, with no global ADMM round clock. The mode is
+	// confirmed to each client inside the hello reply; clients that did not
+	// offer it in their hello are still served (the flow they see — params
+	// in, update out — is identical), but plos.Join(WithAsync()) asserts
+	// the confirmation. Incompatible with ReduceGroups.
+	Async bool
 	// ReduceGroups, when non-nil, partitions the user slots into ordered
 	// groups and switches every cross-user floating-point reduction
 	// (federated init, consensus sum, primal residual, objective) to the
@@ -284,6 +293,9 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 	if err := validateGroups(cfg.ReduceGroups, tExpect); err != nil {
 		return nil, err
 	}
+	if cfg.Async && cfg.ReduceGroups != nil {
+		return nil, errors.New("protocol: Async is incompatible with ReduceGroups (the sharded plane is lockstep by construction)")
+	}
 
 	var st *serverState
 	var prior []float64
@@ -311,7 +323,13 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 		if cfg.Core.Obs != nil {
 			start = time.Now()
 		}
-		obj, err := st.cccpRound(round, &info)
+		var obj float64
+		var err error
+		if cfg.Async {
+			obj, err = st.asyncCCCPRound(round, &info)
+		} else {
+			obj, err = st.cccpRound(round, &info)
+		}
 		if err != nil {
 			return obj, err
 		}
@@ -350,7 +368,12 @@ func RunServer(conns []transport.Conn, cfg ServerConfig) (*ServerResult, error) 
 			Objective: cccpInfo.Objective, Round: cccpInfo.Iterations})
 	}
 
-	// Finish: broadcast the final w0.
+	// Finish: broadcast the final w0. In asynchronous mode the exchanges
+	// still in flight are drained first so every connection is idle and
+	// actually receives the done (broadcast skips pending conns).
+	if cfg.Async {
+		st.asyncDrain()
+	}
 	done := transport.Message{Type: transport.MsgDone, W0: st.w0}
 	st.broadcast(done)
 
@@ -403,9 +426,14 @@ func collectHellos(users []*serverUser) (dim int, initWs []mat.Vector, initWeigh
 // sendHelloReplies answers a fresh handshake: the population size T the
 // devices size their solvers with (the global count on a shard), the
 // hyperparameters, and — when needed — freshly minted session tokens.
-func sendHelloReplies(users []*serverUser, total, dim int, wire *transport.WireConfig, needSessions bool, sessionSeed int64) error {
+func sendHelloReplies(users []*serverUser, total, dim int, wire *transport.WireConfig, needSessions bool, sessionSeed int64, async bool) error {
 	for t, u := range users {
 		reply := transport.Message{Type: transport.MsgHello, Users: total, Dim: dim, Config: wire}
+		if async {
+			// Confirm asynchronous mode in the reply's otherwise-unused
+			// Samples field; sync replies keep it zero (byte-identical wire).
+			reply.Samples = asyncHello
+		}
 		if needSessions {
 			u.session = sessionToken(sessionSeed, t)
 			reply.Session = u.session
@@ -433,7 +461,7 @@ func freshHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, err
 		return nil, err
 	}
 	if err := sendHelloReplies(users, tCount, dim, wireConfig(cfg.Core, cfg.Dist),
-		needSessions, cfg.FT.SessionSeed); err != nil {
+		needSessions, cfg.FT.SessionSeed, cfg.Async); err != nil {
 		return nil, err
 	}
 	w0 := federatedInit(cfg.ReduceGroups, initWs, initWeights, dim)
@@ -517,13 +545,16 @@ func matchRestoreConns(conns []transport.Conn, ck *Checkpoint) ([]*serverUser, e
 
 // sendRestoreReplies answers a restore handshake: the reply carries the
 // recorded epoch so clients know which round they are rejoining.
-func sendRestoreReplies(users []*serverUser, total, dim, epoch int, wire *transport.WireConfig) error {
+func sendRestoreReplies(users []*serverUser, total, dim, epoch int, wire *transport.WireConfig, async bool) error {
 	for t, u := range users {
 		if u.dropped {
 			continue
 		}
 		reply := transport.Message{Type: transport.MsgHello, Users: total, Dim: dim,
 			Round: epoch, Session: u.session, Config: wire}
+		if async {
+			reply.Samples = asyncHello
+		}
 		if err := u.conn.Send(reply); err != nil {
 			return fmt.Errorf("protocol: restore hello reply to user %d: %w", t, err)
 		}
@@ -558,7 +589,7 @@ func restoreHandshake(conns []transport.Conn, cfg ServerConfig) (*serverState, e
 		return nil, err
 	}
 	if err := sendRestoreReplies(users, len(users), ck.Dim, ck.Epoch,
-		wireConfig(cfg.Core, cfg.Dist)); err != nil {
+		wireConfig(cfg.Core, cfg.Dist), cfg.Async); err != nil {
 		return nil, err
 	}
 	return stateFromCheckpoint(cfg, users, ck), nil
@@ -592,6 +623,9 @@ type serverState struct {
 	replies chan exchangeReply
 	// groupOf maps a user slot to its ReduceGroups index; nil without groups.
 	groupOf []int
+	// asyncEpoch[t] is the fold epoch at user t's last snapshot launch —
+	// the baseline for measuring an asynchronous arrival's staleness.
+	asyncEpoch []int
 
 	mStale, mReconnects, mDropped, mCheckpoints, mDropCause *obs.Counter
 }
@@ -601,6 +635,7 @@ func newServerState(cfg ServerConfig, users []*serverUser, dim int, w0 mat.Vecto
 	st := &serverState{
 		cfg: cfg, users: users, dim: dim, w0: w0,
 		us:           make(map[int]mat.Vector),
+		asyncEpoch:   make([]int, len(users)),
 		replies:      make(chan exchangeReply, len(users)),
 		mStale:       r.Counter(obs.MetricProtocolStaleReuses, ""),
 		mReconnects:  r.Counter(obs.MetricProtocolReconnects, ""),
@@ -840,6 +875,9 @@ func (st *serverState) attach(rj Rejoin) {
 	reply := transport.Message{Type: transport.MsgHello, Users: len(st.users), Dim: st.dim,
 		Round: st.epoch, Session: u.session,
 		Config: wireConfig(st.cfg.Core, st.cfg.Dist)}
+	if st.cfg.Async {
+		reply.Samples = asyncHello
+	}
 	if err := rj.Conn.Send(reply); err != nil {
 		_ = rj.Conn.Close()
 		u.conn = nil
@@ -987,29 +1025,7 @@ func (st *serverState) gather(parts []int, env gatherEnv) (xs []mat.Vector, keep
 			u.lastW = mat.Vector(r.msg.W)
 			u.lastV = mat.Vector(r.msg.V)
 			u.lastXi = r.msg.Xi
-			if fr := st.flight(); fr != nil && r.msg.Telemetry != nil {
-				// The arrival offset is measured on the server's round
-				// clock; the telemetry block carries only device-local
-				// durations, so no clock synchronization is assumed.
-				tel := r.msg.Telemetry
-				// Compression savings are read from the server-side conn
-				// wrapper (cumulative raw vs encoded payload bytes) — the
-				// device's telemetry block stays at its v3 shape.
-				var rawB, compB int64
-				if cs, ok := u.conn.(transport.CompressionStats); ok {
-					rawB, compB = cs.CompStats()
-				}
-				fr.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound,
-					Round: iter, User: r.user,
-					Arrive: time.Since(env.roundStart), Solve: time.Duration(tel.SolveNS),
-					QPIters: tel.QPIters, Cuts: tel.Cuts, WarmHits: tel.WarmHits,
-					SignFlips: int(tel.SignFlips),
-					Msgs:      tel.MsgsSent + tel.MsgsRecv,
-					Bytes:     tel.BytesSent + tel.BytesRecv,
-					RawBytes:  rawB,
-					CompBytes: compB,
-					EnergyJ:   tel.EnergyJ})
-			}
+			st.recordDeviceTelemetry(r, env.roundStart)
 		case <-deadline:
 			waiting = 0
 		}

@@ -263,7 +263,7 @@ func RunShard(agg transport.Conn, conns []transport.Conn, cfg ShardConfig) (*Ser
 	var st *serverState
 	migrated := 0
 	if ck := sCfg.FT.Restore; ck != nil {
-		if err := sendRestoreReplies(users, rep.Users, dim, ck.Epoch, &wire); err != nil {
+		if err := sendRestoreReplies(users, rep.Users, dim, ck.Epoch, &wire, false); err != nil {
 			abortUsers(users, "shard handshake failed")
 			_ = agg.Close()
 			return nil, err
@@ -284,7 +284,7 @@ func RunShard(agg transport.Conn, conns []transport.Conn, cfg ShardConfig) (*Ser
 		}
 	} else {
 		needSessions := sCfg.FT.Resume || sCfg.FT.CheckpointPath != ""
-		if err := sendHelloReplies(users, rep.Users, dim, &wire, needSessions, sCfg.FT.SessionSeed); err != nil {
+		if err := sendHelloReplies(users, rep.Users, dim, &wire, needSessions, sCfg.FT.SessionSeed, false); err != nil {
 			abortUsers(users, "shard handshake failed")
 			_ = agg.Close()
 			return nil, err

@@ -60,6 +60,8 @@ type options struct {
 	// (an Option cannot return an error); comp is the parsed result.
 	compressSpec string
 	comp         compress.Config
+	// wireAsync selects the asynchronous DJAM protocol mode on Serve/Join.
+	wireAsync bool
 }
 
 // ftOptions collects the fault-tolerance knobs of Serve and Join (see
@@ -174,6 +176,23 @@ func WithParallelWorkers() Option {
 // trainers.
 func WithAsyncBarrier(updates int) Option {
 	return func(o *options) { o.async.Barrier = updates }
+}
+
+// WithAsync switches Serve and Join to the fully asynchronous DJAM protocol
+// mode: devices push an update whenever a local solve finishes, the
+// coordinator folds each arrival into the consensus immediately under a
+// staleness-weighted rule (weight 1/(1+min(s, WithMaxStale)) for an arrival
+// s fleet rounds old), and there is no global ADMM round clock — per-device
+// consensus snapshots replace the lockstep broadcast. A straggler then
+// delays only its own contribution, not the fleet. The mode is negotiated
+// in the hello exchange; a Join with WithAsync fails fast against a
+// synchronous coordinator. Objectives converge to within a few percent of
+// the synchronous mode's but are not bit-identical to it (docs/ASYNC.md
+// discusses the convergence caveat). No effect on the in-process trainers
+// (see TrainAsync) or on ServeAggregator's sharded plane, which is lockstep
+// by construction.
+func WithAsync() Option {
+	return func(o *options) { o.wireAsync = true }
 }
 
 // WithOpTimeout bounds every single network send and receive on Serve/Join

@@ -213,6 +213,67 @@ func TestServeJoinLoopback(t *testing.T) {
 	}
 }
 
+// TestServeJoinAsyncLoopback exercises WithAsync end to end over real TCP:
+// the DJAM mode negotiates in the hello exchange, trains without a global
+// round clock, and every device still converges.
+func TestServeJoinAsyncLoopback(t *testing.T) {
+	users := makeUsers(7, 3, 10, 0.1, func(i int) int {
+		if i == 2 {
+			return 0
+		}
+		return 8
+	})
+	addrCh := make(chan string, 1)
+	var serveRes *ServeResult
+	var serveErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveRes, serveErr = Serve("127.0.0.1:0", len(users),
+			func(addr string) { addrCh <- addr }, WithSeed(7), WithAsync())
+	}()
+	addr := <-addrCh
+	devices := make([]*DeviceModel, len(users))
+	deviceErrs := make([]error, len(users))
+	var dwg sync.WaitGroup
+	for i := range users {
+		dwg.Add(1)
+		go func(i int) {
+			defer dwg.Done()
+			devices[i], deviceErrs[i] = Join(addr, users[i], WithSeed(int64(i)), WithAsync())
+		}(i)
+	}
+	dwg.Wait()
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("Serve: %v", serveErr)
+	}
+	for i, err := range deviceErrs {
+		if err != nil {
+			t.Fatalf("Join %d: %v", i, err)
+		}
+	}
+	if st := serveRes.Model.Stats(); st.ADMMIterations == 0 {
+		t.Error("async run should report folded updates as ADMM iterations")
+	}
+	for i, d := range devices {
+		correct := 0
+		for j, x := range users[i].Features {
+			cls := 1.0
+			if j%2 == 1 {
+				cls = -1
+			}
+			if d.Predict(x) == cls {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(users[i].Features)); acc < 0.8 {
+			t.Errorf("device %d accuracy = %v", i, acc)
+		}
+	}
+}
+
 func TestServeValidation(t *testing.T) {
 	if _, err := Serve("127.0.0.1:0", 0, nil); err == nil {
 		t.Error("0 devices should error")

@@ -56,6 +56,11 @@ echo "== shard kill/restore smoke: kill-9 soak (race) + real SIGKILL on a worker
 go test -race -count=1 -v -run 'TestShardedKillRestoreRejoins' ./internal/protocol
 go test -count=1 -v -run 'TestShardKillRecover' ./cmd/plos-bench
 
+echo "== async-mode race smoke: sync parity + negotiation + chaos + mid-run resume (docs/ASYNC.md) =="
+go test -race -count=1 \
+    -run 'TestAsyncWireMatchesSyncAccuracy|TestAsyncModeNegotiation|TestAsyncChaosSoak|TestAsyncClientResumeMidTraining|TestSyncHandshakeBytesUnchanged' \
+    ./internal/protocol
+
 echo "== compressed-mode race smoke: codec-v4 negotiation + mixed fleet =="
 go test -race -count=1 \
     -run 'TestCompressionInteropMatrix|TestCompressionMixedFleet' \

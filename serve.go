@@ -156,6 +156,7 @@ func Serve(addr string, devices int, onListen func(addr string), opts ...Option)
 
 	res, err := protocol.RunServer(wired, protocol.ServerConfig{
 		Core: o.core, Dist: o.dist, FT: o.serverFT(rejoin, restore),
+		Async: o.wireAsync,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("plos: Serve: %w", err)
@@ -267,6 +268,7 @@ func Join(addr string, user User, opts ...Option) (*DeviceModel, error) {
 		OnSession:  o.ft.onSession,
 		MaxRedials: o.ft.maxRedials,
 		Obs:        o.core.Obs,
+		Async:      o.wireAsync,
 	}
 
 	var res *protocol.ClientResult
