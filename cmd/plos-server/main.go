@@ -6,8 +6,11 @@
 //	plos-server -addr :7350 -devices 5 -lambda 100
 //
 // With -metrics-addr the server also exposes an operations endpoint:
-// /metrics (Prometheus text), /debug/vars (expvar JSON) and /debug/pprof/*
-// (live CPU/heap profiling) — see docs/OBSERVABILITY.md.
+// /metrics (Prometheus text), /debug/vars (expvar JSON), /debug/pprof/*
+// (live CPU/heap profiling), and the live health plane — /healthz (200/503),
+// /debug/health (JSON tree) and /statusz (human text) — driven by a
+// rule-driven health engine over the run's streaming signals. Watch it live
+// with cmd/plos-top. See docs/OBSERVABILITY.md.
 //
 // Fault tolerance (see docs/FAULT_TOLERANCE.md): -op-timeout and -retries
 // harden individual connections; -round-timeout, -quorum and -max-stale set
@@ -59,6 +62,7 @@ import (
 	"plos"
 	"plos/internal/cost"
 	"plos/internal/obs"
+	"plos/internal/obs/health"
 )
 
 func main() {
@@ -135,6 +139,35 @@ type serverOptions struct {
 	shardQuorum                 int
 	// onListen, when non-nil, receives the bound address (tests).
 	onListen func(addr string)
+	// onMetrics, when non-nil, receives the metrics endpoint's bound
+	// address (tests).
+	onMetrics func(addr string)
+}
+
+// healthConfig maps the server flags to the health engine's rule set for
+// this process's role.
+func healthConfig(o serverOptions) health.Config {
+	cfg := health.Config{
+		// Windowed spike thresholds: 5 device drop-cause events or 50
+		// transport retries inside the (default 60s) window degrade; an
+		// error-feedback norm past 1e6 is compression divergence.
+		DropSpike:   5,
+		RetrySpike:  50,
+		EFNormLimit: 1e6,
+	}
+	if o.async && o.maxStale > 0 {
+		cfg.MaxStale = float64(o.maxStale)
+	}
+	if o.role == "agg" {
+		cfg.Shards = o.shards
+		cfg.ShardQuorum = o.shardQuorum
+		if cfg.ShardQuorum <= 0 {
+			// Mirrors the FT layer's default: without -shard-quorum every
+			// shard is required.
+			cfg.ShardQuorum = o.shards
+		}
+	}
+	return cfg
 }
 
 func run(o serverOptions) error {
@@ -191,6 +224,10 @@ func run(o serverOptions) error {
 			// /debug/trace still shows a live record tail without a file.
 			obOpts = append(obOpts, plos.WithFlightRecorder(nil))
 		}
+		if o.metricsAddr != "" {
+			// The ops endpoint always carries the live health plane.
+			obOpts = append(obOpts, plos.WithHealth(healthConfig(o)))
+		}
 		ob = plos.NewObserver(obOpts...)
 		if o.metricsAddr != "" {
 			bound, stop, err := startMetrics(o.metricsAddr, ob)
@@ -198,7 +235,10 @@ func run(o serverOptions) error {
 				return err
 			}
 			defer stop()
-			fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/, live trace on /debug/trace)\n", bound)
+			fmt.Printf("metrics on http://%s/metrics (health on /healthz, pprof on /debug/pprof/, live trace on /debug/trace)\n", bound)
+			if o.onMetrics != nil {
+				o.onMetrics(bound)
+			}
 		}
 		opts = append(opts, plos.WithObserver(ob))
 	}
@@ -335,6 +375,12 @@ func startMetrics(addr string, ob *plos.Observer) (string, func(), error) {
 	mux.Handle("/metrics", ob.Handler())
 	mux.Handle("/debug/trace", ob.TraceHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	if h := ob.Health(); h != nil {
+		mux.Handle("/healthz", h.HealthzHandler())
+		mux.Handle("/debug/health", h.TreeHandler())
+		mux.Handle("/statusz", h.StatuszHandler())
+		h.Start(time.Second)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -342,7 +388,13 @@ func startMetrics(addr string, ob *plos.Observer) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }()
-	return l.Addr().String(), func() { _ = srv.Close() }, nil
+	stop := func() {
+		_ = srv.Close()
+		if h := ob.Health(); h != nil {
+			h.Stop()
+		}
+	}
+	return l.Addr().String(), stop, nil
 }
 
 func head(v []float64, n int) []float64 {

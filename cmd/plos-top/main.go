@@ -1,0 +1,241 @@
+// plos-top is a polling terminal dashboard over a plos-server ops endpoint
+// (-metrics-addr): it reads /debug/vars (the expvar metric snapshot) and
+// /debug/health (the health engine's component tree) and renders fleet
+// state, per-shard and per-device health, the live objective trajectory and
+// staleness/retry sparklines.
+//
+//	plos-top -addr localhost:9090             # live, redraws every 2s
+//	plos-top -addr localhost:9090 -once      # one snapshot to stdout (CI)
+//
+// Against a server without the health plane (no /debug/health), the health
+// sections degrade to "health: unavailable" and the metric rows still
+// render.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"plos/internal/obs/health"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "plos-server -metrics-addr endpoint to poll")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval in live mode")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *interval, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "plos-top:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the poll loop. In -once mode it renders a single snapshot; live
+// mode clears the terminal and redraws until interrupted.
+func run(w io.Writer, addr string, interval time.Duration, once bool) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		out, err := snapshot(client, base, addr, time.Now())
+		if err != nil {
+			if once {
+				return err
+			}
+			out = fmt.Sprintf("plos-top  %s\n\n  unreachable: %v\n", addr, err)
+		}
+		if !once {
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		fmt.Fprint(w, out)
+		if once {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// snapshot fetches both surfaces and renders one frame.
+func snapshot(client *http.Client, base, target string, now time.Time) (string, error) {
+	vars, err := fetchVars(client, base)
+	if err != nil {
+		return "", err
+	}
+	snap := fetchHealth(client, base)
+	return render(target, vars, snap, now), nil
+}
+
+// fetchVars reads the "plos" expvar (the observer's metric snapshot).
+func fetchVars(client *http.Client, base string) (map[string]any, error) {
+	resp, err := client.Get(base + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/vars: %s", resp.Status)
+	}
+	var all map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return nil, fmt.Errorf("/debug/vars: %w", err)
+	}
+	raw, ok := all["plos"]
+	if !ok {
+		return nil, fmt.Errorf("/debug/vars has no \"plos\" var (is this a plos-server ops endpoint?)")
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		return nil, fmt.Errorf("/debug/vars plos var: %w", err)
+	}
+	return vars, nil
+}
+
+// fetchHealth reads the health tree; nil when the endpoint is absent or
+// unreadable (pre-health server).
+func fetchHealth(client *http.Client, base string) *health.Snapshot {
+	resp, err := client.Get(base + "/debug/health")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap health.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+// num reads a numeric metric from the snapshot (counters and gauges both
+// decode as float64), zero when absent.
+func num(vars map[string]any, name string) float64 {
+	v, _ := vars[name].(float64)
+	return v
+}
+
+// sparkRunes are the eight levels of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a fixed-scale sparkline (scaled to the series
+// max; an all-zero series is a flat floor).
+func spark(values []float64) string {
+	if len(values) == 0 {
+		return "-"
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v / max * float64(len(sparkRunes)-1))
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// deltas turns a monotone series into successive decreases (positive =
+// progress for a descending objective), for sparkline display.
+func objectiveSpark(obj []float64) string {
+	if len(obj) < 2 {
+		return "-"
+	}
+	drops := make([]float64, 0, len(obj)-1)
+	for i := 1; i < len(obj); i++ {
+		d := obj[i-1] - obj[i]
+		if d < 0 {
+			d = 0
+		}
+		drops = append(drops, d)
+	}
+	return spark(drops)
+}
+
+// render formats one dashboard frame. Pure: everything it shows comes from
+// its arguments, so golden tests pin it byte-for-byte.
+func render(target string, vars map[string]any, snap *health.Snapshot, now time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plos-top  %s\n", target)
+	fmt.Fprintf(&b, "uptime %.0fs   runs %.0f   cccp rounds %.0f   admm rounds %.0f\n",
+		num(vars, "process_uptime_seconds"), num(vars, "train_runs_total"),
+		num(vars, "cccp_iterations_total"), num(vars, "admm_rounds_total"))
+
+	if snap == nil {
+		fmt.Fprintf(&b, "\nhealth: unavailable (no /debug/health on this server)\n")
+	} else {
+		fmt.Fprintf(&b, "\nfleet %s", snap.State)
+		if snap.Cause != "" {
+			fmt.Fprintf(&b, "  %s", snap.Cause)
+		}
+		fmt.Fprintf(&b, "  (for %s)\n", roundDur(now.Sub(snap.Since)))
+		for _, c := range snap.Components {
+			line := fmt.Sprintf("  %-14s %-9s", c.Component, c.State)
+			if c.Cause != "" {
+				line += " " + c.Cause
+			}
+			fmt.Fprintln(&b, strings.TrimRight(line, " "))
+		}
+	}
+
+	fmt.Fprintf(&b, "\nobjective %.6g", num(vars, "train_objective"))
+	if snap != nil && len(snap.Objective) > 0 {
+		fmt.Fprintf(&b, "   trajectory %s (descent per round, last %d)",
+			objectiveSpark(snap.Objective), len(snap.Objective))
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "residuals primal %.3g dual %.3g   ef-norm %.3g\n",
+		num(vars, "admm_primal_residual"), num(vars, "admm_dual_residual"),
+		num(vars, "quant_error_feedback_norm"))
+	fmt.Fprintf(&b, "async folds %.0f (stale %.0f)   stale reuses %.0f   devices dropped %.0f\n",
+		num(vars, "async_updates_total"), num(vars, "async_stale_folds_total"),
+		num(vars, "protocol_stale_reuses_total"), num(vars, "protocol_devices_dropped_total"))
+	fmt.Fprintf(&b, "traffic sent %.1f KB recv %.1f KB   retries %.0f   timeouts %.0f\n",
+		num(vars, "transport_bytes_sent_total")/1024, num(vars, "transport_bytes_received_total")/1024,
+		num(vars, "transport_retries_total"), num(vars, "transport_op_timeouts_total"))
+
+	if snap != nil {
+		fmt.Fprintf(&b, "\ndrops  %s   retries %s  (rolling window)\n",
+			spark(snap.DropWindow), spark(snap.RetryWindow))
+		if len(snap.Transitions) > 0 {
+			fmt.Fprintf(&b, "\nrecent transitions:\n")
+			lo := len(snap.Transitions) - 5
+			if lo < 0 {
+				lo = 0
+			}
+			for _, tr := range snap.Transitions[lo:] {
+				fmt.Fprintf(&b, "  %7s ago  %-14s %s -> %s", roundDur(now.Sub(tr.At)), tr.Component, tr.From, tr.To)
+				if tr.Cause != "" {
+					fmt.Fprintf(&b, "  %s", tr.Cause)
+				}
+				fmt.Fprintln(&b)
+			}
+		}
+	}
+	return b.String()
+}
+
+// roundDur trims a duration for display.
+func roundDur(d time.Duration) time.Duration {
+	if d < 0 {
+		d = 0
+	}
+	return d.Round(time.Second)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureNow is the frozen clock matching the timestamps in testdata.
+var fixtureNow = time.Date(2026, 8, 1, 12, 5, 0, 0, time.UTC)
+
+// fixtureServer serves the testdata fixtures on the two polled endpoints
+// (health omitted when withHealth is false, to model a pre-health server).
+func fixtureServer(t *testing.T, withHealth bool) *httptest.Server {
+	t.Helper()
+	serveFile := func(name string) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			b, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Errorf("fixture %s: %v", name, err)
+				http.Error(w, err.Error(), 500)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(b)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", serveFile("vars.json"))
+	if withHealth {
+		mux.Handle("/debug/health", serveFile("health.json"))
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	srv := fixtureServer(t, true)
+	out, err := snapshot(srv.Client(), srv.URL, "fixture:9090", fixtureNow)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if out != string(want) {
+		t.Fatalf("render drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+func TestSnapshotWithoutHealthEndpoint(t *testing.T) {
+	srv := fixtureServer(t, false)
+	out, err := snapshot(srv.Client(), srv.URL, "fixture:9090", fixtureNow)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if !strings.Contains(out, "health: unavailable") {
+		t.Fatalf("missing health-unavailable note in:\n%s", out)
+	}
+	if !strings.Contains(out, "objective 84.25") {
+		t.Fatalf("metric rows must still render without health:\n%s", out)
+	}
+}
+
+func TestRunOnce(t *testing.T) {
+	srv := fixtureServer(t, true)
+	var buf strings.Builder
+	if err := run(&buf, srv.URL, time.Second, true); err != nil {
+		t.Fatalf("run -once: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("-once output must not contain ANSI control sequences")
+	}
+	for _, want := range []string{"plos-top", "fleet degraded", "shard:0", "detached: agg link: EOF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-once output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOnceUnreachable(t *testing.T) {
+	if err := run(&strings.Builder{}, "127.0.0.1:1", time.Second, true); err == nil {
+		t.Fatal("run -once against a dead endpoint must fail")
+	}
+}
+
+func TestVarsWithoutPlos(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"cmdline":[]}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	if _, err := snapshot(srv.Client(), srv.URL, "x", fixtureNow); err == nil ||
+		!strings.Contains(err.Error(), `"plos"`) {
+		t.Fatalf("want missing-plos error, got %v", err)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark(nil); got != "-" {
+		t.Fatalf("spark(nil) = %q", got)
+	}
+	if got := spark([]float64{0, 0}); got != "▁▁" {
+		t.Fatalf("spark(zeros) = %q", got)
+	}
+	got := spark([]float64{0, 1, 2, 4})
+	r := []rune(got)
+	if len(r) != 4 || r[0] != '▁' || r[3] != '█' {
+		t.Fatalf("spark scaling wrong: %q", got)
+	}
+}

@@ -87,6 +87,11 @@ const (
 	MetricShardRestarts     = "shard_restarts_total"
 	MetricAggLinkRetries    = "agg_link_retries_total"
 	MetricShardStaleReduces = "shard_stale_reduces_total"
+
+	MetricFlightWriteErrors    = "obs_flight_write_errors"
+	MetricHealthState          = "health_state"
+	MetricProcessUptimeSeconds = "process_uptime_seconds"
+	MetricBuildInfo            = "plos_build_info"
 )
 
 // MetricDef describes one catalog entry.
@@ -161,4 +166,9 @@ var Catalog = []MetricDef{
 	{MetricShardRestarts, KindCounter, "1", "Crashed shards re-attached to the aggregator after a checkpoint-restore rejoin handshake."},
 	{MetricAggLinkRetries, KindCounter, "1", "Transient failures absorbed by the retry layer on shard-aggregator links specifically (also counted in transport_retries_total)."},
 	{MetricShardStaleReduces, KindCounter, "1", "Reduce legs the aggregator assembled from a detached shard's last partials instead of a fresh message."},
+
+	{MetricFlightWriteErrors, KindGauge, "1", "1 once the flight recorder's JSONL writer latched a write error (further file writes stop; the in-memory tail keeps filling), else 0."},
+	{MetricHealthState, KindGauge, "1", "Fleet health rollup of the attached health engine: 0 ok, 1 degraded, 2 critical (stays 0 with no engine)."},
+	{MetricProcessUptimeSeconds, KindGaugeFunc, "seconds", "Seconds since this process initialized the plos package (registered by NewObserver)."},
+	{MetricBuildInfo, KindGaugeFunc, "1", "Constant 1; the help text carries the build identity — Go runtime version, wire codec versions, compiled-in serving planes (registered by NewObserver)."},
 }

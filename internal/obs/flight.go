@@ -75,6 +75,10 @@ const (
 	// personalized consensus snapshot (z, u_t) in asynchronous mode — the
 	// per-device replacement for the lockstep params broadcast.
 	RecordAsyncSnapshot
+	// RecordHealthTransition marks a health-engine component changing state
+	// (ok, degraded, critical) with the rule cause that moved it. Emitted by
+	// internal/obs/health; never fed back into the engine.
+	RecordHealthTransition
 )
 
 // String returns the stable record-type name used in the JSONL stream.
@@ -112,6 +116,8 @@ func (k RecordKind) String() string {
 		return "async-fold"
 	case RecordAsyncSnapshot:
 		return "async-snapshot"
+	case RecordHealthTransition:
+		return "health-transition"
 	default:
 		return "record-unknown"
 	}
@@ -167,6 +173,12 @@ type Record struct {
 	Epoch     int
 	Staleness float64
 	Weight    float64
+	// Component/From/To describe a health-transition: the component whose
+	// state changed and the states on either side ("ok", "degraded",
+	// "critical"); Cause carries the rule that moved it.
+	Component string
+	From      string
+	To        string
 }
 
 // RecordDef describes one record type for the docs-freshness gate
@@ -197,6 +209,7 @@ var RecordCatalog = []RecordDef{
 	{"shard-restore", "A crashed shard rejoined via checkpoint restore.", []string{"shard", "round", "stale"}},
 	{"async-fold", "One staleness-weighted consensus fold of an asynchronous-mode arrival.", []string{"round", "user", "epoch", "staleness", "weight", "primal", "dual"}},
 	{"async-snapshot", "A device received its per-device consensus snapshot in asynchronous mode.", []string{"round", "user", "epoch"}},
+	{"health-transition", "A health-engine component changed state.", []string{"component", "from", "to", "cause"}},
 }
 
 // marshal renders the record's fixed per-kind JSON line (without the
@@ -332,6 +345,14 @@ func (rec Record) marshal() ([]byte, error) {
 			User  int    `json:"user"`
 			Epoch int    `json:"epoch"`
 		}{rec.Kind.String(), rec.Round, rec.User, rec.Epoch})
+	case RecordHealthTransition:
+		return json.Marshal(struct {
+			Rec       string `json:"rec"`
+			Component string `json:"component"`
+			From      string `json:"from"`
+			To        string `json:"to"`
+			Cause     string `json:"cause"`
+		}{rec.Kind.String(), rec.Component, rec.From, rec.To, rec.Cause})
 	default:
 		return json.Marshal(struct {
 			Rec string `json:"rec"`
@@ -354,6 +375,9 @@ type FlightRecorder struct {
 	next  int
 	total int64
 	err   error
+	// errGauge, when set (by SetFlightRecorder), flips to 1 the moment the
+	// first write error latches — the obs_flight_write_errors surface.
+	errGauge *Gauge
 }
 
 // NewFlightRecorder creates a recorder streaming to w. A nil w keeps only
@@ -386,6 +410,7 @@ func (fr *FlightRecorder) Record(rec Record) {
 	if fr.w != nil && fr.err == nil {
 		if _, err := fr.w.Write(append(line, '\n')); err != nil {
 			fr.err = err
+			fr.errGauge.Set(1)
 		}
 	}
 }
@@ -434,10 +459,22 @@ func (fr *FlightRecorder) Err() error {
 }
 
 // SetFlightRecorder attaches fr to the registry; every FlightRecord call
-// lands there. Passing nil detaches. No-op on a nil registry.
+// lands there. Passing nil detaches. No-op on a nil registry. Attaching also
+// wires the recorder's latched write error to the obs_flight_write_errors
+// gauge, so a dead flight file is visible on the metric surfaces instead of
+// failing silently.
 func (r *Registry) SetFlightRecorder(fr *FlightRecorder) {
 	if r == nil {
 		return
+	}
+	if fr != nil {
+		g := r.Gauge(MetricFlightWriteErrors, "")
+		fr.mu.Lock()
+		fr.errGauge = g
+		if fr.err != nil {
+			g.Set(1)
+		}
+		fr.mu.Unlock()
 	}
 	r.flight.Store(&flightSlot{fr: fr})
 }
@@ -459,8 +496,15 @@ func (r *Registry) Flight() *FlightRecorder {
 func (r *Registry) FlightEnabled() bool { return r.Flight() != nil }
 
 // FlightRecord appends one record to the attached recorder (no-op when none
-// is attached or on a nil registry).
-func (r *Registry) FlightRecord(rec Record) { r.Flight().Record(rec) }
+// is attached or on a nil registry) and feeds it to the attached health
+// sink, which evaluates its rules over the same stream the recorder
+// persists.
+func (r *Registry) FlightRecord(rec Record) {
+	r.Flight().Record(rec)
+	if s := r.HealthSink(); s != nil {
+		s.ObserveRecord(rec)
+	}
+}
 
 // flightSlot wraps the recorder pointer so detaching (storing nil) is
 // expressible with atomic.Pointer.

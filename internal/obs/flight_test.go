@@ -21,6 +21,7 @@ func sampleRecord(kind RecordKind) Record {
 		QPIters: 11, Cuts: 3, WarmHits: 2, Msgs: 12, Bytes: 4096, EnergyJ: 0.5,
 		Stale: 2, Cause: "boom", Permanent: true, Active: 3, Need: 4, Converged: true,
 		Epoch: 5, Staleness: 1.5, Weight: 0.4,
+		Component: "shard:1", From: "ok", To: "degraded",
 	}
 }
 
@@ -32,7 +33,7 @@ func TestRecordMarshalMatchesCatalog(t *testing.T) {
 		RecordCutRound, RecordADMMRound, RecordDeviceRound, RecordStaleReuse,
 		RecordDeviceDrop, RecordQuorum, RecordRunEnd, RecordShardReduce,
 		RecordShardDown, RecordShardStale, RecordShardRestore,
-		RecordAsyncFold, RecordAsyncSnapshot}
+		RecordAsyncFold, RecordAsyncSnapshot, RecordHealthTransition}
 	if len(kinds) != len(RecordCatalog) {
 		t.Fatalf("catalog has %d entries for %d kinds", len(RecordCatalog), len(kinds))
 	}

@@ -1,0 +1,579 @@
+// Package health is the rule-driven live health engine of the observability
+// layer: it consumes the registry's streaming signals — the flight-record
+// stream (objective trajectory, drops, quorum, shard lifecycle, async folds)
+// plus ticker-sampled counter deltas — and folds them into typed component
+// states with a fleet rollup, served on /healthz, /debug/health and /statusz.
+//
+// The engine is strictly passive: it attaches to a registry as its
+// obs.HealthSink, reads metrics and records, and writes only its own
+// health_state gauge and health-transition flight records. A training run
+// with an engine attached is bit-identical to one without (the observer
+// bit-identity contract extends to it).
+package health
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plos/internal/obs"
+)
+
+// State is a component's health tier. Ordering is severity: rollups take the
+// max.
+type State int
+
+const (
+	StateOK State = iota
+	StateDegraded
+	StateCritical
+)
+
+// String returns the wire/doc name of the state.
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateCritical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the rule set. The zero value is usable: zero thresholds
+// disable their rule, zero windows and counts fall back to the defaults
+// below.
+type Config struct {
+	// Window and Bucket size the rolling rate windows behind the spike
+	// rules (and the sparkline feeds). Defaults: 60s in 5s buckets.
+	Window time.Duration
+	Bucket time.Duration
+	// StallRounds is how many consecutive CCCP rounds may pass without
+	// meaningful objective progress before the run degrades as stalled
+	// (default 8). StallEpsilon is the relative progress floor (default
+	// 1e-9).
+	StallRounds  int
+	StallEpsilon float64
+	// DropSpike / RetrySpike degrade when the windowed count of device
+	// drop-cause events / transport retries reaches the threshold
+	// (0 disables).
+	DropSpike  float64
+	RetrySpike float64
+	// MaxStale is the asynchronous staleness ceiling (AsyncConfig.MaxStale):
+	// when set, StaleSatFolds consecutive folds arriving at or above it
+	// degrade the async component as saturated (StaleSatFolds defaults
+	// to 4).
+	MaxStale      float64
+	StaleSatFolds int
+	// Shards / ShardQuorum, when set on an aggregator, drive the
+	// shard-quorum rule: fewer live shards than the quorum is critical.
+	Shards      int
+	ShardQuorum int
+	// EFNormLimit marks the wire component critical when the compressed
+	// sender's error-feedback norm exceeds it (0 disables).
+	EFNormLimit float64
+	// Now overrides the engine clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Status is one component's current health.
+type Status struct {
+	State State
+	Cause string
+	Since time.Time
+}
+
+// ComponentStatus is the export form of one component's status.
+type ComponentStatus struct {
+	Component string    `json:"component"`
+	State     string    `json:"state"`
+	Cause     string    `json:"cause,omitempty"`
+	Since     time.Time `json:"since"`
+}
+
+// TransitionEvent is one recorded state change.
+type TransitionEvent struct {
+	Component string    `json:"component"`
+	From      string    `json:"from"`
+	To        string    `json:"to"`
+	Cause     string    `json:"cause,omitempty"`
+	At        time.Time `json:"at"`
+}
+
+// Snapshot is the JSON tree served on /debug/health.
+type Snapshot struct {
+	State       string            `json:"state"`
+	Cause       string            `json:"cause,omitempty"`
+	Since       time.Time         `json:"since"`
+	Components  []ComponentStatus `json:"components"`
+	Objective   []float64         `json:"objective,omitempty"`
+	Transitions []TransitionEvent `json:"transitions,omitempty"`
+	DropWindow  []float64         `json:"drop_window,omitempty"`
+	RetryWindow []float64         `json:"retry_window,omitempty"`
+}
+
+// component is the engine's internal per-component record.
+type component struct {
+	state State
+	cause string
+	since time.Time
+}
+
+// History bounds.
+const (
+	objHistoryCap  = 64
+	transitionsCap = 64
+)
+
+// Engine evaluates the rule set over a registry's signal streams. Create
+// with New (which attaches it as the registry's health sink); drive with the
+// record stream plus Tick (or Start a ticker).
+type Engine struct {
+	reg     *obs.Registry
+	cfg     Config
+	gauge   *obs.Gauge
+	ef      *obs.Gauge
+	drops   *obs.RateWindow
+	retries *obs.RateWindow
+	created time.Time
+
+	mu          sync.Mutex
+	components  map[string]*component
+	fleet       component
+	lastObj     float64
+	haveObj     bool
+	stallRun    int
+	staleRun    int
+	objHist     []float64
+	transitions []TransitionEvent
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates an engine with cfg's rules and attaches it to reg as the
+// health sink, so every flight record the registry emits reaches
+// ObserveRecord. reg may be nil (the engine still evaluates, exports
+// nothing).
+func New(reg *obs.Registry, cfg Config) *Engine {
+	if cfg.Window <= 0 {
+		cfg.Window = 60 * time.Second
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 5 * time.Second
+	}
+	if cfg.StallRounds <= 0 {
+		cfg.StallRounds = 8
+	}
+	if cfg.StallEpsilon <= 0 {
+		cfg.StallEpsilon = 1e-9
+	}
+	if cfg.StaleSatFolds <= 0 {
+		cfg.StaleSatFolds = 4
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	e := &Engine{
+		reg:        reg,
+		cfg:        cfg,
+		gauge:      reg.Gauge(obs.MetricHealthState, ""),
+		ef:         reg.Gauge(obs.MetricQuantErrorFeedbackNorm, ""),
+		drops:      obs.NewRateWindow(cfg.Window, cfg.Bucket),
+		retries:    obs.NewRateWindow(cfg.Window, cfg.Bucket),
+		created:    cfg.Now(),
+		components: map[string]*component{},
+	}
+	e.fleet.since = e.created
+	e.gauge.Set(0)
+	reg.SetHealthSink(e)
+	return e
+}
+
+// now returns the engine clock's current time.
+func (e *Engine) now() time.Time { return e.cfg.Now() }
+
+// HealthCode implements obs.HealthSink: the fleet rollup as 0 ok,
+// 1 degraded, 2 critical.
+func (e *Engine) HealthCode() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int(e.fleet.state)
+}
+
+// Fleet returns the rollup status.
+func (e *Engine) Fleet() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Status{State: e.fleet.state, Cause: e.fleet.cause, Since: e.fleet.since}
+}
+
+// Component returns one component's status (zero Status, false when the
+// component has never been touched).
+func (e *Engine) Component(name string) (Status, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.components[name]
+	if !ok {
+		return Status{}, false
+	}
+	return Status{State: c.state, Cause: c.cause, Since: c.since}, true
+}
+
+// ReportRemote implements obs.HealthSink: it folds a remote component's
+// self-reported code into the local tree — the aggregator calls it with each
+// shard's piggybacked health stamp.
+func (e *Engine) ReportRemote(name string, code int, cause string) {
+	st := State(code)
+	if st < StateOK || st > StateCritical {
+		return
+	}
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.setLocked(name, st, cause, now)
+}
+
+// ObserveRecord implements obs.HealthSink: every flight record the registry
+// emits lands here (before this method returns, so it must stay cheap). The
+// engine's own health-transition output is ignored to avoid re-entry.
+func (e *Engine) ObserveRecord(rec obs.Record) {
+	if rec.Kind == obs.RecordHealthTransition {
+		return
+	}
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch rec.Kind {
+	case obs.RecordRunStart:
+		// A fresh run resets the run-scoped rules.
+		e.haveObj, e.stallRun, e.staleRun = false, 0, 0
+		e.setLocked("run", StateOK, "", now)
+		e.setLocked("async", StateOK, "", now)
+	case obs.RecordCCCPIteration:
+		e.observeObjectiveLocked(rec.Objective, now)
+	case obs.RecordAsyncFold:
+		e.observeAsyncFoldLocked(rec.Staleness, now)
+	case obs.RecordQuorum:
+		e.setLocked("run", StateCritical,
+			fmt.Sprintf("quorum-lost (active %d < need %d)", rec.Active, rec.Need), now)
+	case obs.RecordRunEnd:
+		if rec.Converged {
+			e.setLocked("run", StateOK, "", now)
+		}
+	case obs.RecordDeviceDrop:
+		name := fmt.Sprintf("device:%d", rec.User)
+		if rec.Permanent {
+			e.setLocked(name, StateCritical, "dropped: "+rec.Cause, now)
+		} else {
+			e.setLocked(name, StateDegraded, "drop: "+rec.Cause, now)
+		}
+	case obs.RecordDeviceRound:
+		// A merged device round proves the device is live again; only a
+		// transient drop recovers — permanent removal is final.
+		name := fmt.Sprintf("device:%d", rec.User)
+		if c, ok := e.components[name]; ok && c.state == StateDegraded {
+			e.setLocked(name, StateOK, "", now)
+		}
+	case obs.RecordShardDown:
+		e.setLocked(shardName(rec.Shard), StateDegraded, "detached: "+rec.Cause, now)
+		e.shardQuorumLocked(now)
+	case obs.RecordShardStale:
+		e.setLocked(shardName(rec.Shard), StateDegraded,
+			fmt.Sprintf("detached, carried stale (%d legs)", rec.Stale), now)
+	case obs.RecordShardRestore:
+		e.setLocked(shardName(rec.Shard), StateOK, "", now)
+		e.shardQuorumLocked(now)
+	}
+}
+
+// shardName formats the component name of shard id.
+func shardName(id int) string { return fmt.Sprintf("shard:%d", id) }
+
+// observeObjectiveLocked applies the divergence/stall rules to one CCCP
+// round's objective. CCCP is a descent method: ascent beyond the relative
+// tolerance is divergence, StallRounds rounds within it is a stall.
+func (e *Engine) observeObjectiveLocked(obj float64, now time.Time) {
+	e.objHist = append(e.objHist, obj)
+	if len(e.objHist) > objHistoryCap {
+		e.objHist = e.objHist[len(e.objHist)-objHistoryCap:]
+	}
+	prev, had := e.lastObj, e.haveObj
+	e.lastObj, e.haveObj = obj, true
+	if !had {
+		return
+	}
+	tol := e.cfg.StallEpsilon * (1 + math.Abs(prev))
+	delta := obj - prev
+	switch {
+	case delta > tol:
+		e.stallRun = 0
+		e.setLocked("run", StateDegraded,
+			fmt.Sprintf("objective-ascent (%.6g -> %.6g)", prev, obj), now)
+	case -delta <= tol:
+		e.stallRun++
+		if e.stallRun >= e.cfg.StallRounds {
+			e.setLocked("run", StateDegraded,
+				fmt.Sprintf("objective-stall (%d rounds without progress beyond %.1g)", e.stallRun, tol), now)
+		}
+	default:
+		e.stallRun = 0
+		e.recoverLocked("run", "objective-", now)
+	}
+}
+
+// observeAsyncFoldLocked applies the staleness-saturation rule to one
+// asynchronous fold's staleness.
+func (e *Engine) observeAsyncFoldLocked(staleness float64, now time.Time) {
+	if e.cfg.MaxStale <= 0 {
+		return
+	}
+	if staleness < e.cfg.MaxStale {
+		e.staleRun = 0
+		e.recoverLocked("async", "staleness-", now)
+		return
+	}
+	e.staleRun++
+	if e.staleRun >= e.cfg.StaleSatFolds {
+		e.setLocked("async", StateDegraded,
+			fmt.Sprintf("staleness-saturated (%d consecutive folds at the staleness ceiling %.3g)", e.staleRun, e.cfg.MaxStale), now)
+	}
+}
+
+// shardQuorumLocked re-evaluates the shard-quorum rule after a shard
+// lifecycle event.
+func (e *Engine) shardQuorumLocked(now time.Time) {
+	if e.cfg.Shards <= 0 || e.cfg.ShardQuorum <= 0 {
+		return
+	}
+	live := e.cfg.Shards
+	for name, c := range e.components {
+		if strings.HasPrefix(name, "shard:") && c.state != StateOK {
+			live--
+		}
+	}
+	if live < e.cfg.ShardQuorum {
+		e.setLocked("aggregator", StateCritical,
+			fmt.Sprintf("shard-quorum-lost (live %d < quorum %d)", live, e.cfg.ShardQuorum), now)
+	} else {
+		e.recoverLocked("aggregator", "shard-quorum-", now)
+	}
+}
+
+// Tick samples the counter-backed rules: windowed device-drop and transport
+// retry spikes, and the error-feedback norm limit. plos-server runs it on a
+// ticker (Start); tests call it directly with a controlled clock.
+func (e *Engine) Tick() {
+	now := e.now()
+	e.drops.ObserveTotal(now, float64(e.reg.CounterValue(obs.MetricProtocolDeviceDrops)))
+	e.retries.ObserveTotal(now, float64(e.reg.CounterValue(obs.MetricTransportRetries)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.DropSpike > 0 {
+		if s := e.drops.Sum(now); s >= e.cfg.DropSpike {
+			e.setLocked("devices", StateDegraded,
+				fmt.Sprintf("device-drop-spike (%.0f drop events in %s)", s, e.cfg.Window), now)
+		} else {
+			e.recoverLocked("devices", "device-drop-spike", now)
+		}
+	}
+	if e.cfg.RetrySpike > 0 {
+		if s := e.retries.Sum(now); s >= e.cfg.RetrySpike {
+			e.setLocked("transport", StateDegraded,
+				fmt.Sprintf("retry-spike (%.0f transport retries in %s)", s, e.cfg.Window), now)
+		} else {
+			e.recoverLocked("transport", "retry-spike", now)
+		}
+	}
+	if e.cfg.EFNormLimit > 0 {
+		if v := e.ef.Value(); v > e.cfg.EFNormLimit {
+			e.setLocked("wire", StateCritical,
+				fmt.Sprintf("ef-norm-blowup (%.3g > limit %.3g)", v, e.cfg.EFNormLimit), now)
+		} else {
+			e.recoverLocked("wire", "ef-norm-", now)
+		}
+	}
+}
+
+// Start runs Tick on a ticker until Stop (interval <= 0 defaults to 1s).
+// Start after Stop restarts; a second Start without Stop is a no-op.
+func (e *Engine) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	e.mu.Lock()
+	if e.stop != nil {
+		e.mu.Unlock()
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	e.stop, e.done = stop, done
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the Start ticker (no-op when not started).
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	stop, done := e.stop, e.done
+	e.stop, e.done = nil, nil
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// setLocked moves a component to (state, cause), emitting a
+// health-transition record and recomputing the rollup on a state change; a
+// same-state call only refreshes the cause. Caller holds e.mu.
+func (e *Engine) setLocked(name string, st State, cause string, now time.Time) {
+	c, ok := e.components[name]
+	if !ok {
+		c = &component{since: now}
+		e.components[name] = c
+		if st == StateOK {
+			// A component born healthy needs no transition.
+			c.cause = cause
+			return
+		}
+	}
+	if c.state == st {
+		if cause != "" {
+			c.cause = cause
+			e.recomputeLocked(now)
+		}
+		return
+	}
+	from := c.state
+	c.state, c.cause, c.since = st, cause, now
+	e.pushTransitionLocked(TransitionEvent{
+		Component: name, From: from.String(), To: st.String(), Cause: cause, At: now,
+	})
+	e.recomputeLocked(now)
+}
+
+// recoverLocked returns a component to ok, but only when its current cause
+// was set by the rule family identified by causePrefix — so one rule's
+// recovery never masks another rule's finding on a shared component. Caller
+// holds e.mu.
+func (e *Engine) recoverLocked(name, causePrefix string, now time.Time) {
+	c, ok := e.components[name]
+	if !ok || c.state == StateOK || !strings.HasPrefix(c.cause, causePrefix) {
+		return
+	}
+	e.setLocked(name, StateOK, "", now)
+}
+
+// pushTransitionLocked appends to the bounded transition log and emits the
+// health-transition flight record. Caller holds e.mu; re-entry through
+// ObserveRecord is cut off by its RecordHealthTransition guard.
+func (e *Engine) pushTransitionLocked(t TransitionEvent) {
+	e.transitions = append(e.transitions, t)
+	if len(e.transitions) > transitionsCap {
+		e.transitions = e.transitions[len(e.transitions)-transitionsCap:]
+	}
+	e.reg.FlightRecord(obs.Record{
+		Kind:      obs.RecordHealthTransition,
+		Component: t.Component,
+		From:      t.From,
+		To:        t.To,
+		Cause:     t.Cause,
+	})
+}
+
+// recomputeLocked refreshes the fleet rollup: the max component state, with
+// the device tier demoted to at most degraded (one dead device must not
+// page the fleet as critical — permanent drops are a survivable, quorum-
+// guarded condition; everything fleet-fatal has a non-device component).
+// Caller holds e.mu.
+func (e *Engine) recomputeLocked(now time.Time) {
+	var worst State
+	var worstName, worstCause string
+	var devWorst State
+	var devName, devCause string
+	for _, name := range e.sortedNamesLocked() {
+		c := e.components[name]
+		if strings.HasPrefix(name, "device:") {
+			if c.state > devWorst {
+				devWorst, devName, devCause = c.state, name, c.cause
+			}
+			continue
+		}
+		if c.state > worst {
+			worst, worstName, worstCause = c.state, name, c.cause
+		}
+	}
+	if devWorst > StateDegraded {
+		devWorst = StateDegraded
+	}
+	if devWorst > worst {
+		worst, worstName, worstCause = devWorst, devName, devCause
+	}
+	cause := ""
+	if worst != StateOK {
+		cause = worstName + ": " + worstCause
+	}
+	if worst != e.fleet.state {
+		e.pushTransitionLocked(TransitionEvent{
+			Component: "fleet", From: e.fleet.state.String(), To: worst.String(), Cause: cause, At: now,
+		})
+		e.fleet.since = now
+	}
+	e.fleet.state, e.fleet.cause = worst, cause
+	e.gauge.Set(float64(worst))
+}
+
+// sortedNamesLocked returns component names in stable order (so rollup
+// tie-breaking and exports are deterministic). Caller holds e.mu.
+func (e *Engine) sortedNamesLocked() []string {
+	names := make([]string, 0, len(e.components))
+	for name := range e.components {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot exports the full tree: rollup, per-component statuses, recent
+// objective trajectory, recent transitions, and the spike-rule windows
+// (sparkline feeds for plos-top).
+func (e *Engine) Snapshot() Snapshot {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Snapshot{
+		State:       e.fleet.state.String(),
+		Cause:       e.fleet.cause,
+		Since:       e.fleet.since,
+		Objective:   append([]float64(nil), e.objHist...),
+		Transitions: append([]TransitionEvent(nil), e.transitions...),
+		DropWindow:  e.drops.Buckets(now),
+		RetryWindow: e.retries.Buckets(now),
+	}
+	for _, name := range e.sortedNamesLocked() {
+		c := e.components[name]
+		s.Components = append(s.Components, ComponentStatus{
+			Component: name, State: c.state.String(), Cause: c.cause, Since: c.since,
+		})
+	}
+	return s
+}

@@ -1,0 +1,272 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"plos/internal/obs"
+)
+
+// clock is a settable test clock.
+type clock struct{ t time.Time }
+
+func newClock() *clock {
+	return &clock{t: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+func (c *clock) now() time.Time                    { return c.t }
+func (c *clock) advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+// newEngine builds an engine over a fresh registry with a tail-only flight
+// recorder (so transitions land somewhere inspectable) and a test clock.
+func newEngine(t *testing.T, cfg Config) (*Engine, *obs.Registry, *clock) {
+	t.Helper()
+	ck := newClock()
+	cfg.Now = ck.now
+	reg := obs.NewRegistry()
+	reg.SetFlightRecorder(obs.NewFlightRecorder(nil, 64))
+	return New(reg, cfg), reg, ck
+}
+
+func wantFleet(t *testing.T, e *Engine, st State, causeSub string) {
+	t.Helper()
+	f := e.Fleet()
+	if f.State != st {
+		t.Fatalf("fleet state = %v, want %v (cause %q)", f.State, st, f.Cause)
+	}
+	if causeSub != "" && !strings.Contains(f.Cause, causeSub) {
+		t.Fatalf("fleet cause = %q, want substring %q", f.Cause, causeSub)
+	}
+}
+
+func TestObjectiveAscentAndRecovery(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordRunStart, Trainer: "distributed", Users: 4})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 0, Objective: 100})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 1, Objective: 90})
+	wantFleet(t, e, StateOK, "")
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 2, Objective: 95})
+	wantFleet(t, e, StateDegraded, "objective-ascent")
+	if reg.Gauge(obs.MetricHealthState, "").Value() != 1 {
+		t.Fatal("health_state gauge should be 1 while degraded")
+	}
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 3, Objective: 80})
+	wantFleet(t, e, StateOK, "")
+	if reg.Gauge(obs.MetricHealthState, "").Value() != 0 {
+		t.Fatal("health_state gauge should drop back to 0")
+	}
+}
+
+func TestObjectiveStall(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{StallRounds: 3})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordRunStart})
+	for i := 0; i < 4; i++ {
+		reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: i, Objective: 50})
+	}
+	wantFleet(t, e, StateDegraded, "objective-stall")
+	// Real progress clears the stall.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 4, Objective: 40})
+	wantFleet(t, e, StateOK, "")
+}
+
+func TestQuorumLostIsCriticalAndSurvivesObjectiveRecovery(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordRunStart})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordQuorum, Active: 1, Need: 2})
+	wantFleet(t, e, StateCritical, "quorum-lost")
+	// Objective progress must not clear a quorum cause on the shared run
+	// component.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 0, Objective: 10})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordCCCPIteration, Round: 1, Objective: 5})
+	wantFleet(t, e, StateCritical, "quorum-lost")
+	// A fresh run does.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordRunStart})
+	wantFleet(t, e, StateOK, "")
+}
+
+func TestDeviceDropDemotedAtFleet(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordDeviceDrop, User: 3, Cause: "conn reset", Permanent: false})
+	wantFleet(t, e, StateDegraded, "device:3")
+	st, ok := e.Component("device:3")
+	if !ok || st.State != StateDegraded {
+		t.Fatalf("device:3 = %+v, %v; want degraded", st, ok)
+	}
+	// A merged device round recovers the transient drop.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound, User: 3, Round: 1})
+	wantFleet(t, e, StateOK, "")
+	// Permanent removal is critical on the device but only degrades the
+	// fleet (quorum guards fleet-fatal device loss).
+	reg.FlightRecord(obs.Record{Kind: obs.RecordDeviceDrop, User: 3, Cause: "gone", Permanent: true})
+	st, _ = e.Component("device:3")
+	if st.State != StateCritical {
+		t.Fatalf("device:3 = %v, want critical", st.State)
+	}
+	wantFleet(t, e, StateDegraded, "device:3")
+	// And a later round does not resurrect a permanently dropped device.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordDeviceRound, User: 3, Round: 2})
+	wantFleet(t, e, StateDegraded, "device:3")
+}
+
+func TestShardLifecycleAndQuorum(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{Shards: 2, ShardQuorum: 1})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardDown, Shard: 0, Cause: "agg link: EOF"})
+	wantFleet(t, e, StateDegraded, "shard:0: detached: agg link: EOF")
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardStale, Shard: 0, Round: 2, Stale: 3})
+	wantFleet(t, e, StateDegraded, "carried stale (3 legs)")
+	// Second shard down: live 0 < quorum 1 -> critical.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardDown, Shard: 1, Cause: "timeout"})
+	wantFleet(t, e, StateCritical, "shard-quorum-lost")
+	// Restores walk it back.
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardRestore, Shard: 1, Round: 3})
+	wantFleet(t, e, StateDegraded, "shard:0")
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardRestore, Shard: 0, Round: 3})
+	wantFleet(t, e, StateOK, "")
+}
+
+func TestStalenessSaturation(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{MaxStale: 4, StaleSatFolds: 3})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordRunStart})
+	for i := 0; i < 3; i++ {
+		reg.FlightRecord(obs.Record{Kind: obs.RecordAsyncFold, User: i, Staleness: 4})
+	}
+	wantFleet(t, e, StateDegraded, "staleness-saturated")
+	reg.FlightRecord(obs.Record{Kind: obs.RecordAsyncFold, User: 0, Staleness: 1})
+	wantFleet(t, e, StateOK, "")
+}
+
+func TestTickSpikesAndEFNorm(t *testing.T) {
+	e, reg, ck := newEngine(t, Config{
+		Window: 10 * time.Second, Bucket: time.Second,
+		DropSpike: 3, RetrySpike: 5, EFNormLimit: 100,
+	})
+	drops := reg.Counter(obs.MetricProtocolDeviceDrops, "")
+	retries := reg.Counter(obs.MetricTransportRetries, "")
+	e.Tick() // arms the baselines
+	drops.Add(2)
+	retries.Add(4)
+	ck.advance(time.Second)
+	e.Tick()
+	wantFleet(t, e, StateOK, "")
+	drops.Add(2)
+	retries.Add(2)
+	ck.advance(time.Second)
+	e.Tick()
+	wantFleet(t, e, StateDegraded, "device-drop-spike")
+	st, _ := e.Component("transport")
+	if st.State != StateDegraded || !strings.Contains(st.Cause, "retry-spike") {
+		t.Fatalf("transport = %+v, want retry-spike degraded", st)
+	}
+	// The window drains: both spikes recover.
+	ck.advance(30 * time.Second)
+	e.Tick()
+	wantFleet(t, e, StateOK, "")
+	// EF-norm blowup is critical, and recovers when the norm shrinks.
+	reg.Gauge(obs.MetricQuantErrorFeedbackNorm, "").Set(1e6)
+	e.Tick()
+	wantFleet(t, e, StateCritical, "ef-norm-blowup")
+	reg.Gauge(obs.MetricQuantErrorFeedbackNorm, "").Set(1)
+	e.Tick()
+	wantFleet(t, e, StateOK, "")
+}
+
+func TestReportRemoteAndHealthStamp(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{})
+	if got := reg.HealthStamp(); got != 1 {
+		t.Fatalf("HealthStamp with ok engine = %d, want 1", got)
+	}
+	reg.ReportHealth("shard:1", int(StateDegraded), "remote: detached")
+	wantFleet(t, e, StateDegraded, "shard:1: remote: detached")
+	if got := reg.HealthStamp(); got != 2 {
+		t.Fatalf("HealthStamp while degraded = %d, want 2", got)
+	}
+	reg.ReportHealth("shard:1", int(StateOK), "")
+	wantFleet(t, e, StateOK, "")
+	// Out-of-range codes are ignored.
+	reg.ReportHealth("shard:1", 9, "garbage")
+	wantFleet(t, e, StateOK, "")
+	// No engine: stamp is 0.
+	var none *obs.Registry
+	if got := none.HealthStamp(); got != 0 {
+		t.Fatalf("nil-registry HealthStamp = %d, want 0", got)
+	}
+}
+
+func TestTransitionsEmittedToFlightRecorder(t *testing.T) {
+	_, reg, _ := newEngine(t, Config{})
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardDown, Shard: 0, Cause: "boom"})
+	var sawShard, sawFleet bool
+	for _, line := range reg.Flight().Tail() {
+		if !strings.Contains(line, `"rec":"health-transition"`) {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad transition line %q: %v", line, err)
+		}
+		switch m["component"] {
+		case "shard:0":
+			sawShard = m["from"] == "ok" && m["to"] == "degraded"
+		case "fleet":
+			sawFleet = m["to"] == "degraded"
+		}
+	}
+	if !sawShard || !sawFleet {
+		t.Fatalf("missing transitions (shard %v, fleet %v) in tail", sawShard, sawFleet)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	e, reg, _ := newEngine(t, Config{})
+	get := func(h http.Handler) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+		return rr
+	}
+	if rr := get(e.HealthzHandler()); rr.Code != 200 || !strings.HasPrefix(rr.Body.String(), "ok") {
+		t.Fatalf("healthy /healthz = %d %q", rr.Code, rr.Body.String())
+	}
+	reg.FlightRecord(obs.Record{Kind: obs.RecordShardDown, Shard: 0, Cause: "agg link: EOF"})
+	rr := get(e.HealthzHandler())
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz code = %d, want 503", rr.Code)
+	}
+	if b := rr.Body.String(); !strings.Contains(b, "shard:0 degraded: detached: agg link: EOF") {
+		t.Fatalf("degraded /healthz body = %q", b)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(get(e.TreeHandler()).Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/debug/health is not JSON: %v", err)
+	}
+	if snap.State != "degraded" || len(snap.Components) == 0 {
+		t.Fatalf("/debug/health snapshot = %+v", snap)
+	}
+	body := get(e.StatuszHandler()).Body.String()
+	for _, want := range []string{"plos health: degraded", "uptime:", "shard:0", "recent transitions:"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/statusz missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestStartStopTicker(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(reg, Config{})
+	e.Start(time.Millisecond)
+	e.Start(time.Millisecond) // double start is a no-op
+	time.Sleep(10 * time.Millisecond)
+	e.Stop()
+	e.Stop() // double stop is a no-op
+}
+
+func TestNilRegistryEngine(t *testing.T) {
+	e := New(nil, Config{})
+	e.ObserveRecord(obs.Record{Kind: obs.RecordShardDown, Shard: 0, Cause: "x"})
+	e.Tick()
+	if e.HealthCode() != int(StateDegraded) {
+		t.Fatalf("HealthCode = %d, want degraded", e.HealthCode())
+	}
+}

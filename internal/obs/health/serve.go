@@ -1,0 +1,98 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The three serving surfaces of the health plane, mounted on the ops mux of
+// every plos-server role (and embeddable in tests via httptest):
+//
+//	/healthz       — machine-readable, status-code-bearing: 200 only when the
+//	                 fleet rollup is ok, 503 otherwise, with one line per
+//	                 non-ok component naming the cause.
+//	/debug/health  — the full Snapshot tree as JSON (what plos-top polls).
+//	/statusz       — a human text page: rollup, component table, recent
+//	                 transitions and the objective tail.
+
+// HealthzHandler serves the machine health check.
+func (e *Engine) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		s := e.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.State != StateOK.String() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, s.State)
+		for _, c := range s.Components {
+			if c.State != StateOK.String() {
+				fmt.Fprintf(w, "%s %s: %s\n", c.Component, c.State, c.Cause)
+			}
+		}
+	})
+}
+
+// TreeHandler serves the Snapshot tree as indented JSON.
+func (e *Engine) TreeHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.Snapshot())
+	})
+}
+
+// StatuszHandler serves the human status page.
+func (e *Engine) StatuszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		s := e.Snapshot()
+		now := e.now()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "plos health: %s", s.State)
+		if s.Cause != "" {
+			fmt.Fprintf(w, " (%s)", s.Cause)
+		}
+		fmt.Fprintf(w, "\nuptime: %s\n", now.Sub(e.created).Round(timeResolution))
+		if len(s.Components) > 0 {
+			fmt.Fprintf(w, "\ncomponents:\n")
+			for _, c := range s.Components {
+				fmt.Fprintf(w, "  %-14s %-9s", c.Component, c.State)
+				if c.Cause != "" {
+					fmt.Fprintf(w, " %s", c.Cause)
+				}
+				fmt.Fprintf(w, "  (for %s)\n", now.Sub(c.Since).Round(timeResolution))
+			}
+		}
+		if n := len(s.Objective); n > 0 {
+			lo := n - 8
+			if lo < 0 {
+				lo = 0
+			}
+			parts := make([]string, 0, n-lo)
+			for _, v := range s.Objective[lo:] {
+				parts = append(parts, fmt.Sprintf("%.6g", v))
+			}
+			fmt.Fprintf(w, "\nobjective (last %d rounds): %s\n", n-lo, strings.Join(parts, " "))
+		}
+		if len(s.Transitions) > 0 {
+			fmt.Fprintf(w, "\nrecent transitions:\n")
+			lo := len(s.Transitions) - 8
+			if lo < 0 {
+				lo = 0
+			}
+			for _, t := range s.Transitions[lo:] {
+				fmt.Fprintf(w, "  %s ago  %-14s %s -> %s", now.Sub(t.At).Round(timeResolution), t.Component, t.From, t.To)
+				if t.Cause != "" {
+					fmt.Fprintf(w, "  %s", t.Cause)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	})
+}
+
+// timeResolution rounds the durations shown on /statusz.
+const timeResolution = 100 * time.Millisecond

@@ -1,0 +1,67 @@
+package obs
+
+// The health-sink hook is how the live health plane (internal/obs/health)
+// taps the registry's signal streams without the instrumented code knowing
+// it exists: FlightRecord forwards every record to the attached sink, and
+// the protocol layer stamps/reads the compact wire health code through the
+// nil-safe helpers below — so obs stays dependency-free and the health
+// engine (which imports obs) never appears in an import cycle.
+
+// HealthSink consumes the registry's streaming signals and answers with a
+// rolled-up health code. Implemented by health.Engine.
+type HealthSink interface {
+	// ObserveRecord receives every flight record the registry emits,
+	// including on hot paths — implementations must be cheap and must
+	// ignore RecordHealthTransition (their own output).
+	ObserveRecord(Record)
+	// HealthCode is the fleet rollup: 0 ok, 1 degraded, 2 critical.
+	HealthCode() int
+	// ReportRemote folds a remote component's self-reported health code
+	// into the local tree (e.g. the aggregator recording a shard's
+	// piggybacked code).
+	ReportRemote(component string, code int, cause string)
+}
+
+// healthSlot wraps the sink so detaching (storing nil) is expressible with
+// atomic.Pointer.
+type healthSlot struct{ sink HealthSink }
+
+// SetHealthSink attaches s to the registry; every FlightRecord call is
+// forwarded there. Passing nil detaches. No-op on a nil registry.
+func (r *Registry) SetHealthSink(s HealthSink) {
+	if r == nil {
+		return
+	}
+	r.health.Store(&healthSlot{sink: s})
+}
+
+// HealthSink returns the attached sink (nil when none, or on a nil
+// registry).
+func (r *Registry) HealthSink() HealthSink {
+	if r == nil {
+		return nil
+	}
+	if slot := r.health.Load(); slot != nil {
+		return slot.sink
+	}
+	return nil
+}
+
+// HealthStamp is the 1-based wire encoding of the current rollup — 1 ok,
+// 2 degraded, 3 critical — or 0 when no health engine is attached. The zero
+// keeps messages from engine-less processes byte-identical to old peers, so
+// the shard piggyback needs no codec change.
+func (r *Registry) HealthStamp() int {
+	if s := r.HealthSink(); s != nil {
+		return s.HealthCode() + 1
+	}
+	return 0
+}
+
+// ReportHealth forwards a remote component's self-reported health code to
+// the attached sink (no-op when none is attached or on a nil registry).
+func (r *Registry) ReportHealth(component string, code int, cause string) {
+	if s := r.HealthSink(); s != nil {
+		s.ReportRemote(component, code, cause)
+	}
+}

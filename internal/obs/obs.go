@@ -101,6 +101,7 @@ type Registry struct {
 
 	trace  *Trace
 	flight atomic.Pointer[flightSlot]
+	health atomic.Pointer[healthSlot]
 }
 
 // DefaultTraceCapacity bounds the span ring of a fresh registry.

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// t0 is an arbitrary fixed base time so window tests are deterministic.
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func TestRateWindowSumAndExpiry(t *testing.T) {
+	w := NewRateWindow(10*time.Second, time.Second)
+	w.Add(t0, 3)
+	w.Add(t0.Add(2*time.Second), 4)
+	if got := w.Sum(t0.Add(2 * time.Second)); got != 7 {
+		t.Fatalf("Sum = %v, want 7", got)
+	}
+	// 11s after the first add, its bucket has rolled out of the window.
+	if got := w.Sum(t0.Add(11 * time.Second)); got != 4 {
+		t.Fatalf("Sum after expiry = %v, want 4", got)
+	}
+	// Far future: everything expired.
+	if got := w.Sum(t0.Add(time.Hour)); got != 0 {
+		t.Fatalf("Sum far future = %v, want 0", got)
+	}
+}
+
+func TestRateWindowRate(t *testing.T) {
+	w := NewRateWindow(10*time.Second, time.Second)
+	w.Add(t0, 20)
+	if got := w.Rate(t0); got != 2 {
+		t.Fatalf("Rate = %v, want 2 (20 over a 10s window)", got)
+	}
+}
+
+func TestRateWindowObserveTotal(t *testing.T) {
+	w := NewRateWindow(10*time.Second, time.Second)
+	w.ObserveTotal(t0, 100) // arms the baseline only
+	if got := w.Sum(t0); got != 0 {
+		t.Fatalf("Sum after baseline = %v, want 0", got)
+	}
+	w.ObserveTotal(t0.Add(time.Second), 105)
+	w.ObserveTotal(t0.Add(2*time.Second), 107)
+	if got := w.Sum(t0.Add(2 * time.Second)); got != 7 {
+		t.Fatalf("Sum of deltas = %v, want 7", got)
+	}
+	// Counter reset re-arms instead of adding a negative delta.
+	w.ObserveTotal(t0.Add(3*time.Second), 1)
+	if got := w.Sum(t0.Add(3 * time.Second)); got != 7 {
+		t.Fatalf("Sum after reset = %v, want 7", got)
+	}
+	w.ObserveTotal(t0.Add(4*time.Second), 2)
+	if got := w.Sum(t0.Add(4 * time.Second)); got != 8 {
+		t.Fatalf("Sum after re-arm = %v, want 8", got)
+	}
+}
+
+func TestRateWindowBuckets(t *testing.T) {
+	w := NewRateWindow(5*time.Second, time.Second)
+	w.Add(t0, 1)
+	w.Add(t0.Add(2*time.Second), 3)
+	got := w.Buckets(t0.Add(4 * time.Second))
+	if len(got) != 5 {
+		t.Fatalf("len(Buckets) = %d, want 5", len(got))
+	}
+	// Oldest-first: bucket of t0 is index 0, t0+2s is index 2.
+	want := []float64{1, 0, 3, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRateWindowNil(t *testing.T) {
+	var w *RateWindow
+	w.Add(t0, 1)
+	w.ObserveTotal(t0, 1)
+	if w.Sum(t0) != 0 || w.Rate(t0) != 0 || w.Buckets(t0) != nil {
+		t.Fatal("nil RateWindow must report zeros")
+	}
+}
+
+func TestRollingHistogramWindow(t *testing.T) {
+	h := NewRollingHistogram(10*time.Second, time.Second)
+	for i := 0; i < 90; i++ {
+		h.Observe(t0, 1.0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(t0.Add(time.Second), 100.0)
+	}
+	s := h.Snapshot(t0.Add(time.Second))
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Max != 100 {
+		t.Fatalf("Max = %v, want 100", s.Max)
+	}
+	if s.Sum != 90+1000 {
+		t.Fatalf("Sum = %v, want 1090", s.Sum)
+	}
+	// p50 lands in the value-1 bucket, p95 in the value-100 bucket — both
+	// within the log-linear layout's relative error.
+	if s.P50 < 0.9 || s.P50 > 1.1 {
+		t.Fatalf("P50 = %v, want ~1", s.P50)
+	}
+	if s.P95 < 90 || s.P95 > 110 {
+		t.Fatalf("P95 = %v, want ~100", s.P95)
+	}
+	// After the window slides past t0, only the 10 late observations remain.
+	s = h.Snapshot(t0.Add(10 * time.Second))
+	if s.Count != 10 {
+		t.Fatalf("Count after expiry = %d, want 10", s.Count)
+	}
+	// And an empty window snapshots to zero.
+	s = h.Snapshot(t0.Add(time.Hour))
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P95 != 0 || s.Max != 0 {
+		t.Fatalf("empty-window snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestRollingHistogramUnderflow(t *testing.T) {
+	h := NewRollingHistogram(10*time.Second, time.Second)
+	h.Observe(t0, 0)  // non-positive: counted, not bucketed
+	h.Observe(t0, -5) // same
+	h.Observe(t0, 2)
+	s := h.Snapshot(t0)
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if s.P50 != 0 {
+		t.Fatalf("P50 = %v, want 0 (two of three observations are <= 0)", s.P50)
+	}
+	if s.P95 < 1.9 || s.P95 > 2.2 {
+		t.Fatalf("P95 = %v, want ~2", s.P95)
+	}
+}
+
+func TestRollingHistogramNil(t *testing.T) {
+	var h *RollingHistogram
+	h.Observe(t0, 1)
+	if s := h.Snapshot(t0); s.Count != 0 {
+		t.Fatal("nil RollingHistogram must snapshot to zero")
+	}
+}
+
+func TestWindowConcurrency(t *testing.T) {
+	w := NewRateWindow(5*time.Second, time.Second)
+	h := NewRollingHistogram(5*time.Second, time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				now := t0.Add(time.Duration(i) * 10 * time.Millisecond)
+				w.Add(now, 1)
+				h.Observe(now, float64(g+1))
+				_ = w.Sum(now)
+				_ = h.Snapshot(now)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Sum(t0.Add(4990 * time.Millisecond)); got != 8*500 {
+		t.Fatalf("concurrent Sum = %v, want 4000", got)
+	}
+}

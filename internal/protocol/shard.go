@@ -512,8 +512,13 @@ func (sh *shardRun) round(round int, w0 mat.Vector, info *core.TrainInfo) (trans
 		// Cross-shard reduce, leg 1: ship Σ(x_t+u_t), wait for z.
 		preStats := sh.agg.Stats()
 		waitStart := time.Now()
+		// Labeled is a free fixed-width field on shard-sums; it piggybacks
+		// this shard's health stamp (0 when no engine is attached, so the
+		// frame stays byte-identical to pre-health builds) for the
+		// aggregator's fleet rollup. No codec change.
 		if err := sh.agg.Send(transport.Message{Type: transport.MsgShardSum,
-			Round: iter, W0: shard.SumXU(xs, us, st.dim), Users: len(xs)}); err != nil {
+			Round: iter, W0: shard.SumXU(xs, us, st.dim), Users: len(xs),
+			Labeled: st.cfg.Core.Obs.HealthStamp()}); err != nil {
 			return transport.Message{}, sh.aggLost(err)
 		}
 		zm, err := sh.agg.Recv()
@@ -1158,6 +1163,12 @@ func (a *aggRun) cccpRound(round int, info *core.TrainInfo) (float64, error) {
 				s.fresh = true
 				s.lastSum = mat.Vector(m.W0)
 				s.lastUsers = m.Users
+				// A positive Labeled is the shard's piggybacked health stamp
+				// (code+1); fold it into the aggregator's health tree. Zero
+				// means the shard runs without an engine — report nothing.
+				if m.Labeled > 0 {
+					a.cfg.Core.Obs.ReportHealth(fmt.Sprintf("shard:%d", id), m.Labeled-1, "shard-reported")
+				}
 			} else if !s.live && s.lastSum != nil && s.stale < a.cfg.FT.MaxStale {
 				s.stale++
 				s.carried = true

@@ -77,6 +77,14 @@ const (
 	flagMask      = flagTelemetry | flagCaps | flagComp
 )
 
+// CodecVersionBase and CodecVersionCompressed export the wire codec
+// versions this build speaks, for build-identity surfaces (the
+// plos_build_info gauge). The codec itself keeps using the private bytes.
+const (
+	CodecVersionBase       = int(codecVersion)
+	CodecVersionCompressed = int(codecVersionComp)
+)
+
 // ErrCodec wraps every malformed-frame error from DecodeMessage.
 var ErrCodec = errors.New("transport: malformed frame")
 

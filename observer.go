@@ -3,14 +3,23 @@ package plos
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"plos/internal/obs"
+	"plos/internal/obs/health"
 	"plos/internal/parallel"
+	"plos/internal/transport"
 )
+
+// processStart anchors the process_uptime_seconds gauge: package
+// initialization is the closest portable stand-in for process start.
+var processStart = time.Now()
 
 // Observer collects training metrics and phase traces. Create one with
 // NewObserver, attach it to any trainer with WithObserver, and read it out
@@ -24,7 +33,8 @@ import (
 // unaffected), and the instrumentation cost is a handful of atomic adds per
 // solver phase — see docs/OBSERVABILITY.md for the full metric catalog.
 type Observer struct {
-	reg *obs.Registry
+	reg    *obs.Registry
+	health *health.Engine
 }
 
 // ObserverOption tweaks NewObserver. The zero set of options reproduces the
@@ -35,6 +45,8 @@ type observerConfig struct {
 	traceCapacity int
 	flight        bool
 	flightW       io.Writer
+	health        bool
+	healthCfg     health.Config
 }
 
 // WithTraceCapacity sets how many phase spans the trace ring retains (default
@@ -61,6 +73,20 @@ func WithFlightRecorder(w io.Writer) ObserverOption {
 	}
 }
 
+// WithHealth attaches a live health engine (internal/obs/health): the
+// observer's flight-record stream and counters drive a rule-driven component
+// tree served on /healthz, /debug/health and /statusz (plos-server mounts
+// all three when -metrics-addr is set). Health needs the record stream, so
+// this option implies a tail-only flight recorder when none was configured.
+// The engine is passive — a run observed with health attached trains a
+// bit-identical model.
+func WithHealth(cfg health.Config) ObserverOption {
+	return func(c *observerConfig) {
+		c.health = true
+		c.healthCfg = cfg
+	}
+}
+
 // NewObserver creates an observer with every documented metric
 // pre-registered. It also becomes the process-global observer of the
 // internal worker pool (queue depth, per-worker busy time) — the pool is
@@ -72,11 +98,31 @@ func NewObserver(opts ...ObserverOption) *Observer {
 		opt(&c)
 	}
 	r := obs.NewRegistrySized(c.traceCapacity)
-	if c.flight {
+	if c.flight || c.health {
 		r.SetFlightRecorder(obs.NewFlightRecorder(c.flightW, obs.DefaultFlightTail))
 	}
+	r.GaugeFunc(obs.MetricProcessUptimeSeconds,
+		"Seconds since this process initialized the plos package (registered by NewObserver).",
+		func() float64 { return time.Since(processStart).Seconds() })
+	r.GaugeFunc(obs.MetricBuildInfo, fmt.Sprintf(
+		"Constant 1; built with %s, wire codec v%d (v%d compressed), sharded serving plane compiled in.",
+		runtime.Version(), transport.CodecVersionBase, transport.CodecVersionCompressed),
+		func() float64 { return 1 })
+	ob := &Observer{reg: r}
+	if c.health {
+		ob.health = health.New(r, c.healthCfg)
+	}
 	parallel.SetMetrics(r.PoolMetrics())
-	return &Observer{reg: r}
+	return ob
+}
+
+// Health returns the attached health engine (nil without WithHealth, or on
+// a nil observer).
+func (ob *Observer) Health() *health.Engine {
+	if ob == nil {
+		return nil
+	}
+	return ob.health
 }
 
 // WithObserver attaches ob to the training run. A nil observer is valid and

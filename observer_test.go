@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"plos/internal/obs"
+	"plos/internal/obs/health"
 )
 
 // TestObserverBitIdentical is the acceptance gate of the observability
@@ -34,6 +35,27 @@ func TestObserverBitIdentical(t *testing.T) {
 	}
 	compareModels(t, "Train observer on/off", plainC, obsC)
 	compareModels(t, "TrainDistributed observer on/off", plainD, obsD)
+
+	// The health engine consumes every flight record the runs emit; it must
+	// stay just as passive as the bare observer.
+	hob := NewObserver(WithHealth(health.Config{}))
+	healthC, err := Train(users, WithSeed(4), WithObserver(hob))
+	if err != nil {
+		t.Fatalf("Train health-observed: %v", err)
+	}
+	healthD, err := TrainDistributed(users, WithSeed(4), WithObserver(hob))
+	if err != nil {
+		t.Fatalf("TrainDistributed health-observed: %v", err)
+	}
+	compareModels(t, "Train health engine on/off", plainC, healthC)
+	compareModels(t, "TrainDistributed health engine on/off", plainD, healthD)
+	if hob.Health() == nil {
+		t.Fatal("WithHealth must attach an engine")
+	}
+	if hob.Health().HealthCode() != 0 {
+		t.Fatalf("healthy deterministic run reports code %d, want 0 (%+v)",
+			hob.Health().HealthCode(), hob.Health().Fleet())
+	}
 }
 
 func TestObserverCollectsTrainingMetrics(t *testing.T) {

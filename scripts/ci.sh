@@ -56,6 +56,15 @@ echo "== shard kill/restore smoke: kill-9 soak (race) + real SIGKILL on a worker
 go test -race -count=1 -v -run 'TestShardedKillRestoreRejoins' ./internal/protocol
 go test -count=1 -v -run 'TestShardKillRecover' ./cmd/plos-bench
 
+echo "== health smoke: /healthz 200 -> 503 -> 200 across a seeded kill/rejoin + piggyback + scrape hammer (race) =="
+go test -race -count=1 -v \
+    -run 'TestAggHealthzKillRestoreRecovers|TestShardHealthPiggybackReportsRemoteState|TestHealthEndpointsScrapeHammer' \
+    ./internal/protocol
+go test -race -count=1 -run 'TestHealthEndpointsWiring|TestRunMountsHealthPlane' ./cmd/plos-server
+
+echo "== plos-top smoke: -once frame pinned against the golden fixture =="
+go test -race -count=1 -run 'TestSnapshotGolden|TestRunOnce' ./cmd/plos-top
+
 echo "== async-mode race smoke: sync parity + negotiation + chaos + mid-run resume (docs/ASYNC.md) =="
 go test -race -count=1 \
     -run 'TestAsyncWireMatchesSyncAccuracy|TestAsyncModeNegotiation|TestAsyncChaosSoak|TestAsyncClientResumeMidTraining|TestSyncHandshakeBytesUnchanged' \
